@@ -1,0 +1,63 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * dynamic top-k bound on/off (GRMiner(k) vs GRMiner);
+//! * generality filter on/off;
+//! * nhp pruning vs support-only (emulating a BUC-style traversal by
+//!   setting min_score to 0 with a huge k);
+//! * sequential vs parallel miner at 1/2/4/8 threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grm_bench::{fixture, Dataset};
+use grm_core::parallel::mine_parallel_with_dims;
+use grm_core::{Dims, GrMiner, MinerConfig};
+use grm_graph::NodeAttrId;
+
+fn bench(c: &mut Criterion) {
+    let graph = fixture(Dataset::Pokec, 0.05);
+    let dims = Dims::subset(
+        graph.schema(),
+        &[NodeAttrId(1), NodeAttrId(2), NodeAttrId(3), NodeAttrId(4)],
+        &[],
+    );
+    let base = MinerConfig::nhp(30, 0.5, 100);
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    group.bench_function("dynamic_topk_on", |b| {
+        b.iter(|| GrMiner::with_dims(&graph, base.clone(), dims.clone()).mine())
+    });
+    group.bench_function("dynamic_topk_off", |b| {
+        let cfg = base.clone().without_dynamic_topk();
+        b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
+    });
+    group.bench_function("generality_off", |b| {
+        let cfg = MinerConfig {
+            generality_filter: false,
+            ..base.clone()
+        };
+        b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
+    });
+    group.bench_function("score_pruning_off", |b| {
+        // Support-only pruning: what the search costs without Theorem 3.
+        let cfg = MinerConfig {
+            min_score: 0.0,
+            k: usize::MAX >> 1,
+            dynamic_topk: false,
+            ..base.clone()
+        };
+        b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = base.clone().without_dynamic_topk();
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &t| b.iter(|| mine_parallel_with_dims(&graph, &cfg, &dims, t)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for **Fig. 4a**: runtime vs `minSupp` for GRMiner(k),
+//! GRMiner, BL2 and BL1 on the Pokec-like workload (4 node attributes =
+//! 8 GR dimensions, minNhp 50%, k 100 — the §VI-D defaults).
+//!
+//! Expected shape: as minSupp shrinks the baselines blow up while both
+//! GRMiner variants stay nearly flat (their `minNhp` pruning, Theorem 3,
+//! does not depend on support).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grm_bench::{fixture, Dataset};
+use grm_core::baseline::{mine_baseline_with_dims, BaselineKind};
+use grm_core::{Dims, GrMiner, MinerConfig};
+use grm_graph::NodeAttrId;
+
+fn bench(c: &mut Criterion) {
+    let graph = fixture(Dataset::Pokec, 0.05);
+    let dims = Dims::subset(
+        graph.schema(),
+        &[NodeAttrId(1), NodeAttrId(2), NodeAttrId(3), NodeAttrId(4)],
+        &[],
+    );
+    let mut group = c.benchmark_group("fig4a_minsupp");
+    group.sample_size(10);
+
+    for min_supp in [5u64, 10, 30, 100, 300] {
+        let cfg = MinerConfig::nhp(min_supp, 0.5, 100);
+        group.bench_with_input(
+            BenchmarkId::new("grminer_k", min_supp),
+            &cfg,
+            |b, cfg| b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine()),
+        );
+        let static_cfg = cfg.clone().without_dynamic_topk();
+        group.bench_with_input(
+            BenchmarkId::new("grminer", min_supp),
+            &static_cfg,
+            |b, cfg| b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine()),
+        );
+        group.bench_with_input(BenchmarkId::new("bl2", min_supp), &cfg, |b, cfg| {
+            b.iter(|| mine_baseline_with_dims(&graph, cfg, &dims, BaselineKind::Bl2))
+        });
+        group.bench_with_input(BenchmarkId::new("bl1", min_supp), &cfg, |b, cfg| {
+            b.iter(|| mine_baseline_with_dims(&graph, cfg, &dims, BaselineKind::Bl1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

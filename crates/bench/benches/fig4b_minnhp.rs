@@ -1,0 +1,45 @@
+//! Criterion bench for **Fig. 4b**: runtime vs `minNhp`.
+//!
+//! Expected shape: BL1/BL2 flat (support-only pruning); GRMiner falls as
+//! minNhp grows; GRMiner(k) is at least as fast and pulls ahead at small
+//! minNhp thanks to the dynamically upgraded bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grm_bench::{fixture, Dataset};
+use grm_core::baseline::{mine_baseline_with_dims, BaselineKind};
+use grm_core::{Dims, GrMiner, MinerConfig};
+use grm_graph::NodeAttrId;
+
+fn bench(c: &mut Criterion) {
+    let graph = fixture(Dataset::Pokec, 0.05);
+    let dims = Dims::subset(
+        graph.schema(),
+        &[NodeAttrId(1), NodeAttrId(2), NodeAttrId(3), NodeAttrId(4)],
+        &[],
+    );
+    let mut group = c.benchmark_group("fig4b_minnhp");
+    group.sample_size(10);
+
+    for pct in [0u32, 25, 50, 75, 100] {
+        let cfg = MinerConfig::nhp(30, pct as f64 / 100.0, 100);
+        group.bench_with_input(BenchmarkId::new("grminer_k", pct), &cfg, |b, cfg| {
+            b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
+        });
+        let static_cfg = cfg.clone().without_dynamic_topk();
+        group.bench_with_input(
+            BenchmarkId::new("grminer", pct),
+            &static_cfg,
+            |b, cfg| b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine()),
+        );
+        group.bench_with_input(BenchmarkId::new("bl2", pct), &cfg, |b, cfg| {
+            b.iter(|| mine_baseline_with_dims(&graph, cfg, &dims, BaselineKind::Bl2))
+        });
+        group.bench_with_input(BenchmarkId::new("bl1", pct), &cfg, |b, cfg| {
+            b.iter(|| mine_baseline_with_dims(&graph, cfg, &dims, BaselineKind::Bl1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

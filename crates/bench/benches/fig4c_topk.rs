@@ -1,0 +1,39 @@
+//! Criterion bench for **Fig. 4c**: GRMiner(k) runtime over the k × minNhp
+//! grid.
+//!
+//! Expected shape: pruning is effective as long as *one* of the two
+//! constraints is tight — a small k (the dynamic bound rises fast) or a
+//! large minNhp.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grm_bench::{fixture, Dataset};
+use grm_core::{Dims, GrMiner, MinerConfig};
+use grm_graph::NodeAttrId;
+
+fn bench(c: &mut Criterion) {
+    let graph = fixture(Dataset::Pokec, 0.05);
+    let dims = Dims::subset(
+        graph.schema(),
+        &[NodeAttrId(1), NodeAttrId(2), NodeAttrId(3), NodeAttrId(4)],
+        &[],
+    );
+    let mut group = c.benchmark_group("fig4c_topk");
+    group.sample_size(10);
+
+    for k in [1usize, 100, 10_000] {
+        for pct in [0u32, 50, 100] {
+            let cfg = MinerConfig::nhp(30, pct as f64 / 100.0, k);
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), pct),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for **Fig. 4d**: runtime vs dimensionality (2·l for the
+//! first l node attributes, l = 2..6).
+//!
+//! Expected shape: all algorithms grow with dimensionality, the baselines
+//! much faster — "as more attributes can occur on RHS, there is more room
+//! for minNhp pruning" (Theorem 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grm_bench::{fixture, Dataset};
+use grm_core::baseline::{mine_baseline_with_dims, BaselineKind};
+use grm_core::{Dims, GrMiner, MinerConfig};
+use grm_graph::NodeAttrId;
+
+fn bench(c: &mut Criterion) {
+    let graph = fixture(Dataset::Pokec, 0.05);
+    let all: Vec<NodeAttrId> = graph.schema().node_attr_ids().collect();
+    let cfg = MinerConfig::nhp(30, 0.5, 100);
+    let mut group = c.benchmark_group("fig4d_dims");
+    group.sample_size(10);
+
+    for l in 2..=6usize {
+        let dims = Dims::subset(graph.schema(), &all[..l], &[]);
+        group.bench_with_input(
+            BenchmarkId::new("grminer_k", 2 * l),
+            &dims,
+            |b, dims| b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine()),
+        );
+        let static_cfg = cfg.clone().without_dynamic_topk();
+        group.bench_with_input(
+            BenchmarkId::new("grminer", 2 * l),
+            &dims,
+            |b, dims| {
+                b.iter(|| GrMiner::with_dims(&graph, static_cfg.clone(), dims.clone()).mine())
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("bl2", 2 * l), &dims, |b, dims| {
+            b.iter(|| mine_baseline_with_dims(&graph, &cfg, dims, BaselineKind::Bl2))
+        });
+        group.bench_with_input(BenchmarkId::new("bl1", 2 * l), &dims, |b, dims| {
+            b.iter(|| mine_baseline_with_dims(&graph, &cfg, dims, BaselineKind::Bl1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

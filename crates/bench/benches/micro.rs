@@ -1,0 +1,102 @@
+//! Micro-benchmarks for the substrate primitives: counting-sort
+//! partitioning (§V), compact-model and single-table construction (§IV-A),
+//! single-GR query evaluation (Remark 3) and dataset generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grm_bench::{fixture, Dataset};
+use grm_core::{query, GrBuilder};
+use grm_datagen::{generate, pokec_config_scaled};
+use grm_graph::sort::{partition_in_place, SortScratch};
+use grm_graph::{CompactModel, NodeAttrId, SingleTable};
+
+fn bench_counting_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting_sort");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        // Partition by a 188-value key (the Pokec Region domain).
+        group.bench_with_input(BenchmarkId::new("region_domain", n), &n, |b, &n| {
+            let base: Vec<u32> = (0..n as u32).collect();
+            let mut scratch = SortScratch::new();
+            b.iter(|| {
+                let mut data = base.clone();
+                partition_in_place(&mut data, 189, &mut scratch, |i| (i % 188 + 1) as u16)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_builds(c: &mut Criterion) {
+    let graph = fixture(Dataset::Pokec, 0.05);
+    let mut group = c.benchmark_group("model_build");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(graph.edge_count() as u64));
+    group.bench_function("compact_model", |b| {
+        b.iter(|| CompactModel::build(&graph))
+    });
+    group.bench_function("single_table", |b| b.iter(|| SingleTable::build(&graph)));
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let graph = fixture(Dataset::Pokec, 0.05);
+    let gr = GrBuilder::new(graph.schema())
+        .l("Education", "Basic")
+        .r("Education", "Secondary")
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("query");
+    group.throughput(Throughput::Elements(graph.edge_count() as u64));
+    group.bench_function("evaluate_single_gr", |b| {
+        b.iter(|| query::evaluate(&graph, &gr))
+    });
+    group.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    let cfg = pokec_config_scaled(0.02);
+    group.throughput(Throughput::Elements(cfg.edges as u64));
+    group.bench_function("pokec_scale_0_02", |b| {
+        b.iter(|| generate(&cfg).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_heff_keys(c: &mut Criterion) {
+    // The r_key indirection (EArray Ptr -> RArray row -> attribute cell)
+    // is the hottest lookup of the RIGHT recursion.
+    let graph = fixture(Dataset::Pokec, 0.05);
+    let model = CompactModel::build(&graph);
+    let positions = model.all_positions();
+    let mut group = c.benchmark_group("key_lookup");
+    group.throughput(Throughput::Elements(positions.len() as u64));
+    group.bench_function("r_key_scan", |b| {
+        b.iter(|| {
+            positions
+                .iter()
+                .map(|&p| model.r_key(p, NodeAttrId(2)) as u64)
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("l_key_scan", |b| {
+        b.iter(|| {
+            positions
+                .iter()
+                .map(|&p| model.l_key(p, NodeAttrId(2)) as u64)
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_counting_sort,
+    bench_model_builds,
+    bench_query,
+    bench_generator,
+    bench_heff_keys
+);
+criterion_main!(benches);

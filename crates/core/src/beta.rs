@@ -1,0 +1,173 @@
+//! The β set and the homophily effect (Eqns. 4–5).
+//!
+//! For a GR `l -w-> r`, β is the set of **homophily attributes** that occur
+//! in both sides *with different values*:
+//!
+//! ```text
+//! β = { Aʳ ∈ R  |  Aˡ ∈ L,  r[Aʳ] ≠ l[Aˡ] }          (Eqn. 4)
+//! ```
+//!
+//! The *homophily effect* is the trivial GR `l -w-> l[β]` (Eqn. 5): the
+//! portion of `l ∧ w`'s edges that merely follow homophily on β. Its support
+//! is subtracted from the confidence denominator to obtain the
+//! non-homophily preference (Def. 4).
+//!
+//! β sets are represented as bitmasks over node-attribute ids, which keeps
+//! the per-`l∧w` memoization of homophily-effect supports allocation-free.
+
+use crate::descriptor::NodeDescriptor;
+use grm_graph::{AttrValue, NodeAttrId, Schema};
+
+/// Maximum number of node attributes supported by the bitmask
+/// representation. Far above any realistic schema (the paper's widest has
+/// 6); enforced at miner construction.
+pub const MAX_NODE_ATTRS: usize = 64;
+
+/// A set of node attributes encoded as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BetaSet(pub u64);
+
+impl BetaSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        BetaSet(0)
+    }
+
+    /// Whether β = ∅ (the homophily effect is empty and nhp degenerates to
+    /// confidence — Remark 1).
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Insert an attribute.
+    pub fn insert(&mut self, a: NodeAttrId) {
+        self.0 |= 1u64 << a.0;
+    }
+
+    /// Membership test.
+    pub fn contains(self, a: NodeAttrId) -> bool {
+        self.0 & (1u64 << a.0) != 0
+    }
+
+    /// Iterate members in increasing attribute order.
+    pub fn iter(self) -> impl Iterator<Item = NodeAttrId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as u8;
+                bits &= bits - 1;
+                Some(NodeAttrId(i))
+            }
+        })
+    }
+}
+
+/// Compute β for the GR `l -w-> r` (Eqn. 4): homophily attributes
+/// constrained on both sides with differing values.
+pub fn beta(schema: &Schema, l: &NodeDescriptor, r: &NodeDescriptor) -> BetaSet {
+    let mut set = BetaSet::empty();
+    for &(a, rv) in r.pairs() {
+        if !schema.node_attr(a).is_homophily() {
+            continue;
+        }
+        if let Some(lv) = l.get(a) {
+            if lv != rv {
+                set.insert(a);
+            }
+        }
+    }
+    set
+}
+
+/// The RHS condition `l[β]` of the homophily effect (Eqn. 5): `l`'s values
+/// restricted to the attributes of β. Returns `(attr, value)` pairs in
+/// attribute order.
+pub fn l_beta(l: &NodeDescriptor, beta: BetaSet) -> Vec<(NodeAttrId, AttrValue)> {
+    beta.iter()
+        .map(|a| (a, l.get(a).expect("β attrs occur in l by construction")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_graph::SchemaBuilder;
+
+    fn schema() -> Schema {
+        // SEX non-homophily; RACE, EDU homophily.
+        SchemaBuilder::new()
+            .node_attr("SEX", 2, false)
+            .node_attr("RACE", 3, true)
+            .node_attr("EDU", 3, true)
+            .build()
+            .unwrap()
+    }
+
+    fn nd(pairs: &[(u8, u16)]) -> NodeDescriptor {
+        NodeDescriptor::from_pairs(pairs.iter().map(|&(a, v)| (NodeAttrId(a), v)))
+    }
+
+    #[test]
+    fn beta_of_example_gr4() {
+        // GR4: (SEX:F, EDU:Grad) -> (SEX:M, EDU:College); EDU homophily.
+        // β = {EDU} because EDU occurs on both sides with different values;
+        // SEX is non-homophily so it never enters β.
+        let s = schema();
+        let l = nd(&[(0, 1), (2, 3)]);
+        let r = nd(&[(0, 2), (2, 2)]);
+        let b = beta(&s, &l, &r);
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(NodeAttrId(2)));
+        assert_eq!(l_beta(&l, b), vec![(NodeAttrId(2), 3)]);
+    }
+
+    #[test]
+    fn beta_empty_when_values_agree() {
+        // Same EDU value on both sides: not in β (that is the trivial case).
+        let s = schema();
+        let l = nd(&[(2, 3)]);
+        let r = nd(&[(2, 3)]);
+        assert!(beta(&s, &l, &r).is_empty());
+    }
+
+    #[test]
+    fn beta_empty_when_attr_missing_from_lhs() {
+        // EDU on RHS only: Aˡ ∉ L, so not in β.
+        let s = schema();
+        let l = nd(&[(0, 1)]);
+        let r = nd(&[(2, 2)]);
+        assert!(beta(&s, &l, &r).is_empty());
+    }
+
+    #[test]
+    fn beta_multiple_attrs() {
+        let s = schema();
+        let l = nd(&[(1, 1), (2, 1)]);
+        let r = nd(&[(1, 2), (2, 3)]);
+        let b = beta(&s, &l, &r);
+        assert_eq!(b.len(), 2);
+        assert_eq!(
+            l_beta(&l, b),
+            vec![(NodeAttrId(1), 1), (NodeAttrId(2), 1)]
+        );
+    }
+
+    #[test]
+    fn bitset_iteration_order() {
+        let mut b = BetaSet::empty();
+        b.insert(NodeAttrId(5));
+        b.insert(NodeAttrId(1));
+        let v: Vec<_> = b.iter().collect();
+        assert_eq!(v, vec![NodeAttrId(1), NodeAttrId(5)]);
+        assert!(b.contains(NodeAttrId(5)));
+        assert!(!b.contains(NodeAttrId(0)));
+        assert_eq!(b.len(), 2);
+    }
+}

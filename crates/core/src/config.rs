@@ -1,0 +1,168 @@
+//! Mining configuration (the problem parameters of Def. 5).
+
+use crate::metrics::RankMetric;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a top-k GR mining run.
+///
+/// Defaults mirror the paper's Pokec experiments: `minSupp` relative 0.1%,
+/// `minNhp` 50%, `k = 100`, nhp metric, dynamic top-k threshold (the
+/// GRMiner(k) variant).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinerConfig {
+    /// Absolute minimum support (`minSupp · |E|` if you start from the
+    /// paper's relative thresholds — see [`MinerConfig::with_relative_supp`]).
+    pub min_supp: u64,
+    /// Minimum value of the ranking metric (`minNhp` for the nhp metric,
+    /// `minConf` for confidence, …).
+    pub min_score: f64,
+    /// Number of GRs to return.
+    pub k: usize,
+    /// The ranking metric.
+    pub metric: RankMetric,
+    /// GRMiner(k) vs GRMiner (§VI-D): when `true`, `min_score` is
+    /// dynamically upgraded to the k-th best score found so far, greatly
+    /// tightening pruning; when `false` only the user threshold prunes.
+    /// See DESIGN.md for the Definition-5 nuance of the dynamic variant.
+    pub dynamic_topk: bool,
+    /// Suppress trivial GRs from results. Defaults to `true`; Table II's
+    /// confidence column is produced with `false` (the paper reports the
+    /// trivial GRs that dominate the conf ranking).
+    pub suppress_trivial: bool,
+    /// Apply the generality constraint of Def. 5(2): drop a GR when a more
+    /// general GR satisfying the thresholds exists.
+    pub generality_filter: bool,
+    /// Maximum number of LHS conditions (`None` = unbounded). A practical
+    /// complexity knob: wide LHS patterns are hard to act on, and capping
+    /// them bounds the LEFT recursion depth.
+    pub max_lhs: Option<usize>,
+    /// Maximum number of RHS conditions (`None` = unbounded).
+    pub max_rhs: Option<usize>,
+    /// Report GRs whose LHS is empty (`() -> r`). Defaults to `false`: a
+    /// group relationship relates two *described* groups, and every GR in
+    /// the paper's tables has a non-empty LHS — with empty LHS allowed,
+    /// `() -> (Productivity:Poor)` (conf ≈ dst marginal) would suppress
+    /// most of Table IIb under Def. 5(2). Enumeration still visits
+    /// empty-LHS subsets (Algorithm 1 line 3); only reporting is gated.
+    pub allow_empty_lhs: bool,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig {
+            min_supp: 1,
+            min_score: 0.5,
+            k: 100,
+            metric: RankMetric::Nhp,
+            dynamic_topk: true,
+            suppress_trivial: true,
+            generality_filter: true,
+            max_lhs: None,
+            max_rhs: None,
+            allow_empty_lhs: false,
+        }
+    }
+}
+
+impl MinerConfig {
+    /// Config ranked by nhp with the given thresholds and k (GRMiner(k)).
+    pub fn nhp(min_supp: u64, min_nhp: f64, k: usize) -> Self {
+        MinerConfig {
+            min_supp,
+            min_score: min_nhp,
+            k,
+            ..Self::default()
+        }
+    }
+
+    /// Config ranked by plain confidence — the comparison column of
+    /// Table II. Trivial GRs are *not* suppressed (the paper's point is
+    /// that conf ranks them on top).
+    pub fn conf(min_supp: u64, min_conf: f64, k: usize) -> Self {
+        MinerConfig {
+            min_supp,
+            min_score: min_conf,
+            k,
+            metric: RankMetric::Conf,
+            suppress_trivial: false,
+            ..Self::default()
+        }
+    }
+
+    /// Replace the absolute `min_supp` with `rel · |E|` (the paper quotes
+    /// relative supports: 0.1% of 21,078,140 edges = 21,078 absolute).
+    pub fn with_relative_supp(mut self, rel: f64, edge_count: u64) -> Self {
+        self.min_supp = ((rel * edge_count as f64).floor() as u64).max(1);
+        self
+    }
+
+    /// Disable the dynamic top-k threshold upgrade (the plain GRMiner of
+    /// §VI-D, exact w.r.t. Definition 5).
+    pub fn without_dynamic_topk(mut self) -> Self {
+        self.dynamic_topk = false;
+        self
+    }
+
+    /// Cap the number of LHS / RHS conditions of mined GRs.
+    pub fn with_max_widths(mut self, max_lhs: usize, max_rhs: usize) -> Self {
+        self.max_lhs = Some(max_lhs);
+        self.max_rhs = Some(max_rhs);
+        self
+    }
+
+    /// Permit empty-LHS GRs in results (see [`MinerConfig::allow_empty_lhs`]).
+    pub fn with_empty_lhs(mut self) -> Self {
+        self.allow_empty_lhs = true;
+        self
+    }
+
+    /// Switch the ranking metric, adjusting the trivial-GR policy to the
+    /// metric's convention (suppressed only under nhp).
+    pub fn with_metric(mut self, metric: RankMetric) -> Self {
+        self.metric = metric;
+        self.suppress_trivial = metric.excludes_homophily();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let c = MinerConfig::default();
+        assert_eq!(c.metric, RankMetric::Nhp);
+        assert!(c.dynamic_topk);
+        assert!(c.suppress_trivial);
+        assert!(c.generality_filter);
+    }
+
+    #[test]
+    fn relative_supp_matches_paper_pokec() {
+        // 0.1% of 21,078,140 = 21,078 (paper §VI-B).
+        let c = MinerConfig::nhp(1, 0.5, 300).with_relative_supp(0.001, 21_078_140);
+        assert_eq!(c.min_supp, 21_078);
+    }
+
+    #[test]
+    fn relative_supp_floors_at_one() {
+        let c = MinerConfig::nhp(1, 0.5, 10).with_relative_supp(0.001, 10);
+        assert_eq!(c.min_supp, 1);
+    }
+
+    #[test]
+    fn conf_config_keeps_trivial() {
+        let c = MinerConfig::conf(10, 0.5, 5);
+        assert!(!c.suppress_trivial);
+        assert_eq!(c.metric, RankMetric::Conf);
+    }
+
+    #[test]
+    fn metric_switch_adjusts_trivial_policy() {
+        let c = MinerConfig::default().with_metric(RankMetric::Lift);
+        assert!(!c.suppress_trivial);
+        let c = c.with_metric(RankMetric::Nhp);
+        assert!(c.suppress_trivial);
+    }
+}

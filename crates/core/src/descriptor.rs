@@ -1,0 +1,241 @@
+//! Node and edge descriptors (§III).
+//!
+//! A *node descriptor* is a set of `(attribute, value)` pairs describing the
+//! subset of nodes sharing those values, e.g. `(SEX:F, JOB:IT)`; an *edge
+//! descriptor* does the same for edges. Descriptors are the `l`, `w`, `r`
+//! parts of a group relationship `l -w-> r`.
+//!
+//! Internally a descriptor is a vector of pairs kept **sorted by attribute
+//! id**, which gives: O(log n) lookup, cheap subset tests, a canonical form
+//! (two descriptors are equal iff they describe the same condition), and a
+//! deterministic total order used for the rank's final tie-break
+//! (Def. 5(3)).
+
+use grm_graph::{AttrValue, NodeAttrId, Schema, NULL};
+use serde::{Deserialize, Serialize};
+
+/// A conjunctive condition over node attributes: `(A1:v1, A2:v2, …)`.
+///
+/// Values are always non-null; "no condition on A" is expressed by A's
+/// absence, never by `A:0`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct NodeDescriptor {
+    pairs: Vec<(NodeAttrId, AttrValue)>,
+}
+
+/// A conjunctive condition over edge attributes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct EdgeDescriptor {
+    pairs: Vec<(grm_graph::EdgeAttrId, AttrValue)>,
+}
+
+macro_rules! descriptor_impl {
+    ($ty:ident, $attr:ty) => {
+        impl $ty {
+            /// The empty descriptor (matches everything).
+            pub fn empty() -> Self {
+                Self::default()
+            }
+
+            /// Build from pairs; sorts by attribute id. Panics in debug
+            /// builds on duplicate attributes or null values.
+            pub fn from_pairs(pairs: impl IntoIterator<Item = ($attr, AttrValue)>) -> Self {
+                let mut pairs: Vec<_> = pairs.into_iter().collect();
+                pairs.sort_unstable_by_key(|&(a, _)| a);
+                debug_assert!(
+                    pairs.windows(2).all(|w| w[0].0 != w[1].0),
+                    "duplicate attribute in descriptor"
+                );
+                debug_assert!(
+                    pairs.iter().all(|&(_, v)| v != NULL),
+                    "null value in descriptor"
+                );
+                Self { pairs }
+            }
+
+            /// Number of conditions.
+            pub fn len(&self) -> usize {
+                self.pairs.len()
+            }
+
+            /// Whether the descriptor matches everything.
+            pub fn is_empty(&self) -> bool {
+                self.pairs.is_empty()
+            }
+
+            /// The `(attribute, value)` pairs, sorted by attribute id.
+            pub fn pairs(&self) -> &[($attr, AttrValue)] {
+                &self.pairs
+            }
+
+            /// The value required on `attr`, if constrained.
+            pub fn get(&self, attr: $attr) -> Option<AttrValue> {
+                self.pairs
+                    .binary_search_by_key(&attr, |&(a, _)| a)
+                    .ok()
+                    .map(|i| self.pairs[i].1)
+            }
+
+            /// Whether `attr` is constrained.
+            pub fn constrains(&self, attr: $attr) -> bool {
+                self.get(attr).is_some()
+            }
+
+            /// A copy with one more condition appended. Panics in debug
+            /// builds if `attr` is already constrained or `value` is null.
+            pub fn with(&self, attr: $attr, value: AttrValue) -> Self {
+                debug_assert!(!self.constrains(attr), "attribute already constrained");
+                debug_assert_ne!(value, NULL, "null value in descriptor");
+                let mut pairs = self.pairs.clone();
+                let pos = pairs.partition_point(|&(a, _)| a < attr);
+                pairs.insert(pos, (attr, value));
+                Self { pairs }
+            }
+
+            /// Subset test: every condition of `self` appears in `other`
+            /// (same attribute *and* same value). This is the `⊆` of the
+            /// generality relation in Def. 5.
+            pub fn is_subset_of(&self, other: &Self) -> bool {
+                // Both sorted: linear merge scan.
+                let mut it = other.pairs.iter();
+                'outer: for need in &self.pairs {
+                    for have in it.by_ref() {
+                        if have.0 == need.0 {
+                            if have.1 == need.1 {
+                                continue 'outer;
+                            }
+                            return false;
+                        }
+                        if have.0 > need.0 {
+                            return false;
+                        }
+                    }
+                    return false;
+                }
+                true
+            }
+
+            /// Attribute ids constrained by this descriptor.
+            pub fn attrs(&self) -> impl Iterator<Item = $attr> + '_ {
+                self.pairs.iter().map(|&(a, _)| a)
+            }
+        }
+
+        impl FromIterator<($attr, AttrValue)> for $ty {
+            fn from_iter<I: IntoIterator<Item = ($attr, AttrValue)>>(iter: I) -> Self {
+                Self::from_pairs(iter)
+            }
+        }
+    };
+}
+
+descriptor_impl!(NodeDescriptor, NodeAttrId);
+descriptor_impl!(EdgeDescriptor, grm_graph::EdgeAttrId);
+
+impl NodeDescriptor {
+    /// Render with attribute/value names from `schema`, e.g.
+    /// `(SEX:F, EDU:Grad)`.
+    pub fn display(&self, schema: &Schema) -> String {
+        let inner: Vec<String> = self
+            .pairs
+            .iter()
+            .map(|&(a, v)| {
+                let def = schema.node_attr(a);
+                format!("{}:{}", def.name(), def.value_name(v))
+            })
+            .collect();
+        format!("({})", inner.join(", "))
+    }
+}
+
+impl EdgeDescriptor {
+    /// Render with attribute/value names from `schema`, e.g.
+    /// `[TYPE:dates, STRENGTH:often]`.
+    pub fn display(&self, schema: &Schema) -> String {
+        let inner: Vec<String> = self
+            .pairs
+            .iter()
+            .map(|&(a, v)| {
+                let def = schema.edge_attr(a);
+                format!("{}:{}", def.name(), def.value_name(v))
+            })
+            .collect();
+        format!("[{}]", inner.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_graph::SchemaBuilder;
+
+    fn nd(pairs: &[(u8, u16)]) -> NodeDescriptor {
+        NodeDescriptor::from_pairs(pairs.iter().map(|&(a, v)| (NodeAttrId(a), v)))
+    }
+
+    #[test]
+    fn sorted_canonical_form() {
+        let d1 = nd(&[(2, 5), (0, 1)]);
+        let d2 = nd(&[(0, 1), (2, 5)]);
+        assert_eq!(d1, d2);
+        assert_eq!(d1.pairs()[0].0, NodeAttrId(0));
+    }
+
+    #[test]
+    fn get_and_constrains() {
+        let d = nd(&[(1, 3), (4, 2)]);
+        assert_eq!(d.get(NodeAttrId(1)), Some(3));
+        assert_eq!(d.get(NodeAttrId(2)), None);
+        assert!(d.constrains(NodeAttrId(4)));
+        assert!(!d.constrains(NodeAttrId(0)));
+    }
+
+    #[test]
+    fn with_inserts_in_order() {
+        let d = nd(&[(3, 1)]).with(NodeAttrId(1), 9);
+        assert_eq!(
+            d.pairs(),
+            &[(NodeAttrId(1), 9), (NodeAttrId(3), 1)]
+        );
+    }
+
+    #[test]
+    fn subset_semantics() {
+        let small = nd(&[(1, 3)]);
+        let big = nd(&[(0, 2), (1, 3), (2, 1)]);
+        let other_value = nd(&[(1, 4)]);
+        assert!(small.is_subset_of(&big));
+        assert!(small.is_subset_of(&small));
+        assert!(NodeDescriptor::empty().is_subset_of(&small));
+        assert!(!big.is_subset_of(&small));
+        assert!(!other_value.is_subset_of(&big), "same attr, different value");
+        assert!(!small.is_subset_of(&NodeDescriptor::empty()));
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let a = nd(&[(0, 1)]);
+        let b = nd(&[(0, 2)]);
+        let c = nd(&[(0, 1), (1, 1)]);
+        assert!(a < b);
+        assert!(a < c, "prefix compares less");
+        let mut v = vec![c.clone(), b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, c, b]);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let schema = SchemaBuilder::new()
+            .node_attr_named("SEX", false, ["F", "M"])
+            .node_attr_named("EDU", true, ["HS", "College", "Grad"])
+            .edge_attr_named("TYPE", ["dates"])
+            .build()
+            .unwrap();
+        let d = nd(&[(0, 2), (1, 3)]);
+        assert_eq!(d.display(&schema), "(SEX:M, EDU:Grad)");
+        let w = EdgeDescriptor::from_pairs([(grm_graph::EdgeAttrId(0), 1)]);
+        assert_eq!(w.display(&schema), "[TYPE:dates]");
+        assert_eq!(NodeDescriptor::empty().display(&schema), "()");
+    }
+}

@@ -1,0 +1,367 @@
+//! Group relationships `l -w-> r` (Def. 1) and their scored form.
+
+use crate::descriptor::{EdgeDescriptor, NodeDescriptor};
+use grm_graph::Schema;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// A group relationship `l -w-> r`: the social tie from the group of nodes
+/// matching `l` to the group matching `r`, over edges matching `w` (Def. 1).
+///
+/// The derived `Ord` is the canonical deterministic order used as the final
+/// tie-break of the rank (Def. 5(3) breaks ties "by the alphabetical order
+/// of GRs"; we use the equivalent lexicographic order on the numeric
+/// `(attribute, value)` encoding, which is stable across runs and
+/// independent of display names).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Gr {
+    /// LHS node descriptor.
+    pub l: NodeDescriptor,
+    /// Edge descriptor.
+    pub w: EdgeDescriptor,
+    /// RHS node descriptor.
+    pub r: NodeDescriptor,
+}
+
+impl Gr {
+    /// Construct from parts.
+    pub fn new(l: NodeDescriptor, w: EdgeDescriptor, r: NodeDescriptor) -> Self {
+        Gr { l, w, r }
+    }
+
+    /// Whether this GR is *trivial* (§III-B): every value in `r` is on a
+    /// homophily attribute and `r ⊆ l`. A trivial GR merely restates the
+    /// homophily principle and is never reported (under the nhp metric).
+    pub fn is_trivial(&self, schema: &Schema) -> bool {
+        !self.r.is_empty()
+            && self
+                .r
+                .pairs()
+                .iter()
+                .all(|&(a, _)| schema.node_attr(a).is_homophily())
+            && self.r.is_subset_of(&self.l)
+    }
+
+    /// Generality test (Def. 5): `self` is more general than `other` when
+    /// `self.l ⊆ other.l`, `self.w ⊆ other.w` and `self.r == other.r`.
+    /// Intuitively the more general GR states the same tendency while
+    /// covering at least as many nodes on the LHS.
+    pub fn is_more_general_than(&self, other: &Gr) -> bool {
+        self.r == other.r && self.l.is_subset_of(&other.l) && self.w.is_subset_of(&other.w)
+    }
+
+    /// Render with schema names: `(SEX:F, EDU:Grad) -> (EDU:College)` or,
+    /// with edge conditions, `(A:DB) -[S:often]-> (A:DM)`.
+    pub fn display(&self, schema: &Schema) -> String {
+        if self.w.is_empty() {
+            format!("{} -> {}", self.l.display(schema), self.r.display(schema))
+        } else {
+            format!(
+                "{} -{}-> {}",
+                self.l.display(schema),
+                self.w.display(schema),
+                self.r.display(schema)
+            )
+        }
+    }
+}
+
+/// A GR with its measured statistics, as returned by miners and queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredGr {
+    /// The relationship.
+    pub gr: Gr,
+    /// Absolute support `|E(l ∧ w ∧ r)|` (Def. 2, numerator).
+    pub supp: u64,
+    /// Absolute support of the antecedent, `|E(l ∧ w)|`.
+    pub supp_lw: u64,
+    /// Absolute support of the homophily effect `|E(l -w-> l[β])|`
+    /// (Eqn. 5); zero when `β = ∅`.
+    pub heff: u64,
+    /// The ranking-metric value this GR was scored with (nhp under the
+    /// default configuration — see [`crate::RankMetric`]).
+    pub score: f64,
+}
+
+impl ScoredGr {
+    /// Relative support `supp / |E|` (Def. 2).
+    pub fn relative_supp(&self, edge_count: u64) -> f64 {
+        self.supp as f64 / edge_count as f64
+    }
+
+    /// Confidence `P(r | l ∧ w)` (Def. 3).
+    pub fn conf(&self) -> f64 {
+        self.supp as f64 / self.supp_lw as f64
+    }
+
+    /// Non-homophily preference `P(r | l ∧ w ∧ ¬l[β])` (Def. 4, Eqn. 6).
+    /// Equals [`ScoredGr::conf`] when the homophily effect is empty.
+    pub fn nhp(&self) -> f64 {
+        self.supp as f64 / (self.supp_lw - self.heff) as f64
+    }
+
+    /// Rank comparison per Def. 5(3): higher score first, then higher
+    /// support, then the canonical GR order. Returns `Ordering::Less` when
+    /// `self` ranks *better* (earlier) than `other`, so sorting ascending
+    /// by this comparator lists the best GR first.
+    pub fn rank_cmp(&self, other: &ScoredGr) -> Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| other.supp.cmp(&self.supp))
+            .then_with(|| self.gr.cmp(&other.gr))
+    }
+
+    /// One-line report: `GR  [score=…, supp=…, conf=…]`.
+    pub fn display(&self, schema: &Schema) -> String {
+        format!(
+            "{}  [score={:.4}, supp={}, conf={:.4}]",
+            self.gr.display(schema),
+            self.score,
+            self.supp,
+            self.conf()
+        )
+    }
+}
+
+/// Builder for assembling a [`Gr`] by attribute/value *names*, resolving
+/// them against a schema — the ergonomic entry point for the hypothesis
+/// cycle of Remark 3 (start from a mined GR, vary it, re-query).
+///
+/// ```
+/// # use grm_graph::SchemaBuilder;
+/// # use grm_core::GrBuilder;
+/// let schema = SchemaBuilder::new()
+///     .node_attr_named("SEX", false, ["F", "M"])
+///     .node_attr_named("EDU", true, ["HS", "College", "Grad"])
+///     .edge_attr_named("TYPE", ["dates"])
+///     .build().unwrap();
+/// let gr = GrBuilder::new(&schema)
+///     .l("SEX", "F").l("EDU", "Grad")
+///     .w("TYPE", "dates")
+///     .r("EDU", "College")
+///     .build().unwrap();
+/// assert_eq!(gr.display(&schema), "(SEX:F, EDU:Grad) -[TYPE:dates]-> (EDU:College)");
+/// ```
+#[derive(Debug)]
+pub struct GrBuilder<'s> {
+    schema: &'s Schema,
+    l: Vec<(grm_graph::NodeAttrId, grm_graph::AttrValue)>,
+    w: Vec<(grm_graph::EdgeAttrId, grm_graph::AttrValue)>,
+    r: Vec<(grm_graph::NodeAttrId, grm_graph::AttrValue)>,
+    error: Option<grm_graph::GraphError>,
+}
+
+impl<'s> GrBuilder<'s> {
+    /// Start building against `schema`.
+    pub fn new(schema: &'s Schema) -> Self {
+        GrBuilder {
+            schema,
+            l: Vec::new(),
+            w: Vec::new(),
+            r: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn resolve_node(
+        &mut self,
+        attr: &str,
+        value: &str,
+    ) -> Option<(grm_graph::NodeAttrId, grm_graph::AttrValue)> {
+        match self.schema.node_attr_by_name(attr) {
+            Ok(a) => {
+                let def = self.schema.node_attr(a);
+                match def.value_by_name(value).or_else(|| value.parse().ok()) {
+                    Some(v) if v != grm_graph::NULL && v <= def.domain_size() => Some((a, v)),
+                    _ => {
+                        self.error = Some(grm_graph::GraphError::UnknownName {
+                            name: format!("{attr}:{value}"),
+                        });
+                        None
+                    }
+                }
+            }
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+
+    /// Add an LHS condition by names (numeric values accepted for
+    /// dictionary-less attributes).
+    pub fn l(mut self, attr: &str, value: &str) -> Self {
+        if let Some(p) = self.resolve_node(attr, value) {
+            self.l.push(p);
+        }
+        self
+    }
+
+    /// Add an RHS condition by names.
+    pub fn r(mut self, attr: &str, value: &str) -> Self {
+        if let Some(p) = self.resolve_node(attr, value) {
+            self.r.push(p);
+        }
+        self
+    }
+
+    /// Add an edge condition by names.
+    pub fn w(mut self, attr: &str, value: &str) -> Self {
+        match self.schema.edge_attr_by_name(attr) {
+            Ok(a) => {
+                let def = self.schema.edge_attr(a);
+                match def.value_by_name(value).or_else(|| value.parse().ok()) {
+                    Some(v) if v != grm_graph::NULL && v <= def.domain_size() => {
+                        self.w.push((a, v));
+                    }
+                    _ => {
+                        self.error = Some(grm_graph::GraphError::UnknownName {
+                            name: format!("{attr}:{value}"),
+                        });
+                    }
+                }
+            }
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Finish; errors if any name failed to resolve.
+    pub fn build(self) -> grm_graph::Result<Gr> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(Gr::new(
+            NodeDescriptor::from_pairs(self.l),
+            EdgeDescriptor::from_pairs(self.w),
+            NodeDescriptor::from_pairs(self.r),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_graph::{NodeAttrId, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .node_attr_named("SEX", false, ["F", "M"])
+            .node_attr_named("RACE", true, ["Asian", "Latino", "White"])
+            .node_attr_named("EDU", true, ["HS", "College", "Grad"])
+            .edge_attr_named("TYPE", ["dates"])
+            .build()
+            .unwrap()
+    }
+
+    fn nd(pairs: &[(u8, u16)]) -> NodeDescriptor {
+        NodeDescriptor::from_pairs(pairs.iter().map(|&(a, v)| (NodeAttrId(a), v)))
+    }
+
+    #[test]
+    fn trivial_detection() {
+        let s = schema();
+        // (EDU:Grad) -> (EDU:Grad): homophily attr, r ⊆ l => trivial.
+        let g = Gr::new(nd(&[(2, 3)]), EdgeDescriptor::empty(), nd(&[(2, 3)]));
+        assert!(g.is_trivial(&s));
+        // Different value on RHS: not trivial.
+        let g = Gr::new(nd(&[(2, 3)]), EdgeDescriptor::empty(), nd(&[(2, 2)]));
+        assert!(!g.is_trivial(&s));
+        // SEX is non-homophily: (SEX:F) -> (SEX:F) is not trivial.
+        let g = Gr::new(nd(&[(0, 1)]), EdgeDescriptor::empty(), nd(&[(0, 1)]));
+        assert!(!g.is_trivial(&s));
+        // Mixed RHS with one non-homophily attr: not trivial.
+        let g = Gr::new(
+            nd(&[(0, 1), (2, 3)]),
+            EdgeDescriptor::empty(),
+            nd(&[(0, 1), (2, 3)]),
+        );
+        assert!(!g.is_trivial(&s));
+        // RHS homophily value not contained in LHS: not trivial.
+        let g = Gr::new(nd(&[(0, 1)]), EdgeDescriptor::empty(), nd(&[(2, 3)]));
+        assert!(!g.is_trivial(&s));
+    }
+
+    #[test]
+    fn generality() {
+        let g1 = Gr::new(nd(&[(0, 1)]), EdgeDescriptor::empty(), nd(&[(2, 2)]));
+        let g2 = Gr::new(
+            nd(&[(0, 1), (2, 3)]),
+            EdgeDescriptor::empty(),
+            nd(&[(2, 2)]),
+        );
+        assert!(g1.is_more_general_than(&g2));
+        assert!(g1.is_more_general_than(&g1), "reflexive");
+        assert!(!g2.is_more_general_than(&g1));
+        // Different RHS: incomparable.
+        let g3 = Gr::new(nd(&[(0, 1)]), EdgeDescriptor::empty(), nd(&[(2, 3)]));
+        assert!(!g1.is_more_general_than(&g3));
+    }
+
+    #[test]
+    fn scored_math() {
+        let s = ScoredGr {
+            gr: Gr::default(),
+            supp: 2,
+            supp_lw: 6,
+            heff: 4,
+            score: 1.0,
+        };
+        assert!((s.conf() - 2.0 / 6.0).abs() < 1e-12);
+        assert!((s.nhp() - 1.0).abs() < 1e-12, "Example 2: 2/(6-4) = 100%");
+        assert!((s.relative_supp(15) - 2.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_order() {
+        let mk = |supp, score, lval| ScoredGr {
+            gr: Gr::new(nd(&[(0, lval)]), EdgeDescriptor::empty(), nd(&[(1, 1)])),
+            supp,
+            supp_lw: 100,
+            heff: 0,
+            score,
+        };
+        let a = mk(10, 0.9, 1);
+        let b = mk(50, 0.8, 1);
+        let c = mk(50, 0.8, 2);
+        let d = mk(60, 0.8, 1);
+        let mut v = vec![c.clone(), d.clone(), b.clone(), a.clone()];
+        v.sort_by(|x, y| x.rank_cmp(y));
+        // Highest score first; then higher supp; then canonical GR order.
+        assert_eq!(v, vec![a, d, b, c]);
+    }
+
+    #[test]
+    fn builder_resolves_names() {
+        let s = schema();
+        let gr = GrBuilder::new(&s)
+            .l("SEX", "M")
+            .r("SEX", "F")
+            .r("RACE", "Asian")
+            .build()
+            .unwrap();
+        assert_eq!(gr.display(&s), "(SEX:M) -> (SEX:F, RACE:Asian)");
+        assert!(GrBuilder::new(&s).l("NOPE", "x").build().is_err());
+        assert!(GrBuilder::new(&s).l("SEX", "Alien").build().is_err());
+        assert!(GrBuilder::new(&s).w("TYPE", "marries").build().is_err());
+    }
+
+    #[test]
+    fn builder_accepts_numeric_values() {
+        let s = SchemaBuilder::new()
+            .node_attr("Region", 188, true)
+            .build()
+            .unwrap();
+        let gr = GrBuilder::new(&s).l("Region", "27").r("Region", "27").build().unwrap();
+        assert_eq!(gr.display(&s), "(Region:27) -> (Region:27)");
+        assert!(
+            GrBuilder::new(&s).l("Region", "999").build().is_err(),
+            "out of domain"
+        );
+        assert!(
+            GrBuilder::new(&s).l("Region", "0").build().is_err(),
+            "null rejected"
+        );
+    }
+}

@@ -1,0 +1,682 @@
+//! **GRMiner** — Algorithm 1 of the paper.
+//!
+//! The miner enumerates attribute subsets `LWR` in Subset-First Depth-First
+//! order (§IV-C) by three mutually recursive procedures — `LEFT`, `EDGE`,
+//! `RIGHT` — that partition an edge set with counting sort on one dimension
+//! at a time (§V). Four constraints are pushed into the recursion:
+//!
+//! 1. `minSupp` — support is anti-monotone in every direction
+//!    (Theorem 2(1));
+//! 2. `minNhp` (or the configured metric's threshold) — anti-monotone
+//!    under RHS extension thanks to the dynamic tail ordering (Theorem 3);
+//! 3. the **top-k dynamic bound** — GRMiner(k) upgrades the pruning
+//!    threshold to the k-th best score found so far (line 28);
+//! 4. **generality** — subsets are enumerated before supersets, so a GR
+//!    accepted now can never be suppressed later (§V).
+//!
+//! ### A correctness subtlety the pseudo-code glosses over
+//!
+//! Theorem 3 is stated for **non-trivial** GRs: a *trivial* GR `g`
+//! (all-homophily RHS contained in the LHS) has `β = ∅` and
+//! `nhp(g) = conf(g)`, while extending its RHS with a differing homophily
+//! value flips `β ≠ ∅` and may *increase* nhp (Remark 2's problematic
+//! case, reachable because the trivial value equals the LHS value and so
+//! never enters β). The miner therefore never score-prunes the subtree of
+//! a trivial GR under the nhp metric. For plain confidence, laplace and
+//! gain the metric is anti-monotone unconditionally and pruning applies
+//! everywhere.
+
+use crate::beta::{beta, l_beta, BetaSet, MAX_NODE_ATTRS};
+use crate::config::MinerConfig;
+use crate::descriptor::{EdgeDescriptor, NodeDescriptor};
+use crate::generality::GeneralityIndex;
+use crate::gr::{Gr, ScoredGr};
+use crate::metrics::{MetricInputs, RankMetric};
+use crate::stats::MinerStats;
+use crate::tail::Dims;
+use crate::topk::TopK;
+use grm_graph::sort::{partition_in_place, SortScratch};
+use grm_graph::{CompactModel, NodeAttrId, Schema, SocialGraph, NULL};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Outcome of a mining run: the top-k GRs (best first) and instrumentation.
+#[derive(Debug, Clone)]
+pub struct MineResult {
+    /// The top-k GRs in rank order (Def. 5(3)), best first.
+    pub top: Vec<ScoredGr>,
+    /// Counters for the run.
+    pub stats: MinerStats,
+    /// `|E|` of the mined graph, for converting supports to relative form.
+    pub edge_count: u64,
+}
+
+impl MineResult {
+    /// Pretty-print the result as a ranked table.
+    pub fn report(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        for (i, s) in self.top.iter().enumerate() {
+            out.push_str(&format!("{:>3}. {}\n", i + 1, s.display(schema)));
+        }
+        out
+    }
+}
+
+/// The GRMiner algorithm bound to a graph and configuration.
+///
+/// ```
+/// # use grm_graph::{SchemaBuilder, GraphBuilder};
+/// # use grm_core::{GrMiner, MinerConfig};
+/// # let schema = SchemaBuilder::new()
+/// #     .node_attr("A", 2, true).node_attr("B", 2, false).build().unwrap();
+/// # let mut b = GraphBuilder::new(schema);
+/// # let x = b.add_node(&[1, 1]).unwrap();
+/// # let y = b.add_node(&[2, 2]).unwrap();
+/// # b.add_edge(x, y, &[]).unwrap();
+/// # let graph = b.build().unwrap();
+/// let result = GrMiner::new(&graph, MinerConfig::nhp(1, 0.5, 10)).mine();
+/// assert!(result.top.len() <= 10);
+/// ```
+#[derive(Debug)]
+pub struct GrMiner<'g> {
+    graph: &'g SocialGraph,
+    dims: Dims,
+    config: MinerConfig,
+}
+
+impl<'g> GrMiner<'g> {
+    /// Mine over every attribute in the graph's schema.
+    pub fn new(graph: &'g SocialGraph, config: MinerConfig) -> Self {
+        let dims = Dims::all(graph.schema());
+        Self::with_dims(graph, config, dims)
+    }
+
+    /// Mine over a restricted dimension set (Fig. 4d's sweep).
+    pub fn with_dims(graph: &'g SocialGraph, config: MinerConfig, dims: Dims) -> Self {
+        assert!(
+            graph.schema().node_attr_count() <= MAX_NODE_ATTRS,
+            "at most {MAX_NODE_ATTRS} node attributes supported"
+        );
+        GrMiner {
+            graph,
+            dims,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// Run Algorithm 1 and return the top-k GRs.
+    pub fn mine(&self) -> MineResult {
+        let start = Instant::now();
+        let model = CompactModel::build(self.graph);
+        let mut run = Run::new(&model, self.graph.schema(), &self.dims, &self.config, None);
+
+        if run.edges_total > 0 {
+            // Algorithm 1, Main: RIGHT, EDGE, LEFT over the full data with
+            // the full tails.
+            let mut data = model.all_positions();
+            for task in RootTask::all(&self.dims) {
+                run.run_root(&mut data, task);
+            }
+        }
+
+        let mut stats = run.stats;
+        stats.elapsed = start.elapsed();
+        MineResult {
+            top: run.topk.into_sorted(),
+            stats,
+            edge_count: self.graph.edge_count() as u64,
+        }
+    }
+}
+
+/// One top-level unit of enumeration work: the iterations of Algorithm 1's
+/// Main loop (lines 3–5), split so the parallel miner can distribute them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RootTask {
+    /// `RIGHT(RArray, tail(nil))` — all GRs with empty LHS and empty edge
+    /// descriptor.
+    Right,
+    /// One dimension of `EDGE(EArray, tail(nil))`: subsets whose first
+    /// constrained dimension is `dims.w[i]`.
+    Edge(usize),
+    /// One dimension of `LEFT(LArray, tail(nil))`: subsets whose first
+    /// constrained dimension is `dims.l[i]`.
+    Left(usize),
+}
+
+impl RootTask {
+    /// Every root task, in the sequential Main order.
+    pub(crate) fn all(dims: &Dims) -> Vec<RootTask> {
+        let mut v = vec![RootTask::Right];
+        v.extend((0..dims.w.len()).map(RootTask::Edge));
+        v.extend((0..dims.l.len()).map(RootTask::Left));
+        v
+    }
+}
+
+/// Mutable state of one mining run.
+pub(crate) struct Run<'a, 'g> {
+    model: &'a CompactModel<'g>,
+    schema: &'a Schema,
+    dims: &'a Dims,
+    cfg: &'a MinerConfig,
+    scratch: SortScratch,
+    pub(crate) topk: TopK,
+    generality: GeneralityIndex,
+    pub(crate) stats: MinerStats,
+    /// Memoized RHS marginals `supp(r)` for lift / PS / conviction.
+    r_marginals: HashMap<NodeDescriptor, u64>,
+    pub(crate) edges_total: u64,
+    /// When set, threshold-passing candidates are appended here instead of
+    /// going through the generality index and top-k heap, and the dynamic
+    /// top-k bound is disabled. Used by the parallel miner's collect
+    /// phase, whose generality/top-k pass runs after the merge.
+    collector: Option<Vec<ScoredGr>>,
+}
+
+impl<'a, 'g> Run<'a, 'g> {
+    pub(crate) fn new(
+        model: &'a CompactModel<'g>,
+        schema: &'a Schema,
+        dims: &'a Dims,
+        cfg: &'a MinerConfig,
+        collector: Option<Vec<ScoredGr>>,
+    ) -> Self {
+        Run {
+            model,
+            schema,
+            dims,
+            cfg,
+            scratch: SortScratch::new(),
+            topk: TopK::new(cfg.k),
+            generality: GeneralityIndex::new(),
+            stats: MinerStats::default(),
+            r_marginals: HashMap::new(),
+            edges_total: model.edge_count() as u64,
+            collector,
+        }
+    }
+
+    /// Recover the collected candidates (collect-mode runs).
+    pub(crate) fn into_collected(self) -> Vec<ScoredGr> {
+        self.collector.unwrap_or_default()
+    }
+
+    /// Execute one top-level task over `data` (the full position set).
+    pub(crate) fn run_root(&mut self, data: &mut [u32], task: RootTask) {
+        let l0 = NodeDescriptor::empty();
+        let w0 = EdgeDescriptor::empty();
+        match task {
+            RootTask::Right => self.right_root(data, &l0, &w0),
+            RootTask::Edge(i) => self.edge_range(data, i..i + 1, &l0, &w0),
+            RootTask::Left(i) => self.left_range(data, i..i + 1, &l0),
+        }
+    }
+}
+
+/// Snapshot of the `l ∧ w` edge set taken when a RIGHT chain begins, with
+/// the β-keyed memo of homophily-effect supports (§IV-D). The snapshot is
+/// needed because the recursion below keeps reordering and narrowing the
+/// live slice while `supp(l -w-> l[β])` must be counted over the *whole*
+/// `l ∧ w` set. When the LHS constrains no homophily attribute, β is
+/// always empty and no snapshot is taken.
+struct LwContext {
+    edges: Option<Vec<u32>>,
+    supp_lw: u64,
+    memo: HashMap<u64, u64>,
+}
+
+impl LwContext {
+    fn new(data: &[u32], needs_snapshot: bool) -> Self {
+        LwContext {
+            edges: needs_snapshot.then(|| data.to_vec()),
+            supp_lw: data.len() as u64,
+            memo: HashMap::new(),
+        }
+    }
+}
+
+impl<'a, 'g> Run<'a, 'g> {
+    /// `LEFT(data, Tail)`: partition on each LHS dimension in the tail;
+    /// for each surviving partition recurse into RIGHT, EDGE and LEFT with
+    /// the prefix tail (Algorithm 1 lines 7–14).
+    fn left(&mut self, data: &mut [u32], l_tail_len: usize, l: &NodeDescriptor) {
+        self.left_range(data, 0..l_tail_len, l);
+    }
+
+    fn left_range(
+        &mut self,
+        data: &mut [u32],
+        range: std::ops::Range<usize>,
+        l: &NodeDescriptor,
+    ) {
+        if self.cfg.max_lhs.is_some_and(|m| l.len() >= m) {
+            return;
+        }
+        let model = self.model;
+        for i in range {
+            let d = self.dims.l[i];
+            let buckets = self.schema.node_attr(d).bucket_count();
+            let parts = partition_in_place(data, buckets, &mut self.scratch, |p| {
+                model.l_key(p, d)
+            });
+            for part in parts {
+                if part.value == NULL {
+                    continue;
+                }
+                self.stats.partitions_examined += 1;
+                if (part.len() as u64) < self.cfg.min_supp {
+                    self.stats.pruned_by_supp += 1;
+                    continue;
+                }
+                let l2 = l.with(d, part.value);
+                let sub = &mut data[part.range.clone()];
+                self.right_root(sub, &l2, &EdgeDescriptor::empty());
+                self.edge(sub, self.dims.w.len(), &l2, &EdgeDescriptor::empty());
+                self.left(sub, i, &l2);
+            }
+        }
+    }
+
+    /// `EDGE(data, Tail)`: partition on each edge dimension in the tail;
+    /// recurse into RIGHT and EDGE (lines 15–21).
+    fn edge(
+        &mut self,
+        data: &mut [u32],
+        w_tail_len: usize,
+        l: &NodeDescriptor,
+        w: &EdgeDescriptor,
+    ) {
+        self.edge_range(data, 0..w_tail_len, l, w);
+    }
+
+    fn edge_range(
+        &mut self,
+        data: &mut [u32],
+        range: std::ops::Range<usize>,
+        l: &NodeDescriptor,
+        w: &EdgeDescriptor,
+    ) {
+        let model = self.model;
+        for i in range {
+            let d = self.dims.w[i];
+            let buckets = self.schema.edge_attr(d).bucket_count();
+            let parts = partition_in_place(data, buckets, &mut self.scratch, |p| {
+                model.w_key(p, d)
+            });
+            for part in parts {
+                if part.value == NULL {
+                    continue;
+                }
+                self.stats.partitions_examined += 1;
+                if (part.len() as u64) < self.cfg.min_supp {
+                    self.stats.pruned_by_supp += 1;
+                    continue;
+                }
+                let w2 = w.with(d, part.value);
+                let sub = &mut data[part.range.clone()];
+                self.right_root(sub, l, &w2);
+                self.edge(sub, i, l, &w2);
+            }
+        }
+    }
+
+    /// Entry into a RIGHT chain for a fixed `l ∧ w`: snapshot the edge set
+    /// for homophily-effect counting, fix the dynamic RHS order (Eqn. 8)
+    /// for the whole subtree, and recurse.
+    fn right_root(&mut self, data: &mut [u32], l: &NodeDescriptor, w: &EdgeDescriptor) {
+        let l_mask = l
+            .attrs()
+            .fold(0u64, |m, a| m | (1u64 << a.0));
+        let needs_snapshot = l.attrs().any(|a| self.dims.is_homophily(a));
+        let mut ctx = LwContext::new(data, needs_snapshot);
+        let r_order = self.dims.r_order(l_mask);
+        let len = r_order.len();
+        self.right(&mut ctx, data, &r_order, len, l, w, &NodeDescriptor::empty());
+    }
+
+    /// `RIGHT(data, Tail)` (lines 22–29): partition on each RHS dimension,
+    /// score each partition as a GR, apply all four constraints, recurse.
+    #[allow(clippy::too_many_arguments)]
+    fn right(
+        &mut self,
+        ctx: &mut LwContext,
+        data: &mut [u32],
+        r_order: &[NodeAttrId],
+        r_tail_len: usize,
+        l: &NodeDescriptor,
+        w: &EdgeDescriptor,
+        r: &NodeDescriptor,
+    ) {
+        if self.cfg.max_rhs.is_some_and(|m| r.len() >= m) {
+            return;
+        }
+        let model = self.model;
+        for i in 0..r_tail_len {
+            let d = r_order[i];
+            let buckets = self.schema.node_attr(d).bucket_count();
+            let parts = partition_in_place(data, buckets, &mut self.scratch, |p| {
+                model.r_key(p, d)
+            });
+            for part in parts {
+                if part.value == NULL {
+                    continue;
+                }
+                self.stats.partitions_examined += 1;
+                self.stats.grs_examined += 1;
+                let supp = part.len() as u64;
+                if supp < self.cfg.min_supp {
+                    self.stats.pruned_by_supp += 1;
+                    continue;
+                }
+                let r2 = r.with(d, part.value);
+
+                // Score the GR l -w-> r2.
+                let b = beta(self.schema, l, &r2);
+                let heff = if b.is_empty() {
+                    0
+                } else {
+                    self.heff(ctx, b, l)
+                };
+                let supp_r = if self.cfg.metric.needs_r_marginal() {
+                    self.r_marginal(&r2)
+                } else {
+                    0
+                };
+                let score = self.cfg.metric.evaluate(MetricInputs {
+                    supp,
+                    supp_lw: ctx.supp_lw,
+                    heff,
+                    supp_r,
+                    edges: self.edges_total,
+                });
+
+                let gr = Gr::new(l.clone(), w.clone(), r2.clone());
+                let trivial = gr.is_trivial(self.schema);
+
+                // Record if it satisfies Def. 5 conditions (1) and (2)
+                // and describes a real LHS group (see
+                // `MinerConfig::allow_empty_lhs`).
+                if score >= self.cfg.min_score && (self.cfg.allow_empty_lhs || !l.is_empty()) {
+                    if trivial && self.cfg.suppress_trivial {
+                        self.stats.rejected_trivial += 1;
+                    } else if self.collector.is_some() {
+                        // Collect phase: generality and top-k run after
+                        // the cross-task merge.
+                        self.stats.accepted += 1;
+                        self.collector.as_mut().expect("just checked").push(ScoredGr {
+                            gr,
+                            supp,
+                            supp_lw: ctx.supp_lw,
+                            heff,
+                            score,
+                        });
+                    } else if self.cfg.generality_filter && self.generality.has_more_general(&gr)
+                    {
+                        self.stats.rejected_generality += 1;
+                    } else {
+                        if self.cfg.generality_filter {
+                            self.generality.record(&gr);
+                        }
+                        self.stats.accepted += 1;
+                        self.topk.offer(ScoredGr {
+                            gr,
+                            supp,
+                            supp_lw: ctx.supp_lw,
+                            heff,
+                            score,
+                        });
+                    }
+                }
+
+                // Subtree pruning by score. Valid only for anti-monotone
+                // metrics, and — for nhp — only below non-trivial GRs
+                // (Theorem 3's precondition; see module docs).
+                let score_prunable = self.cfg.metric.anti_monotone()
+                    && !(trivial && matches!(self.cfg.metric, RankMetric::Nhp));
+                if score_prunable {
+                    // Both cuts are strict `<`: a candidate equal to the
+                    // user threshold satisfies Def. 5(1), and one equal to
+                    // the k-th best may still win the supp/alphabetical
+                    // tie-break, so neither may be cut at equality.
+                    let mut bound = self.cfg.min_score;
+                    if self.cfg.dynamic_topk && self.collector.is_none() {
+                        if let Some(dyn_bound) = self.topk.dynamic_bound() {
+                            bound = bound.max(dyn_bound);
+                        }
+                    }
+                    if score < bound {
+                        self.stats.pruned_by_score += 1;
+                        continue;
+                    }
+                }
+
+                let sub = &mut data[part.range.clone()];
+                self.right(ctx, sub, r_order, i, l, w, &r2);
+            }
+        }
+    }
+
+    /// `supp(l -w-> l[β])` over the snapshot, memoized per β (§IV-D: the
+    /// needed supports are computable at or before the current node; the
+    /// memo realizes "computed before" without retaining the whole
+    /// enumeration tree).
+    fn heff(&mut self, ctx: &mut LwContext, b: BetaSet, l: &NodeDescriptor) -> u64 {
+        if let Some(&v) = ctx.memo.get(&b.0) {
+            return v;
+        }
+        self.stats.heff_scans += 1;
+        let pairs = l_beta(l, b);
+        let model = self.model;
+        let edges = ctx
+            .edges
+            .as_ref()
+            .expect("snapshot exists whenever the LHS constrains a homophily attribute");
+        let count = edges
+            .iter()
+            .filter(|&&p| pairs.iter().all(|&(a, v)| model.r_key(p, a) == v))
+            .count() as u64;
+        ctx.memo.insert(b.0, count);
+        count
+    }
+
+    /// RHS marginal `supp(r)` over all edges, memoized (lift / PS /
+    /// conviction only — §VII).
+    fn r_marginal(&mut self, r: &NodeDescriptor) -> u64 {
+        if let Some(&v) = self.r_marginals.get(r) {
+            return v;
+        }
+        let model = self.model;
+        let count = (0..self.edges_total as u32)
+            .filter(|&p| r.pairs().iter().all(|&(a, v)| model.r_key(p, a) == v))
+            .count() as u64;
+        self.r_marginals.insert(r.clone(), count);
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_graph::{GraphBuilder, SchemaBuilder};
+
+    /// Small two-attribute graph: A (homophily, 2 values), B (non-homophily,
+    /// 2 values). Edges engineered so that a beyond-homophily preference
+    /// exists from A:1 to A:2 once homophilous A:1->A:1 edges are excluded.
+    fn toy() -> SocialGraph {
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 2, true)
+            .node_attr("B", 2, false)
+            .build()
+            .unwrap();
+        let mut b = GraphBuilder::new(schema);
+        // Nodes: 0..4 with (A,B) rows.
+        let rows = [[1, 1], [1, 2], [2, 1], [2, 2], [1, 1], [2, 1]];
+        let ids: Vec<_> = rows.iter().map(|r| b.add_node(r).unwrap()).collect();
+        // 6 edges from A:1 nodes: 4 homophilous (to A:1), 2 to A:2 nodes
+        // that both have B:1.
+        b.add_edge(ids[0], ids[1], &[]).unwrap();
+        b.add_edge(ids[0], ids[4], &[]).unwrap();
+        b.add_edge(ids[1], ids[0], &[]).unwrap();
+        b.add_edge(ids[1], ids[4], &[]).unwrap();
+        b.add_edge(ids[0], ids[2], &[]).unwrap();
+        b.add_edge(ids[1], ids[5], &[]).unwrap();
+        // 2 edges from A:2 nodes.
+        b.add_edge(ids[2], ids[3], &[]).unwrap();
+        b.add_edge(ids[3], ids[2], &[]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_beyond_homophily_preference() {
+        let g = toy();
+        let result = GrMiner::new(&g, MinerConfig::nhp(1, 0.9, 10)).mine();
+        // (A:1) -> (A:2): supp 2, supp_lw 6, heff 4 => nhp = 2/(6-4) = 1.0.
+        let s = g.schema();
+        let found = result
+            .top
+            .iter()
+            .find(|sgr| sgr.gr.display(s) == "(A:1) -> (A:2)")
+            .expect("the beyond-homophily GR must be found");
+        assert_eq!(found.supp, 2);
+        assert_eq!(found.supp_lw, 6);
+        assert_eq!(found.heff, 4);
+        assert!((found.score - 1.0).abs() < 1e-12);
+        assert!((found.conf() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_grs_suppressed_under_nhp() {
+        let g = toy();
+        let result = GrMiner::new(&g, MinerConfig::nhp(1, 0.0, 100)).mine();
+        let s = g.schema();
+        for sgr in &result.top {
+            assert!(
+                !sgr.gr.is_trivial(s),
+                "trivial GR in nhp results: {}",
+                sgr.gr.display(s)
+            );
+        }
+        assert!(result.stats.rejected_trivial > 0);
+    }
+
+    #[test]
+    fn conf_mode_keeps_trivial_grs() {
+        let g = toy();
+        // minConf 0.6: the general ∅ -> (A:1) (conf 0.5) fails the
+        // threshold and cannot suppress the trivial (A:1) -> (A:1)
+        // (conf 4/6) — the Table II situation where the conf ranking is
+        // dominated by homophily restatements.
+        let result = GrMiner::new(&g, MinerConfig::conf(1, 0.6, 100)).mine();
+        let s = g.schema();
+        assert!(
+            result
+                .top
+                .iter()
+                .any(|sgr| sgr.gr.is_trivial(s)),
+            "conf ranking should surface trivial homophily GRs (Table II)"
+        );
+    }
+
+    #[test]
+    fn respects_min_supp() {
+        let g = toy();
+        let result = GrMiner::new(&g, MinerConfig::nhp(3, 0.0, 100)).mine();
+        for sgr in &result.top {
+            assert!(sgr.supp >= 3);
+        }
+        assert!(result.stats.pruned_by_supp > 0);
+    }
+
+    #[test]
+    fn respects_k() {
+        let g = toy();
+        let result = GrMiner::new(&g, MinerConfig::nhp(1, 0.0, 2)).mine();
+        assert!(result.top.len() <= 2);
+        // Rank order: best first.
+        if result.top.len() == 2 {
+            assert_ne!(
+                result.top[0].rank_cmp(&result.top[1]),
+                std::cmp::Ordering::Greater
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_and_static_topk_agree_here() {
+        let g = toy();
+        let a = GrMiner::new(&g, MinerConfig::nhp(1, 0.2, 5)).mine();
+        let b = GrMiner::new(&g, MinerConfig::nhp(1, 0.2, 5).without_dynamic_topk()).mine();
+        let da: Vec<_> = a.top.iter().map(|s| s.gr.clone()).collect();
+        let db: Vec<_> = b.top.iter().map(|s| s.gr.clone()).collect();
+        assert_eq!(da, db);
+        // The dynamic variant must not do more work.
+        assert!(a.stats.grs_examined <= b.stats.grs_examined);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_result() {
+        let schema = SchemaBuilder::new().node_attr("A", 2, true).build().unwrap();
+        let g = GraphBuilder::new(schema).build().unwrap();
+        let result = GrMiner::new(&g, MinerConfig::default()).mine();
+        assert!(result.top.is_empty());
+        assert_eq!(result.edge_count, 0);
+    }
+
+    #[test]
+    fn null_values_never_appear_in_descriptors() {
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 2, true)
+            .node_attr("B", 2, false)
+            .build()
+            .unwrap();
+        let mut b = GraphBuilder::new(schema);
+        let x = b.add_node(&[1, 0]).unwrap(); // B null
+        let y = b.add_node(&[0, 2]).unwrap(); // A null
+        let z = b.add_node(&[2, 1]).unwrap();
+        b.add_edge(x, y, &[]).unwrap();
+        b.add_edge(y, z, &[]).unwrap();
+        b.add_edge(x, z, &[]).unwrap();
+        let g = b.build().unwrap();
+        let result = GrMiner::new(&g, MinerConfig::nhp(1, 0.0, 100)).mine();
+        for sgr in &result.top {
+            for &(_, v) in sgr.gr.l.pairs().iter().chain(sgr.gr.r.pairs()) {
+                assert_ne!(v, NULL);
+            }
+        }
+        assert!(!result.top.is_empty());
+    }
+
+    #[test]
+    fn generality_suppression_drops_specializations() {
+        let g = toy();
+        let result = GrMiner::new(&g, MinerConfig::nhp(1, 0.0, 1000)).mine();
+        // No result may be a strict specialization of another result.
+        for (i, a) in result.top.iter().enumerate() {
+            for (j, b) in result.top.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !a.gr.is_more_general_than(&b.gr),
+                        "{:?} generalizes {:?}",
+                        a.gr,
+                        b.gr
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_formats_rows() {
+        let g = toy();
+        let result = GrMiner::new(&g, MinerConfig::nhp(1, 0.5, 3)).mine();
+        let report = result.report(g.schema());
+        assert!(report.contains("1. "));
+        assert!(report.contains("score="));
+    }
+}

@@ -1,0 +1,220 @@
+//! Parallel GRMiner — a multi-core extension beyond the paper.
+//!
+//! The SFDF enumeration tree decomposes naturally at the root: Algorithm
+//! 1's Main loop issues one `RIGHT` task plus one task per top-level edge
+//! and LHS dimension, and the subtrees are disjoint (every attribute
+//! subset lives under exactly one root task). The parallel miner
+//! distributes these root tasks (`RootTask`, crate-internal) over a crossbeam scoped
+//! thread pool; each worker owns a private copy of the edge-position
+//! buffer and a private [`crate::stats::MinerStats`].
+//!
+//! **Determinism over dynamic pruning.** The generality constraint
+//! (Def. 5(2)) is order-sensitive across subtrees — a suppressor found in
+//! one subtree must silence specializations in another — so workers run in
+//! *collect* mode (thresholds and trivial filtering only) and a sequential
+//! post-pass applies generality (most-general-first) and the top-k rank.
+//! The result is bit-identical to the static-threshold `GrMiner`
+//! (and therefore exact w.r.t. Definition 5); what is given up is the
+//! dynamic top-k bound of GRMiner(k), whose benefit shrinks as workers
+//! would race to tighten it. The `ablation` bench quantifies the trade.
+//!
+//! **Granularity bound.** Speedup is limited by the largest root task: on
+//! workloads dominated by one high-cardinality LHS dimension (Pokec's
+//! `Region`), that task's subtree holds most of the work and extra
+//! threads idle once the small tasks drain (measured in EXPERIMENTS.md).
+//! Splitting the dominant task by partition value would lift the bound
+//! at the cost of duplicating its counting-sort pass per worker — left
+//! as the natural next extension.
+
+use crate::config::MinerConfig;
+use crate::generality::GeneralityIndex;
+use crate::gr::ScoredGr;
+use crate::miner::{MineResult, RootTask, Run};
+use crate::stats::MinerStats;
+use crate::tail::Dims;
+use crate::topk::TopK;
+use grm_graph::{CompactModel, SocialGraph};
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Parallel top-k GR mining with `threads` workers (0 = available
+/// parallelism).
+pub fn mine_parallel(graph: &SocialGraph, config: &MinerConfig, threads: usize) -> MineResult {
+    mine_parallel_with_dims(graph, config, &Dims::all(graph.schema()), threads)
+}
+
+/// Parallel mining over a restricted dimension set.
+pub fn mine_parallel_with_dims(
+    graph: &SocialGraph,
+    config: &MinerConfig,
+    dims: &Dims,
+    threads: usize,
+) -> MineResult {
+    let start = Instant::now();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+
+    let model = CompactModel::build(graph);
+    let schema = graph.schema();
+    let edge_count = graph.edge_count() as u64;
+
+    let mut candidates: Vec<ScoredGr> = Vec::new();
+    let mut stats = MinerStats::default();
+
+    if edge_count > 0 {
+        let tasks = RootTask::all(dims);
+        let queue = Mutex::new(tasks.into_iter());
+        let results: Mutex<Vec<(Vec<ScoredGr>, MinerStats)>> = Mutex::new(Vec::new());
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(1 + dims.l.len() + dims.w.len()) {
+                scope.spawn(|_| {
+                    let mut local: Vec<(Vec<ScoredGr>, MinerStats)> = Vec::new();
+                    loop {
+                        let task = { queue.lock().next() };
+                        let Some(task) = task else { break };
+                        let task_start = Instant::now();
+                        let mut run =
+                            Run::new(&model, schema, dims, config, Some(Vec::new()));
+                        let mut data = model.all_positions();
+                        run.run_root(&mut data, task);
+                        let mut s = std::mem::take(&mut run.stats);
+                        s.elapsed = task_start.elapsed();
+                        local.push((run.into_collected(), s));
+                    }
+                    results.lock().append(&mut local);
+                });
+            }
+        })
+        .expect("worker panicked");
+
+        for (mut grs, s) in results.into_inner() {
+            stats.merge(&s);
+            candidates.append(&mut grs);
+        }
+    }
+
+    // Sequential post-pass: generality most-general-first, then top-k.
+    // A proper generalization has strictly fewer l∧w conditions, so size
+    // order suffices; the remaining ordering freedom cannot change the
+    // outcome (equal-size GRs never generalize one another).
+    candidates.sort_by_key(|c| c.gr.l.len() + c.gr.w.len());
+    let mut index = GeneralityIndex::new();
+    let mut topk = TopK::new(config.k);
+    for cand in candidates {
+        if config.generality_filter {
+            if index.has_more_general(&cand.gr) {
+                stats.rejected_generality += 1;
+                continue;
+            }
+            index.record(&cand.gr);
+        }
+        topk.offer(cand);
+    }
+
+    stats.elapsed = start.elapsed();
+    MineResult {
+        top: topk.into_sorted(),
+        stats,
+        edge_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gr::Gr;
+    use crate::miner::GrMiner;
+    use grm_graph::{GraphBuilder, SchemaBuilder};
+
+    fn sample(seedish: u32, n: u32, m: u32) -> SocialGraph {
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 3, true)
+            .node_attr("B", 2, false)
+            .node_attr("C", 4, true)
+            .edge_attr("W", 2)
+            .build()
+            .unwrap();
+        let mut b = GraphBuilder::new(schema);
+        let mut state = seedish.wrapping_mul(0x9E3779B9) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        for _ in 0..n {
+            b.add_node(&[
+                (next() % 4) as u16,
+                (next() % 3) as u16,
+                (next() % 5) as u16,
+            ])
+            .unwrap();
+        }
+        for _ in 0..m {
+            let s = next() % n;
+            let mut t = next() % n;
+            if t == s {
+                t = (t + 1) % n;
+            }
+            b.add_edge(s, t, &[(next() % 3) as u16]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn keys(r: &MineResult) -> Vec<(Gr, u64)> {
+        r.top.iter().map(|s| (s.gr.clone(), s.supp)).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_static() {
+        for seed in 0..4u32 {
+            let g = sample(seed, 30, 200);
+            for cfg in [
+                MinerConfig::nhp(2, 0.4, 10),
+                MinerConfig::nhp(1, 0.0, 25),
+                MinerConfig::conf(2, 0.5, 10),
+            ] {
+                let cfg = cfg.without_dynamic_topk();
+                let seq = GrMiner::new(&g, cfg.clone()).mine();
+                for threads in [1, 2, 4] {
+                    let par = mine_parallel(&g, &cfg, threads);
+                    assert_eq!(
+                        keys(&seq),
+                        keys(&par),
+                        "seed {seed} threads {threads} cfg {cfg:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_is_deterministic_across_runs() {
+        let g = sample(7, 40, 300);
+        let cfg = MinerConfig::nhp(2, 0.3, 15);
+        let a = mine_parallel(&g, &cfg, 4);
+        let b = mine_parallel(&g, &cfg, 4);
+        assert_eq!(keys(&a), keys(&b));
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let g = sample(3, 20, 100);
+        let cfg = MinerConfig::nhp(1, 0.5, 5).without_dynamic_topk();
+        let r = mine_parallel(&g, &cfg, 0);
+        let seq = GrMiner::new(&g, cfg).mine();
+        assert_eq!(keys(&r), keys(&seq));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let schema = SchemaBuilder::new().node_attr("A", 2, true).build().unwrap();
+        let g = GraphBuilder::new(schema).build().unwrap();
+        let r = mine_parallel(&g, &MinerConfig::default(), 2);
+        assert!(r.top.is_empty());
+    }
+}

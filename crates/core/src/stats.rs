@@ -1,0 +1,130 @@
+//! Instrumentation counters for mining runs.
+//!
+//! Theorem 4(2) claims GRMiner's work is proportional to the number of GRs
+//! examined; these counters make that claim measurable (and drive the
+//! Fig. 4 analyses, where the pruning power of `minNhp` and the dynamic
+//! top-k threshold is the whole story).
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters collected during one mining run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MinerStats {
+    /// Enumeration-tree nodes visited (attribute-set × partition).
+    pub partitions_examined: u64,
+    /// Candidate GRs examined at RIGHT nodes (r non-empty).
+    pub grs_examined: u64,
+    /// Partitions discarded by the `minSupp` threshold.
+    pub pruned_by_supp: u64,
+    /// RIGHT partitions whose subtree was cut by the score threshold
+    /// (user `min_score`, or the dynamically upgraded top-k bound).
+    pub pruned_by_score: u64,
+    /// GRs rejected as trivial (§III-B).
+    pub rejected_trivial: u64,
+    /// GRs rejected because a more general GR was already accepted
+    /// (Def. 5(2)).
+    pub rejected_generality: u64,
+    /// GRs accepted into the candidate pool (offered to the top-k heap).
+    pub accepted: u64,
+    /// Homophily-effect support scans performed (β-memo misses).
+    pub heff_scans: u64,
+    /// Wall-clock time of the run.
+    #[serde(with = "duration_serde")]
+    pub elapsed: Duration,
+}
+
+impl MinerStats {
+    /// Merge counters from another run segment (used by the parallel
+    /// miner; `elapsed` takes the max, counters add).
+    pub fn merge(&mut self, other: &MinerStats) {
+        self.partitions_examined += other.partitions_examined;
+        self.grs_examined += other.grs_examined;
+        self.pruned_by_supp += other.pruned_by_supp;
+        self.pruned_by_score += other.pruned_by_score;
+        self.rejected_trivial += other.rejected_trivial;
+        self.rejected_generality += other.rejected_generality;
+        self.accepted += other.accepted;
+        self.heff_scans += other.heff_scans;
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
+}
+
+impl std::fmt::Display for MinerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "partitions={} grs={} pruned_supp={} pruned_score={} trivial={} general={} accepted={} heff_scans={} elapsed={:?}",
+            self.partitions_examined,
+            self.grs_examined,
+            self.pruned_by_supp,
+            self.pruned_by_score,
+            self.rejected_trivial,
+            self.rejected_generality,
+            self.accepted,
+            self.heff_scans,
+            self.elapsed
+        )
+    }
+}
+
+mod duration_serde {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        d.as_secs_f64().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        Ok(Duration::from_secs_f64(f64::deserialize(d)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counts_and_maxes_time() {
+        let mut a = MinerStats {
+            partitions_examined: 5,
+            grs_examined: 3,
+            elapsed: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let b = MinerStats {
+            partitions_examined: 7,
+            pruned_by_supp: 2,
+            elapsed: Duration::from_millis(25),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.partitions_examined, 12);
+        assert_eq!(a.grs_examined, 3);
+        assert_eq!(a.pruned_by_supp, 2);
+        assert_eq!(a.elapsed, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn display_includes_counters() {
+        let s = MinerStats {
+            grs_examined: 42,
+            ..Default::default()
+        };
+        assert!(s.to_string().contains("grs=42"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = MinerStats {
+            accepted: 9,
+            elapsed: Duration::from_millis(1500),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MinerStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.accepted, 9);
+        assert!((back.elapsed.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+}

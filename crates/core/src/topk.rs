@@ -1,0 +1,198 @@
+//! Top-k accumulation with the rank of Def. 5(3) and the dynamic
+//! `minNhp` upgrade of GRMiner(k) (§V, line 28 of Algorithm 1).
+
+use crate::gr::ScoredGr;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered so the binary max-heap keeps the *worst-ranked* GR on
+/// top, making eviction O(log k).
+#[derive(Debug, Clone)]
+struct Entry(ScoredGr);
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // rank_cmp yields Less when self ranks better; the max-heap must
+        // surface the worst entry, so "greater" = "worse" works directly.
+        self.0.rank_cmp(&other.0)
+    }
+}
+
+/// Bounded accumulator of the k best GRs.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Entry>,
+}
+
+impl TopK {
+    /// Accumulator for the best `k` GRs (`k ≥ 1`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "top-k needs k >= 1");
+        TopK {
+            k,
+            // Cap the eager reservation: "effectively unbounded" k values
+            // (baseline/ablation configurations) must not pre-allocate.
+            heap: BinaryHeap::with_capacity(k.saturating_add(1).min(4096)),
+        }
+    }
+
+    /// Number of GRs currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no GR has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offer a candidate; returns `true` if it entered the top-k (possibly
+    /// evicting the previous k-th).
+    pub fn offer(&mut self, gr: ScoredGr) -> bool {
+        if self.heap.len() < self.k {
+            self.heap.push(Entry(gr));
+            return true;
+        }
+        let worst = self.heap.peek().expect("heap non-empty when full");
+        if gr.rank_cmp(&worst.0) == Ordering::Less {
+            self.heap.pop();
+            self.heap.push(Entry(gr));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The dynamic pruning bound: the k-th best score once k GRs are held
+    /// (Algorithm 1 line 28 "upgrades minNhp by the non-homophily
+    /// preference of the least ranked GR in top\[k\]").
+    ///
+    /// Pruning against this bound must be *strict* (`score < bound`): an
+    /// RHS extension of a candidate tied with the k-th on score could
+    /// still win the supp/alphabetical tie-break.
+    pub fn dynamic_bound(&self) -> Option<f64> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|e| e.0.score)
+        } else {
+            None
+        }
+    }
+
+    /// Consume, returning the GRs best-first.
+    pub fn into_sorted(self) -> Vec<ScoredGr> {
+        let mut v: Vec<ScoredGr> = self.heap.into_iter().map(|e| e.0).collect();
+        v.sort_by(|a, b| a.rank_cmp(b));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{EdgeDescriptor, NodeDescriptor};
+    use crate::gr::Gr;
+    use grm_graph::NodeAttrId;
+
+    fn gr(val: u16) -> Gr {
+        Gr::new(
+            NodeDescriptor::from_pairs([(NodeAttrId(0), val)]),
+            EdgeDescriptor::empty(),
+            NodeDescriptor::from_pairs([(NodeAttrId(1), 1)]),
+        )
+    }
+
+    fn scored(val: u16, supp: u64, score: f64) -> ScoredGr {
+        ScoredGr {
+            gr: gr(val),
+            supp,
+            supp_lw: supp * 2,
+            heff: 0,
+            score,
+        }
+    }
+
+    #[test]
+    fn keeps_best_k() {
+        let mut t = TopK::new(2);
+        assert!(t.offer(scored(1, 10, 0.5)));
+        assert!(t.offer(scored(2, 10, 0.9)));
+        assert!(t.offer(scored(3, 10, 0.7)), "evicts the 0.5");
+        assert!(!t.offer(scored(4, 10, 0.4)), "worse than both");
+        let v = t.into_sorted();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].score, 0.9);
+        assert_eq!(v[1].score, 0.7);
+    }
+
+    #[test]
+    fn dynamic_bound_appears_when_full() {
+        let mut t = TopK::new(3);
+        assert_eq!(t.dynamic_bound(), None);
+        t.offer(scored(1, 5, 0.9));
+        t.offer(scored(2, 5, 0.8));
+        assert_eq!(t.dynamic_bound(), None, "not full yet");
+        t.offer(scored(3, 5, 0.7));
+        assert_eq!(t.dynamic_bound(), Some(0.7));
+        t.offer(scored(4, 5, 0.95));
+        assert_eq!(t.dynamic_bound(), Some(0.8), "bound tightens");
+    }
+
+    #[test]
+    fn ties_break_by_supp_then_gr() {
+        let mut t = TopK::new(2);
+        t.offer(scored(3, 10, 0.5));
+        t.offer(scored(1, 10, 0.5));
+        // Same score and supp as the k-th, smaller canonical GR: wins.
+        assert!(t.offer(scored(2, 10, 0.5)));
+        let v = t.into_sorted();
+        assert_eq!(
+            v.iter().map(|s| s.gr.l.pairs()[0].1).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        // Higher supp beats same score regardless of GR order.
+        let mut t = TopK::new(1);
+        t.offer(scored(1, 10, 0.5));
+        assert!(t.offer(scored(9, 20, 0.5)));
+        assert_eq!(t.into_sorted()[0].supp, 20);
+    }
+
+    #[test]
+    fn k_of_one() {
+        let mut t = TopK::new(1);
+        t.offer(scored(1, 1, 0.2));
+        assert_eq!(t.dynamic_bound(), Some(0.2));
+        t.offer(scored(2, 1, 0.6));
+        assert_eq!(t.dynamic_bound(), Some(0.6));
+        assert_eq!(t.into_sorted().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_rejected() {
+        TopK::new(0);
+    }
+
+    #[test]
+    fn sorted_output_is_rank_ordered() {
+        let mut t = TopK::new(10);
+        for (i, s) in [0.3, 0.9, 0.1, 0.9, 0.5].iter().enumerate() {
+            t.offer(scored(i as u16 + 1, 7, *s));
+        }
+        let v = t.into_sorted();
+        for w in v.windows(2) {
+            assert_ne!(w[0].rank_cmp(&w[1]), Ordering::Greater);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Sampling primitives for the synthetic network generator.
+
+use rand::Rng;
+
+/// A categorical distribution over `1..=n` (attribute values; never null),
+/// sampled in O(log n) via a cumulative table.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Build from non-negative weights; `weights[i]` is the weight of value
+    /// `i + 1`. Panics if all weights are zero or any is negative.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs at least one value");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "negative categorical weight"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "categorical weights sum to zero");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Guard against float drift at the top end.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Categorical { cumulative }
+    }
+
+    /// Uniform over `1..=n`.
+    pub fn uniform(n: usize) -> Self {
+        Self::new(&vec![1.0; n])
+    }
+
+    /// Zipf-like over `1..=n` with exponent `s` (value 1 most probable) —
+    /// the shape of the Pokec `Region` marginal.
+    pub fn zipf(n: usize, s: f64) -> Self {
+        let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+        Self::new(&weights)
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is degenerate (no values) — never true for
+    /// a constructed instance.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Sample a value in `1..=len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+        let u: f64 = rng.gen();
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1);
+        (idx + 1) as u16
+    }
+
+    /// Probability of value `v` (1-based).
+    pub fn prob(&self, v: u16) -> f64 {
+        let i = v as usize - 1;
+        let lo = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        self.cumulative[i] - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_respect_weights() {
+        let c = Categorical::new(&[8.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 3];
+        for _ in 0..20_000 {
+            counts[c.sample(&mut rng) as usize - 1] += 1;
+        }
+        let p0 = counts[0] as f64 / 20_000.0;
+        assert!((p0 - 0.8).abs() < 0.02, "got {p0}");
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn values_always_in_domain() {
+        let c = Categorical::zipf(188, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5_000 {
+            let v = c.sample(&mut rng);
+            assert!((1..=188).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let c = Categorical::zipf(100, 1.0);
+        assert!(c.prob(1) > c.prob(2));
+        assert!(c.prob(2) > c.prob(50));
+        let total: f64 = (1..=100).map(|v| c.prob(v)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let c = Categorical::uniform(4);
+        for v in 1..=4 {
+            assert!((c.prob(v) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prob_sums_to_one() {
+        let c = Categorical::new(&[0.0, 3.0, 1.0]);
+        assert_eq!(c.prob(1), 0.0);
+        assert!((c.prob(2) - 0.75).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert_ne!(c.sample(&mut rng), 1, "zero-weight value never drawn");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn rejects_all_zero() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let c = Categorical::zipf(20, 0.8);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let va: Vec<u16> = (0..100).map(|_| c.sample(&mut a)).collect();
+        let vb: Vec<u16> = (0..100).map(|_| c.sample(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+}

@@ -1,0 +1,176 @@
+//! Value-bucket index: for each `(attribute, value)` the list of nodes
+//! carrying that value, used to sample homophilous / rule-driven edge
+//! destinations in O(log bucket) — optionally weighted by per-node
+//! *attractiveness* (e.g. productive authors attract co-authorship edges
+//! far beyond their population share, which is how the paper's DBLP data
+//! gets a ~70% edge share for the 91%-of-authors `Poor` class).
+
+use grm_graph::AttrValue;
+use rand::Rng;
+
+/// One bucket: node ids plus the cumulative attractiveness weights used
+/// for weighted sampling.
+#[derive(Debug, Default, Clone)]
+struct Bucket {
+    nodes: Vec<u32>,
+    /// `cum[i]` = total weight of `nodes[..=i]`.
+    cum: Vec<f64>,
+}
+
+impl Bucket {
+    fn push(&mut self, node: u32, weight: f64) {
+        let total = self.cum.last().copied().unwrap_or(0.0);
+        self.nodes.push(node);
+        self.cum.push(total + weight.max(0.0));
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, exclude: u32) -> Option<u32> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let total = *self.cum.last().expect("non-empty");
+        if total <= 0.0 {
+            return self.nodes.iter().copied().find(|&n| n != exclude);
+        }
+        for _ in 0..8 {
+            let u = rng.gen::<f64>() * total;
+            let i = self.cum.partition_point(|&c| c <= u).min(self.nodes.len() - 1);
+            if self.nodes[i] != exclude {
+                return Some(self.nodes[i]);
+            }
+        }
+        self.nodes.iter().copied().find(|&n| n != exclude)
+    }
+}
+
+/// Node buckets per attribute value plus a global (all-nodes) bucket.
+#[derive(Debug)]
+pub struct ValueIndex {
+    /// `buckets[attr][value]` (index 0 holds null-valued nodes).
+    buckets: Vec<Vec<Bucket>>,
+    all: Bucket,
+}
+
+impl ValueIndex {
+    /// Build from node rows with uniform attractiveness.
+    #[allow(dead_code)] // convenience constructor; exercised in tests
+    pub fn build(domains: &[u16], rows: &[Vec<AttrValue>]) -> Self {
+        Self::build_weighted(domains, rows, &vec![1.0; rows.len()])
+    }
+
+    /// Build with a per-node attractiveness weight.
+    pub fn build_weighted(domains: &[u16], rows: &[Vec<AttrValue>], weights: &[f64]) -> Self {
+        debug_assert_eq!(rows.len(), weights.len());
+        let mut buckets: Vec<Vec<Bucket>> = domains
+            .iter()
+            .map(|&d| vec![Bucket::default(); d as usize + 1])
+            .collect();
+        let mut all = Bucket::default();
+        for (node, (row, &w)) in rows.iter().zip(weights).enumerate() {
+            all.push(node as u32, w);
+            for (a, &v) in row.iter().enumerate() {
+                buckets[a][v as usize].push(node as u32, w);
+            }
+        }
+        ValueIndex { buckets, all }
+    }
+
+    /// Nodes with `attr = value`.
+    #[allow(dead_code)] // introspection helper; exercised in tests
+    pub fn bucket(&self, attr: usize, value: AttrValue) -> &[u32] {
+        &self.buckets[attr][value as usize].nodes
+    }
+
+    /// Sample a node with `attr = value` by attractiveness, avoiding
+    /// `exclude`; `None` when the bucket is empty or holds only `exclude`.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        attr: usize,
+        value: AttrValue,
+        exclude: u32,
+    ) -> Option<u32> {
+        self.buckets[attr][value as usize].sample(rng, exclude)
+    }
+
+    /// Sample any node by attractiveness (the noise destination), avoiding
+    /// `exclude`.
+    pub fn sample_any<R: Rng + ?Sized>(&self, rng: &mut R, exclude: u32) -> Option<u32> {
+        self.all.sample(rng, exclude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn index() -> ValueIndex {
+        let rows = vec![vec![1, 2], vec![1, 0], vec![2, 2], vec![1, 1]];
+        ValueIndex::build(&[2, 2], &rows)
+    }
+
+    #[test]
+    fn buckets_contain_matching_nodes() {
+        let idx = index();
+        assert_eq!(idx.bucket(0, 1), &[0, 1, 3]);
+        assert_eq!(idx.bucket(0, 2), &[2]);
+        assert_eq!(idx.bucket(1, 0), &[1], "null bucket tracked too");
+        assert_eq!(idx.bucket(1, 2), &[0, 2]);
+    }
+
+    #[test]
+    fn sample_avoids_excluded() {
+        let idx = index();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let n = idx.sample(&mut rng, 0, 1, 0).unwrap();
+            assert_ne!(n, 0);
+            assert!(idx.bucket(0, 1).contains(&n));
+        }
+    }
+
+    #[test]
+    fn sample_handles_singleton_and_empty() {
+        let idx = index();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(idx.sample(&mut rng, 0, 2, 0), Some(2));
+        assert_eq!(idx.sample(&mut rng, 0, 2, 2), None, "only node excluded");
+        let empty = ValueIndex::build(&[3], &[]);
+        assert_eq!(empty.sample(&mut rng, 0, 1, 0), None);
+        assert_eq!(empty.sample_any(&mut rng, 0), None);
+    }
+
+    #[test]
+    fn weighted_sampling_respects_attractiveness() {
+        let rows = vec![vec![1], vec![1], vec![1]];
+        let idx = ValueIndex::build_weighted(&[1], &rows, &[1.0, 8.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 3];
+        for _ in 0..20_000 {
+            counts[idx.sample(&mut rng, 0, 1, u32::MAX).unwrap() as usize] += 1;
+        }
+        let p1 = counts[1] as f64 / 20_000.0;
+        assert!((p1 - 0.8).abs() < 0.02, "node 1 share {p1}");
+    }
+
+    #[test]
+    fn sample_any_covers_all_nodes() {
+        let idx = index();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(idx.sample_any(&mut rng, u32::MAX).unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn zero_weight_bucket_falls_back_to_first_distinct() {
+        let rows = vec![vec![1], vec![1]];
+        let idx = ValueIndex::build_weighted(&[1], &rows, &[0.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(idx.sample(&mut rng, 0, 1, 0), Some(1));
+    }
+}

@@ -1,0 +1,35 @@
+//! # grm-datagen — workloads for mining social ties beyond homophily
+//!
+//! Synthetic attributed social networks with *planted* homophily and
+//! beyond-homophily structure, standing in for the two real datasets of
+//! the paper's evaluation (§VI-A) that cannot be redistributed here:
+//!
+//! * [`pokec_config`] — Pokec-like friendship network (the paper's exact
+//!   6-attribute schema; planted P1–P5 / P207 analogues; default 50k
+//!   nodes / 600k edges, scalable);
+//! * [`dblp_config`] — DBLP-like co-authorship network at the paper's
+//!   exact scale (28,702 authors / 66,832 directed edges; planted
+//!   D2 / D4 / D16 analogues; 91.18% `Poor` productivity skew);
+//! * [`toy_network`] — the Fig. 1 toy dating network with hand-verified
+//!   GR1–GR4 counts.
+//!
+//! The general-purpose [`generate`] function accepts any
+//! [`GeneratorConfig`]: attribute marginals, per-attribute homophily
+//! strengths, and [`PlantedRule`]s (ground-truth "secondary bonds" that a
+//! correct nhp miner must surface and a confidence ranking must miss).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dblp;
+pub mod distributions;
+mod generator;
+mod index;
+pub mod pokec;
+mod toy;
+
+pub use config::{EdgeAttrSpec, GeneratorConfig, NodeAttrSpec, PlantedRule};
+pub use dblp::{dblp_config, dblp_config_scaled};
+pub use generator::{build_schema, generate};
+pub use pokec::{pokec_config, pokec_config_scaled};
+pub use toy::{toy_network, toy_schema};

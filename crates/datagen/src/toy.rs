@@ -1,0 +1,180 @@
+//! The toy dating network of Fig. 1.
+//!
+//! Node attributes follow Fig. 1b exactly. The paper draws the topology but
+//! never lists the edges, and the supp/conf values quoted in Examples 1–2
+//! are mutually inconsistent (GR1's denominator implies 14 edges from male
+//! nodes, GR3's implies 6 from F-Grad nodes, but `|E| = 15`), so the edge
+//! list below is our own reconstruction, chosen to realize every number
+//! the examples rely on that *can* be realized simultaneously:
+//!
+//! * `|E| = 15` dating edges;
+//! * **GR1** `(SEX:M) -> (SEX:F, RACE:Asian)`: supp = 7/15 (as printed;
+//!   conf here is 7/9 since only 9 edges originate from men);
+//! * **GR2** `(SEX:M, RACE:Asian) -> (SEX:F, RACE:Asian)`: supp = 0 —
+//!   Asian men are the exception (the Are-You-Interested finding);
+//! * **GR3** `(SEX:F, EDU:Grad) -> (SEX:M, EDU:Grad)`: supp = 4/15,
+//!   conf = 4/6 (as printed);
+//! * **GR4** `(SEX:F, EDU:Grad) -> (SEX:M, EDU:College)`: supp = 2/15,
+//!   conf = 2/6, and with EDU homophilous **nhp = 2/(6−4) = 100%** — the
+//!   motivating computation of §III-B.
+//!
+//! Conventions: SEX F=1 M=2; RACE Asian=1 Latino=2 White=3;
+//! EDU HighSchool=1 College=2 Grad=3; RACE and EDU are homophily
+//! attributes, SEX is not; one edge attribute TYPE with the single value
+//! `dates`.
+
+use grm_graph::{GraphBuilder, Schema, SchemaBuilder, SocialGraph};
+
+/// The schema of the toy dating network.
+pub fn toy_schema() -> Schema {
+    SchemaBuilder::new()
+        .node_attr_named("SEX", false, ["F", "M"])
+        .node_attr_named("RACE", true, ["Asian", "Latino", "White"])
+        .node_attr_named("EDU", true, ["HighSchool", "College", "Grad"])
+        .edge_attr_named("TYPE", ["dates"])
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Build the 14-node, 15-edge toy dating network.
+pub fn toy_network() -> SocialGraph {
+    let mut b = GraphBuilder::new(toy_schema());
+    // Fig. 1b, nodes 1–14 (ids 0–13): (SEX, RACE, EDU).
+    let rows: [[u16; 3]; 14] = [
+        [1, 1, 3], // 1  F Asian  Grad
+        [1, 2, 3], // 2  F Latino Grad
+        [1, 3, 3], // 3  F White  Grad
+        [1, 1, 2], // 4  F Asian  College
+        [1, 3, 2], // 5  F White  College
+        [1, 1, 1], // 6  F Asian  HighSchool
+        [1, 2, 1], // 7  F Latino HighSchool
+        [2, 1, 3], // 8  M Asian  Grad
+        [2, 2, 3], // 9  M Latino Grad
+        [2, 3, 3], // 10 M White  Grad
+        [2, 2, 2], // 11 M Latino College
+        [2, 3, 2], // 12 M White  College
+        [2, 1, 1], // 13 M Asian  HighSchool
+        [2, 3, 1], // 14 M White  HighSchool
+    ];
+    for row in rows {
+        b.add_node(&row).expect("static rows are valid");
+    }
+    let dates = &[1u16];
+    // Six edges from F-Grad women: four to Grad men, two to College men
+    // (GR3 = 4/6, GR4 = 2/6, homophily effect on EDU = 4).
+    let edges: [(u32, u32); 15] = [
+        (0, 8),  // 1 -> 9   F Asian Grad  -> M Latino Grad
+        (0, 9),  // 1 -> 10  F Asian Grad  -> M White  Grad
+        (1, 9),  // 2 -> 10  F Latino Grad -> M White  Grad
+        (2, 8),  // 3 -> 9   F White Grad  -> M Latino Grad
+        (1, 10), // 2 -> 11  F Latino Grad -> M Latino College
+        (2, 11), // 3 -> 12  F White Grad  -> M White  College
+        // Nine edges from men: seven to Asian women (GR1 = 7/15), none of
+        // them from Asian men (GR2 = 0).
+        (7, 1),  // 8 -> 2   M Asian Grad  -> F Latino Grad
+        (12, 6), // 13 -> 7  M Asian HS    -> F Latino HS
+        (8, 0),  // 9 -> 1   M Latino Grad -> F Asian Grad
+        (8, 3),  // 9 -> 4   M Latino Grad -> F Asian College
+        (9, 5),  // 10 -> 6  M White Grad  -> F Asian HS
+        (10, 3), // 11 -> 4  M Latino Coll -> F Asian College
+        (11, 5), // 12 -> 6  M White Coll  -> F Asian HS
+        (13, 5), // 14 -> 6  M White HS    -> F Asian HS
+        (9, 0),  // 10 -> 1  M White Grad  -> F Asian Grad
+    ];
+    for (s, t) in edges {
+        b.add_edge(s, t, dates).expect("static edges are valid");
+    }
+    b.build().expect("toy network is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grm_graph::NodeAttrId;
+
+    const SEX: NodeAttrId = NodeAttrId(0);
+    const RACE: NodeAttrId = NodeAttrId(1);
+    const EDU: NodeAttrId = NodeAttrId(2);
+
+    #[test]
+    fn sizes_match_fig1() {
+        let g = toy_network();
+        assert_eq!(g.node_count(), 14);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn node_table_matches_fig1b() {
+        let g = toy_network();
+        // Spot checks against the printed table.
+        assert_eq!(g.node_row(0), &[1, 1, 3]); // 1: F Asian Grad
+        assert_eq!(g.node_row(6), &[1, 2, 1]); // 7: F Latino HighSchool
+        assert_eq!(g.node_row(7), &[2, 1, 3]); // 8: M Asian Grad
+        assert_eq!(g.node_row(13), &[2, 3, 1]); // 14: M White HighSchool
+        // Seven women, seven men.
+        let females = g.node_ids().filter(|&v| g.node_attr(v, SEX) == 1).count();
+        assert_eq!(females, 7);
+    }
+
+    #[test]
+    fn gr1_support_is_7_of_15() {
+        let g = toy_network();
+        let supp = g
+            .edge_ids()
+            .filter(|&e| {
+                g.src_attr(e, SEX) == 2 && g.dst_attr(e, SEX) == 1 && g.dst_attr(e, RACE) == 1
+            })
+            .count();
+        assert_eq!(supp, 7, "Example 1: supp(GR1) = 7/15");
+    }
+
+    #[test]
+    fn gr2_asian_men_are_the_exception() {
+        let g = toy_network();
+        let supp = g
+            .edge_ids()
+            .filter(|&e| {
+                g.src_attr(e, SEX) == 2
+                    && g.src_attr(e, RACE) == 1
+                    && g.dst_attr(e, SEX) == 1
+                    && g.dst_attr(e, RACE) == 1
+            })
+            .count();
+        assert_eq!(supp, 0, "Example 1: supp(GR2) = 0");
+    }
+
+    #[test]
+    fn gr3_and_gr4_counts_match_example2() {
+        let g = toy_network();
+        let from_fgrad: Vec<_> = g
+            .edge_ids()
+            .filter(|&e| g.src_attr(e, SEX) == 1 && g.src_attr(e, EDU) == 3)
+            .collect();
+        assert_eq!(from_fgrad.len(), 6, "supp(l ∧ w) = 6");
+        let gr3 = from_fgrad
+            .iter()
+            .filter(|&&e| g.dst_attr(e, SEX) == 2 && g.dst_attr(e, EDU) == 3)
+            .count();
+        assert_eq!(gr3, 4, "supp(GR3) = 4");
+        let gr4 = from_fgrad
+            .iter()
+            .filter(|&&e| g.dst_attr(e, SEX) == 2 && g.dst_attr(e, EDU) == 2)
+            .count();
+        assert_eq!(gr4, 2, "supp(GR4) = 2");
+        // The homophily effect of GR4: edges from F-Grad to EDU:Grad.
+        let heff = from_fgrad
+            .iter()
+            .filter(|&&e| g.dst_attr(e, EDU) == 3)
+            .count();
+        assert_eq!(heff, 4, "supp(l -> l[β]) = 4, so nhp(GR4) = 2/(6-4) = 1");
+    }
+
+    #[test]
+    fn schema_flags_match_paper() {
+        let s = toy_schema();
+        assert!(!s.node_attr(SEX).is_homophily());
+        assert!(s.node_attr(RACE).is_homophily());
+        assert!(s.node_attr(EDU).is_homophily());
+    }
+}

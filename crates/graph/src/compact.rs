@@ -1,0 +1,310 @@
+//! The compact data model of §IV-A: **LArray**, **EArray**, **RArray**.
+//!
+//! * `LArray` — one record per node that can occur on the LHS of a GR
+//!   (out-degree > 0), with its attribute values plus `Out` (out-degree) and
+//!   `Ind` (starting position of its outgoing edges in `EArray`).
+//! * `EArray` — one record per edge, grouped by source record, carrying the
+//!   edge-attribute values plus `Ptr`, the index of the destination's record
+//!   in `RArray`.
+//! * `RArray` — one record per node that can occur on the RHS (in-degree
+//!   > 0) with its attribute values.
+//!
+//! Node attributes are stored once per node, so the model occupies
+//! `|V|·(#AttrV + 2) + |E|·(#AttrE + 1) + |V|·#AttrV` cells instead of the
+//! single table's `|E|·(2·#AttrV + #AttrE)` — eliminating the
+//! `|E| × 2 × #AttrV` bottleneck term (§IV-A). [`CompactModel::cells`] and
+//! [`crate::SingleTable::cells`] make the comparison measurable.
+//!
+//! Mining operates on **EArray positions**: a pattern's edge set is a slice
+//! of positions, partitioned with counting sort on LHS / edge / RHS
+//! dimensions via the key functions below.
+
+use crate::graph::SocialGraph;
+use crate::value::{AttrValue, EdgeAttrId, EdgeId, NodeAttrId, NodeId};
+
+/// The LArray/EArray/RArray view over a [`SocialGraph`].
+///
+/// Borrow-based: attribute cells live in the graph; the model adds only the
+/// structural columns (`Out`, `Ind`, `Ptr`, row maps). Cell accounting in
+/// [`CompactModel::cells`] nevertheless reports the full §IV-A formula, i.e.
+/// what a standalone materialization would occupy.
+#[derive(Debug, Clone)]
+pub struct CompactModel<'g> {
+    graph: &'g SocialGraph,
+    /// Node ids with out-degree > 0, in node-id order (LArray rows).
+    lrows: Vec<NodeId>,
+    /// `Out` column: out-degree per LArray row.
+    out: Vec<u32>,
+    /// `Ind` column: first EArray position per LArray row.
+    ind: Vec<u32>,
+    /// Per EArray position: index of the source's LArray row.
+    src_row: Vec<u32>,
+    /// Per EArray position: the original edge id (edge-attribute lookup).
+    eid: Vec<EdgeId>,
+    /// `Ptr` column: per EArray position, the destination's RArray row.
+    ptr: Vec<u32>,
+    /// Node ids with in-degree > 0, in node-id order (RArray rows).
+    rrows: Vec<NodeId>,
+}
+
+impl<'g> CompactModel<'g> {
+    /// Build the model: O(|V| + |E|), one stable counting pass over edges.
+    pub fn build(graph: &'g SocialGraph) -> Self {
+        let n = graph.node_count();
+        let m = graph.edge_count();
+
+        let out_deg = graph.out_degrees();
+        let in_deg = graph.in_degrees();
+
+        // LArray rows and the inverse map node -> lrow.
+        let mut lrows = Vec::new();
+        let mut lrow_of = vec![u32::MAX; n];
+        for v in 0..n {
+            if out_deg[v] > 0 {
+                lrow_of[v] = lrows.len() as u32;
+                lrows.push(v as NodeId);
+            }
+        }
+        // RArray rows and the inverse map node -> rrow.
+        let mut rrows = Vec::new();
+        let mut rrow_of = vec![u32::MAX; n];
+        for v in 0..n {
+            if in_deg[v] > 0 {
+                rrow_of[v] = rrows.len() as u32;
+                rrows.push(v as NodeId);
+            }
+        }
+
+        // Out / Ind columns.
+        let mut out = Vec::with_capacity(lrows.len());
+        let mut ind = Vec::with_capacity(lrows.len());
+        let mut acc = 0u32;
+        for &v in &lrows {
+            out.push(out_deg[v as usize]);
+            ind.push(acc);
+            acc += out_deg[v as usize];
+        }
+
+        // Scatter edges into EArray grouped by source row (stable).
+        let mut cursor = ind.clone();
+        let mut src_row = vec![0u32; m];
+        let mut eid = vec![0 as EdgeId; m];
+        let mut ptr = vec![0u32; m];
+        for e in 0..m as u32 {
+            let s = lrow_of[graph.src(e) as usize];
+            let pos = cursor[s as usize] as usize;
+            cursor[s as usize] += 1;
+            src_row[pos] = s;
+            eid[pos] = e;
+            ptr[pos] = rrow_of[graph.dst(e) as usize];
+        }
+
+        CompactModel {
+            graph,
+            lrows,
+            out,
+            ind,
+            src_row,
+            eid,
+            ptr,
+            rrows,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g SocialGraph {
+        self.graph
+    }
+
+    /// Number of LArray records (nodes with out-degree > 0).
+    pub fn lrow_count(&self) -> usize {
+        self.lrows.len()
+    }
+
+    /// Number of RArray records (nodes with in-degree > 0).
+    pub fn rrow_count(&self) -> usize {
+        self.rrows.len()
+    }
+
+    /// Number of EArray records (= `|E|`).
+    pub fn edge_count(&self) -> usize {
+        self.eid.len()
+    }
+
+    /// Node id of LArray row `r`.
+    pub fn lrow_node(&self, r: u32) -> NodeId {
+        self.lrows[r as usize]
+    }
+
+    /// Node id of RArray row `r`.
+    pub fn rrow_node(&self, r: u32) -> NodeId {
+        self.rrows[r as usize]
+    }
+
+    /// `Out` of LArray row `r`.
+    pub fn out(&self, r: u32) -> u32 {
+        self.out[r as usize]
+    }
+
+    /// `Ind` of LArray row `r`.
+    pub fn ind(&self, r: u32) -> u32 {
+        self.ind[r as usize]
+    }
+
+    /// Original edge id of EArray position `p`.
+    #[inline]
+    pub fn edge_id(&self, p: u32) -> EdgeId {
+        self.eid[p as usize]
+    }
+
+    /// `Ptr` (RArray row of the destination) of EArray position `p`.
+    #[inline]
+    pub fn ptr(&self, p: u32) -> u32 {
+        self.ptr[p as usize]
+    }
+
+    /// LHS key function: node attribute `a` of the source of position `p`.
+    #[inline]
+    pub fn l_key(&self, p: u32, a: NodeAttrId) -> AttrValue {
+        self.graph
+            .node_attr(self.lrows[self.src_row[p as usize] as usize], a)
+    }
+
+    /// Edge key function: edge attribute `a` of position `p`.
+    #[inline]
+    pub fn w_key(&self, p: u32, a: EdgeAttrId) -> AttrValue {
+        self.graph.edge_attr(self.eid[p as usize], a)
+    }
+
+    /// RHS key function: node attribute `a` of the destination of `p`,
+    /// found through `Ptr` (one indirection into RArray).
+    #[inline]
+    pub fn r_key(&self, p: u32, a: NodeAttrId) -> AttrValue {
+        self.graph
+            .node_attr(self.rrows[self.ptr[p as usize] as usize], a)
+    }
+
+    /// All EArray positions, the root edge set of the mining recursion.
+    pub fn all_positions(&self) -> Vec<u32> {
+        (0..self.edge_count() as u32).collect()
+    }
+
+    /// Cell count of the compact model per the §IV-A formula, using the
+    /// actual LArray/RArray row counts (the paper notes zero-out-degree /
+    /// zero-in-degree nodes are dropped):
+    /// `|L|·(#AttrV+2) + |E|·(#AttrE+1) + |R|·#AttrV`.
+    pub fn cells(&self) -> usize {
+        let na = self.graph.schema().node_attr_count();
+        let ea = self.graph.schema().edge_attr_count();
+        self.lrows.len() * (na + 2) + self.eid.len() * (ea + 1) + self.rrows.len() * na
+    }
+
+    /// Cell count using the paper's headline formula with the full `|V|`
+    /// on both sides: `|V|·(#AttrV+2) + |E|·(#AttrE+1) + |V|·#AttrV`.
+    pub fn cells_paper_formula(&self) -> usize {
+        let na = self.graph.schema().node_attr_count();
+        let ea = self.graph.schema().edge_attr_count();
+        let v = self.graph.node_count();
+        v * (na + 2) + self.eid.len() * (ea + 1) + v * na
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, SchemaBuilder};
+
+    /// src->dst: 0->1, 0->2, 1->2, 3->0 (node 2 has no out-edges, node 3 no
+    /// in-edges).
+    fn sample() -> SocialGraph {
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 3, true)
+            .node_attr("B", 2, false)
+            .edge_attr("W", 2)
+            .build()
+            .unwrap();
+        let mut b = GraphBuilder::new(schema);
+        for row in [[1, 1], [2, 2], [3, 1], [1, 2]] {
+            b.add_node(&row).unwrap();
+        }
+        b.add_edge(0, 1, &[1]).unwrap();
+        b.add_edge(0, 2, &[2]).unwrap();
+        b.add_edge(1, 2, &[1]).unwrap();
+        b.add_edge(3, 0, &[2]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rows_exclude_zero_degree_nodes() {
+        let g = sample();
+        let cm = CompactModel::build(&g);
+        assert_eq!(cm.lrow_count(), 3, "nodes 0,1,3 have out-edges");
+        assert_eq!(cm.rrow_count(), 3, "nodes 0,1,2 have in-edges");
+        assert_eq!(cm.lrow_node(0), 0);
+        assert_eq!(cm.lrow_node(1), 1);
+        assert_eq!(cm.lrow_node(2), 3);
+        assert_eq!(cm.rrow_node(2), 2);
+    }
+
+    #[test]
+    fn out_ind_columns() {
+        let g = sample();
+        let cm = CompactModel::build(&g);
+        assert_eq!(cm.out(0), 2);
+        assert_eq!(cm.out(1), 1);
+        assert_eq!(cm.out(2), 1);
+        assert_eq!(cm.ind(0), 0);
+        assert_eq!(cm.ind(1), 2);
+        assert_eq!(cm.ind(2), 3);
+    }
+
+    #[test]
+    fn earray_grouped_by_source_with_correct_ptrs() {
+        let g = sample();
+        let cm = CompactModel::build(&g);
+        // Positions 0..2 are node 0's edges in insertion order.
+        assert_eq!(cm.edge_id(0), 0);
+        assert_eq!(cm.edge_id(1), 1);
+        assert_eq!(cm.edge_id(2), 2);
+        assert_eq!(cm.edge_id(3), 3);
+        // Ptr points at RArray rows: dsts 1,2,2,0 -> rrows 1,2,2,0.
+        assert_eq!(cm.rrow_node(cm.ptr(0)), 1);
+        assert_eq!(cm.rrow_node(cm.ptr(1)), 2);
+        assert_eq!(cm.rrow_node(cm.ptr(2)), 2);
+        assert_eq!(cm.rrow_node(cm.ptr(3)), 0);
+    }
+
+    #[test]
+    fn key_functions() {
+        let g = sample();
+        let cm = CompactModel::build(&g);
+        let a = NodeAttrId(0);
+        let b = NodeAttrId(1);
+        let w = EdgeAttrId(0);
+        // Position 3 is edge 3->0.
+        assert_eq!(cm.l_key(3, a), 1, "node 3 has A=1");
+        assert_eq!(cm.l_key(3, b), 2);
+        assert_eq!(cm.r_key(3, a), 1, "node 0 has A=1");
+        assert_eq!(cm.w_key(3, w), 2);
+        // Position 1 is edge 0->2.
+        assert_eq!(cm.r_key(1, a), 3);
+    }
+
+    #[test]
+    fn cell_accounting_beats_single_table() {
+        let g = sample();
+        let cm = CompactModel::build(&g);
+        // |L|=3, |R|=3, |E|=4, na=2, ea=1.
+        assert_eq!(cm.cells(), 3 * 4 + 4 * 2 + 3 * 2);
+        assert_eq!(cm.cells_paper_formula(), 4 * 4 + 4 * 2 + 4 * 2);
+        let st = crate::SingleTable::build(&g);
+        assert_eq!(st.cells(), 4 * (2 * 2 + 1));
+    }
+
+    #[test]
+    fn all_positions_covers_edges() {
+        let g = sample();
+        let cm = CompactModel::build(&g);
+        assert_eq!(cm.all_positions(), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while building, validating, or loading graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant docs describe the named fields
+pub enum GraphError {
+    /// A schema was declared with no attributes at all; GR mining needs at
+    /// least one node attribute to describe groups.
+    EmptySchema,
+    /// An attribute was declared with a zero domain (only null possible).
+    EmptyDomain { attr: String },
+    /// Two attributes in the same namespace (node or edge) share a name.
+    DuplicateAttribute { attr: String },
+    /// A value-name dictionary does not match its declared domain size.
+    DictionarySize {
+        attr: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A node/edge row supplied the wrong number of attribute values.
+    ArityMismatch { expected: usize, got: usize },
+    /// An attribute value exceeds its declared domain size.
+    ValueOutOfDomain {
+        attr: String,
+        value: u16,
+        domain: u16,
+    },
+    /// An edge endpoint references a node that does not exist.
+    DanglingEndpoint { node: u32, nodes: u32 },
+    /// A self-loop was supplied while the builder forbids them.
+    SelfLoop { node: u32 },
+    /// Unknown attribute or value name in a lookup.
+    UnknownName { name: String },
+    /// Malformed input while parsing a serialized graph.
+    Parse { line: usize, message: String },
+    /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
+    Io { message: String },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptySchema => {
+                write!(f, "schema has no node attributes")
+            }
+            GraphError::EmptyDomain { attr } => {
+                write!(f, "attribute `{attr}` has an empty domain")
+            }
+            GraphError::DuplicateAttribute { attr } => {
+                write!(f, "duplicate attribute name `{attr}`")
+            }
+            GraphError::DictionarySize {
+                attr,
+                expected,
+                got,
+            } => write!(
+                f,
+                "value dictionary for `{attr}` has {got} entries, expected {expected} (domain + null)"
+            ),
+            GraphError::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} attribute values, got {got}")
+            }
+            GraphError::ValueOutOfDomain {
+                attr,
+                value,
+                domain,
+            } => write!(
+                f,
+                "value {value} out of domain 0..={domain} for attribute `{attr}`"
+            ),
+            GraphError::DanglingEndpoint { node, nodes } => {
+                write!(f, "edge endpoint {node} out of range (graph has {nodes} nodes)")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} rejected by builder policy")
+            }
+            GraphError::UnknownName { name } => {
+                write!(f, "unknown attribute or value name `{name}`")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io { message } => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Convenience alias used across the substrate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_facts() {
+        let e = GraphError::ValueOutOfDomain {
+            attr: "Age".into(),
+            value: 99,
+            domain: 11,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Age") && s.contains("99") && s.contains("11"));
+
+        let e = GraphError::DanglingEndpoint { node: 7, nodes: 3 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io { .. }));
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Plain-text persistence for attributed graphs.
+//!
+//! A single self-describing, tab-separated format (schema + nodes + edges)
+//! so experiment datasets can be generated once and re-used across harness
+//! runs. The format is line-oriented:
+//!
+//! ```text
+//! GRMGRAPH 1
+//! NODEATTR <name> <domain> <h|n> [<name0> <name1> ...]
+//! EDGEATTR <name> <domain> - [<name0> ...]
+//! NODES <count>
+//! <v1> <v2> ...                    (one row per node)
+//! EDGES <count>
+//! <src> <dst> <v1> ...             (one row per edge)
+//! ```
+//!
+//! All fields are tab-separated (value names may contain spaces). For
+//! programmatic interchange, [`SocialGraph`] and [`Schema`] also derive
+//! `serde::{Serialize, Deserialize}`.
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::SocialGraph;
+use crate::schema::{AttrDef, Schema};
+use crate::value::AttrValue;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &str = "GRMGRAPH";
+const VERSION: &str = "1";
+
+/// Serialize `graph` to `w` in the GRMGRAPH text format.
+pub fn write_graph<W: Write>(graph: &SocialGraph, w: W) -> Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{MAGIC}\t{VERSION}")?;
+    let schema = graph.schema();
+    for a in schema.node_attr_ids() {
+        write_attr(&mut w, "NODEATTR", schema.node_attr(a))?;
+    }
+    for a in schema.edge_attr_ids() {
+        write_attr(&mut w, "EDGEATTR", schema.edge_attr(a))?;
+    }
+    writeln!(w, "NODES\t{}", graph.node_count())?;
+    for n in graph.node_ids() {
+        let row: Vec<String> = graph.node_row(n).iter().map(|v| v.to_string()).collect();
+        writeln!(w, "{}", row.join("\t"))?;
+    }
+    writeln!(w, "EDGES\t{}", graph.edge_count())?;
+    for e in graph.edge_ids() {
+        let mut row = vec![graph.src(e).to_string(), graph.dst(e).to_string()];
+        row.extend(graph.edge_row(e).iter().map(|v| v.to_string()));
+        writeln!(w, "{}", row.join("\t"))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn write_attr<W: Write>(w: &mut W, tag: &str, def: &AttrDef) -> Result<()> {
+    let flag = if def.is_homophily() { "h" } else { "n" };
+    let mut line = format!("{tag}\t{}\t{}\t{flag}", def.name(), def.domain_size());
+    // Emit the dictionary only when at least one value has a real name.
+    let named: Vec<String> = (0..=def.domain_size())
+        .map(|v| def.value_name(v))
+        .collect();
+    let has_dict = (1..=def.domain_size()).any(|v| def.value_name(v) != v.to_string());
+    if has_dict {
+        for name in named {
+            line.push('\t');
+            line.push_str(&name);
+        }
+    }
+    writeln!(w, "{line}")?;
+    Ok(())
+}
+
+/// Parse a graph from `r` in the GRMGRAPH text format.
+pub fn read_graph<R: Read>(r: R) -> Result<SocialGraph> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines().enumerate();
+
+    let mut next_line = |expect: &str| -> Result<(usize, String)> {
+        match lines.next() {
+            Some((i, Ok(l))) => Ok((i + 1, l)),
+            Some((i, Err(e))) => Err(GraphError::Parse {
+                line: i + 1,
+                message: e.to_string(),
+            }),
+            None => Err(GraphError::Parse {
+                line: 0,
+                message: format!("unexpected end of input, expected {expect}"),
+            }),
+        }
+    };
+
+    // Header.
+    let (ln, header) = next_line("header")?;
+    let mut parts = header.split('\t');
+    if parts.next() != Some(MAGIC) || parts.next() != Some(VERSION) {
+        return Err(GraphError::Parse {
+            line: ln,
+            message: format!("bad header, expected `{MAGIC}\\t{VERSION}`"),
+        });
+    }
+
+    // Attribute declarations until the NODES marker.
+    let mut node_attrs = Vec::new();
+    let mut edge_attrs = Vec::new();
+    let node_count: usize;
+    loop {
+        let (ln, line) = next_line("NODEATTR/EDGEATTR/NODES")?;
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "NODEATTR" => node_attrs.push(parse_attr(ln, &fields)?),
+            "EDGEATTR" => edge_attrs.push(parse_attr(ln, &fields)?),
+            "NODES" => {
+                node_count = parse_num(ln, fields.get(1).copied())?;
+                break;
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: ln,
+                    message: format!("unexpected tag `{other}`"),
+                })
+            }
+        }
+    }
+
+    let schema = Schema::new(node_attrs, edge_attrs)?;
+    let na = schema.node_attr_count();
+    let ea = schema.edge_attr_count();
+    let mut builder = GraphBuilder::with_capacity(schema, node_count, 0).allow_self_loops();
+
+    // Node rows.
+    let mut row = Vec::with_capacity(na);
+    for _ in 0..node_count {
+        let (ln, line) = next_line("node row")?;
+        row.clear();
+        for f in line.split('\t') {
+            row.push(parse_value(ln, f)?);
+        }
+        builder.add_node(&row).map_err(|e| GraphError::Parse {
+            line: ln,
+            message: e.to_string(),
+        })?;
+    }
+
+    // Edge header + rows.
+    let (ln, line) = next_line("EDGES")?;
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields[0] != "EDGES" {
+        return Err(GraphError::Parse {
+            line: ln,
+            message: format!("expected EDGES, got `{}`", fields[0]),
+        });
+    }
+    let edge_count: usize = parse_num(ln, fields.get(1).copied())?;
+    let mut evals = Vec::with_capacity(ea);
+    for _ in 0..edge_count {
+        let (ln, line) = next_line("edge row")?;
+        let mut it = line.split('\t');
+        let src = parse_num(ln, it.next())? as u32;
+        let dst = parse_num(ln, it.next())? as u32;
+        evals.clear();
+        for f in it {
+            evals.push(parse_value(ln, f)?);
+        }
+        builder
+            .add_edge(src, dst, &evals)
+            .map_err(|e| GraphError::Parse {
+                line: ln,
+                message: e.to_string(),
+            })?;
+    }
+
+    builder.build()
+}
+
+fn parse_attr(ln: usize, fields: &[&str]) -> Result<AttrDef> {
+    if fields.len() < 4 {
+        return Err(GraphError::Parse {
+            line: ln,
+            message: "attribute line needs name, domain, flag".into(),
+        });
+    }
+    let name = fields[1];
+    let domain: AttrValue = fields[2].parse().map_err(|_| GraphError::Parse {
+        line: ln,
+        message: format!("bad domain `{}`", fields[2]),
+    })?;
+    let homophily = fields[3] == "h";
+    if fields.len() > 4 {
+        let names = &fields[4..];
+        if names.len() != domain as usize + 1 {
+            return Err(GraphError::Parse {
+                line: ln,
+                message: format!(
+                    "dictionary for `{name}` has {} entries, expected {}",
+                    names.len(),
+                    domain + 1
+                ),
+            });
+        }
+        Ok(AttrDef::with_values(
+            name,
+            homophily,
+            names[1..].iter().map(|s| s.to_string()),
+        ))
+    } else {
+        Ok(AttrDef::new(name, domain, homophily))
+    }
+}
+
+fn parse_num(ln: usize, f: Option<&str>) -> Result<usize> {
+    f.and_then(|s| s.parse().ok()).ok_or(GraphError::Parse {
+        line: ln,
+        message: "expected a number".into(),
+    })
+}
+
+fn parse_value(ln: usize, f: &str) -> Result<AttrValue> {
+    f.parse().map_err(|_| GraphError::Parse {
+        line: ln,
+        message: format!("bad attribute value `{f}`"),
+    })
+}
+
+/// Save a graph to `path`.
+pub fn save_graph(graph: &SocialGraph, path: impl AsRef<Path>) -> Result<()> {
+    write_graph(graph, std::fs::File::create(path)?)
+}
+
+/// Load a graph from `path`.
+pub fn load_graph(path: impl AsRef<Path>) -> Result<SocialGraph> {
+    read_graph(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeAttrId, NodeAttrId, SchemaBuilder};
+
+    fn sample() -> SocialGraph {
+        let schema = SchemaBuilder::new()
+            .node_attr_named("SEX", false, ["F", "M"])
+            .node_attr("Region", 188, true)
+            .edge_attr_named("TYPE", ["dates", "friend of"])
+            .build()
+            .unwrap();
+        let mut b = GraphBuilder::new(schema);
+        let a = b.add_node(&[1, 27]).unwrap();
+        let c = b.add_node(&[2, 0]).unwrap();
+        let d = b.add_node(&[2, 188]).unwrap();
+        b.add_edge(a, c, &[1]).unwrap();
+        b.add_edge(c, d, &[2]).unwrap();
+        b.add_edge(d, a, &[0]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let back = read_graph(&buf[..]).unwrap();
+
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.schema(), g.schema());
+        for n in g.node_ids() {
+            assert_eq!(back.node_row(n), g.node_row(n));
+        }
+        for e in g.edge_ids() {
+            assert_eq!(back.src(e), g.src(e));
+            assert_eq!(back.dst(e), g.dst(e));
+            assert_eq!(back.edge_row(e), g.edge_row(e));
+        }
+        // Dictionaries survive (value names with spaces included).
+        assert_eq!(
+            back.schema().edge_attr(EdgeAttrId(0)).value_name(2),
+            "friend of"
+        );
+        assert!(back.schema().node_attr(NodeAttrId(1)).is_homophily());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_graph(&b"not a graph"[..]).is_err());
+        assert!(read_graph(&b"GRMGRAPH\t9\n"[..]).is_err());
+        let truncated = b"GRMGRAPH\t1\nNODEATTR\tA\t2\tn\nNODES\t3\n1\n";
+        assert!(read_graph(&truncated[..]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("grm_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.grm");
+        save_graph(&g, &path).unwrap();
+        let back = load_graph(&path).unwrap();
+        assert_eq!(back.edge_count(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn value_out_of_domain_rejected_at_load() {
+        let text = "GRMGRAPH\t1\nNODEATTR\tA\t2\tn\nNODES\t1\n7\nEDGES\t0\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+}

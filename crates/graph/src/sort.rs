@@ -1,0 +1,202 @@
+//! Counting-sort partitioning.
+//!
+//! GRMiner (§V) "adopts a linear sorting method, Counting Sort, to sort and
+//! get the aggregate of each partition. It sorts in O(N) time without any
+//! key comparisons." This module provides exactly that primitive: given a
+//! slice of item ids and a key function mapping each id to an attribute
+//! value in `0..=domain_size`, it reorders the slice so that items with
+//! equal keys are contiguous and returns the `(value, range)` partitions.
+//!
+//! The sort is **stable** (scatter in scan order), which keeps partition
+//! contents deterministic across runs — important because the paper's rank
+//! (Def. 5) breaks ties alphabetically and our tests pin exact outputs.
+
+use crate::value::AttrValue;
+use std::ops::Range;
+
+/// One partition produced by [`partition_in_place`]: all items whose key is
+/// `value` occupy `range` within the reordered slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// The shared key value of the partition.
+    pub value: AttrValue,
+    /// The index range within the reordered slice.
+    pub range: Range<usize>,
+}
+
+impl Partition {
+    /// Number of items in the partition. For edge partitions this is the
+    /// absolute support `|E(pattern)|` of the extended pattern.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the partition is empty (never returned by the partitioner).
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+/// Reusable scratch space for [`partition_in_place`], so the mining
+/// recursion performs no per-call allocations beyond its first use at each
+/// size (the "workhorse collection" idiom).
+#[derive(Debug, Default, Clone)]
+pub struct SortScratch {
+    counts: Vec<u32>,
+    buffer: Vec<u32>,
+}
+
+impl SortScratch {
+    /// Fresh, empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Stable counting sort of `data` by `key`, in place, using `scratch`.
+///
+/// `bucket_count` must be strictly greater than every key (i.e.
+/// `domain_size + 1` — see [`crate::AttrDef::bucket_count`]).
+/// Returns the non-empty partitions in increasing key order; runs in
+/// `O(data.len() + bucket_count)` with no key comparisons.
+pub fn partition_in_place<K>(
+    data: &mut [u32],
+    bucket_count: usize,
+    scratch: &mut SortScratch,
+    mut key: K,
+) -> Vec<Partition>
+where
+    K: FnMut(u32) -> AttrValue,
+{
+    if data.is_empty() {
+        return Vec::new();
+    }
+    // Count occurrences per value.
+    scratch.counts.clear();
+    scratch.counts.resize(bucket_count, 0);
+    // Cache keys while counting so `key` runs once per item: key lookups
+    // chase node pointers and dominate the pass cost.
+    scratch.buffer.clear();
+    scratch.buffer.reserve(data.len());
+    for &id in data.iter() {
+        let k = key(id);
+        debug_assert!(
+            (k as usize) < bucket_count,
+            "key {k} out of bucket range {bucket_count}"
+        );
+        scratch.counts[k as usize] += 1;
+        scratch.buffer.push(k as u32);
+    }
+    // Exclusive prefix sums -> starting offset of each value's partition.
+    let mut offsets = Vec::with_capacity(bucket_count);
+    let mut acc = 0u32;
+    for &c in &scratch.counts {
+        offsets.push(acc);
+        acc += c;
+    }
+    // Scatter into a temporary, then copy back (stable).
+    let mut cursor = offsets.clone();
+    let mut out = vec![0u32; data.len()];
+    for (i, &id) in data.iter().enumerate() {
+        let k = scratch.buffer[i] as usize;
+        out[cursor[k] as usize] = id;
+        cursor[k] += 1;
+    }
+    data.copy_from_slice(&out);
+    // Emit non-empty partitions.
+    let mut parts = Vec::new();
+    for (v, &c) in scratch.counts.iter().enumerate() {
+        if c > 0 {
+            let start = offsets[v] as usize;
+            parts.push(Partition {
+                value: v as AttrValue,
+                range: start..start + c as usize,
+            });
+        }
+    }
+    parts
+}
+
+/// Convenience wrapper that allocates its own scratch.
+pub fn partition_by<K>(data: &mut [u32], bucket_count: usize, key: K) -> Vec<Partition>
+where
+    K: FnMut(u32) -> AttrValue,
+{
+    let mut scratch = SortScratch::new();
+    partition_in_place(data, bucket_count, &mut scratch, key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let mut data: Vec<u32> = vec![];
+        assert!(partition_by(&mut data, 4, |_| 0).is_empty());
+    }
+
+    #[test]
+    fn partitions_are_contiguous_and_sorted() {
+        let mut data = vec![0, 1, 2, 3, 4, 5, 6];
+        let keys = [2u16, 0, 1, 2, 1, 0, 2];
+        let parts = partition_by(&mut data, 3, |i| keys[i as usize]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].value, 0);
+        assert_eq!(parts[1].value, 1);
+        assert_eq!(parts[2].value, 2);
+        assert_eq!(&data[parts[0].range.clone()], &[1, 5]);
+        assert_eq!(&data[parts[1].range.clone()], &[2, 4]);
+        assert_eq!(&data[parts[2].range.clone()], &[0, 3, 6]);
+    }
+
+    #[test]
+    fn stability_preserves_input_order_within_partition() {
+        let mut data = vec![9, 3, 7, 1];
+        let parts = partition_by(&mut data, 2, |_| 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(data, vec![9, 3, 7, 1]);
+        assert_eq!(parts[0].len(), 4);
+    }
+
+    #[test]
+    fn skips_empty_values() {
+        let mut data = vec![0, 1];
+        let parts = partition_by(&mut data, 10, |i| if i == 0 { 2 } else { 9 });
+        let values: Vec<_> = parts.iter().map(|p| p.value).collect();
+        assert_eq!(values, vec![2, 9]);
+    }
+
+    #[test]
+    fn is_a_permutation() {
+        let mut data: Vec<u32> = (0..100).collect();
+        let parts = partition_by(&mut data, 7, |i| (i % 7) as u16);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn scratch_reuse_across_sizes() {
+        let mut scratch = SortScratch::new();
+        let mut a: Vec<u32> = (0..10).collect();
+        partition_in_place(&mut a, 3, &mut scratch, |i| (i % 3) as u16);
+        let mut b: Vec<u32> = (0..1000).collect();
+        let parts = partition_in_place(&mut b, 11, &mut scratch, |i| (i % 11) as u16);
+        assert_eq!(parts.len(), 11);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn ranges_tile_the_slice() {
+        let mut data: Vec<u32> = (0..57).collect();
+        let parts = partition_by(&mut data, 5, |i| (i % 5) as u16);
+        let mut next = 0;
+        for p in &parts {
+            assert_eq!(p.range.start, next);
+            next = p.range.end;
+        }
+        assert_eq!(next, 57);
+    }
+}

@@ -1,0 +1,91 @@
+//! Attribute values and identifiers.
+//!
+//! Every attribute `A` in the paper (§III) has a discrete domain
+//! `{0, 1, …, |A|}` where `0` represents the *null* value. We encode values
+//! as [`AttrValue`] (`u16`), which comfortably covers the largest domain in
+//! the paper's evaluation (Pokec `Region` with 188 values) with a compact
+//! in-memory footprint — the compact data model of §IV-A stores one cell per
+//! (node, attribute) pair, so cell width matters.
+
+use serde::{Deserialize, Serialize};
+
+/// A single attribute value. `0` is the null value ([`NULL`]); real values
+/// are `1..=domain_size`.
+pub type AttrValue = u16;
+
+/// The null value: "attribute not filled in" (§III). Descriptors never
+/// contain null, and partitions on null are skipped during enumeration,
+/// but edges incident to null-valued nodes still count toward supports of
+/// patterns that do not constrain that attribute.
+pub const NULL: AttrValue = 0;
+
+/// Index of a node attribute within a [`crate::Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeAttrId(pub u8);
+
+/// Index of an edge attribute within a [`crate::Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeAttrId(pub u8);
+
+impl NodeAttrId {
+    /// The attribute index as a `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeAttrId {
+    /// The attribute index as a `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeAttrId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for EdgeAttrId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of a node in a [`crate::SocialGraph`]. Dense, zero-based.
+pub type NodeId = u32;
+
+/// Identifier of an edge in a [`crate::SocialGraph`]. Dense, zero-based,
+/// in insertion order.
+pub type EdgeId = u32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_zero() {
+        assert_eq!(NULL, 0);
+    }
+
+    #[test]
+    fn attr_ids_index() {
+        assert_eq!(NodeAttrId(3).index(), 3);
+        assert_eq!(EdgeAttrId(200).index(), 200);
+    }
+
+    #[test]
+    fn attr_ids_display() {
+        assert_eq!(NodeAttrId(2).to_string(), "n2");
+        assert_eq!(EdgeAttrId(1).to_string(), "e1");
+    }
+
+    #[test]
+    fn attr_ids_ordering() {
+        assert!(NodeAttrId(1) < NodeAttrId(2));
+        assert!(EdgeAttrId(0) < EdgeAttrId(1));
+    }
+}

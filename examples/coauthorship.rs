@@ -1,0 +1,88 @@
+//! Mining a DBLP-like co-authorship network (§VI-C): cross-area
+//! collaboration patterns that homophily-based rankings miss.
+//!
+//! Run with: `cargo run --release --example coauthorship [scale]`
+//! (default 1.0 = the paper's scale: 28,702 authors / 66,832 edges).
+
+use social_ties::core::query;
+use social_ties::datagen::dblp_config_scaled;
+use social_ties::{generate, GrBuilder, GrMiner, MinerConfig, RankMetric};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+
+    println!("generating DBLP-like co-authorship network at scale {scale}…");
+    let graph = generate(&dblp_config_scaled(scale)).expect("generator config is valid");
+    let schema = graph.schema();
+    println!(
+        "{} authors, {} directed co-author edges\n",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // Paper settings for DBLP: minSupp 0.1% (= 67 at full scale),
+    // minNhp = minConf = 50%, k = 20.
+    let min_supp = (((graph.edge_count() as f64) * 0.001) as u64).max(1);
+
+    let by_nhp = GrMiner::new(&graph, MinerConfig::nhp(min_supp, 0.5, 20)).mine();
+    println!("top GRs by nhp (Table IIb, left column):");
+    for (i, x) in by_nhp.top.iter().take(8).enumerate() {
+        println!(
+            "{:>3}. {}  nhp={:.1}%  supp={}  (conf={:.1}%)",
+            i + 1,
+            x.gr.display(schema),
+            x.score * 100.0,
+            x.supp,
+            x.conf() * 100.0
+        );
+    }
+
+    let by_conf = GrMiner::new(&graph, MinerConfig::conf(min_supp, 0.5, 20)).mine();
+    println!("\ntop GRs by conf (Table IIb, right column):");
+    for (i, x) in by_conf.top.iter().take(8).enumerate() {
+        println!(
+            "{:>3}. {}  conf={:.1}%  supp={}",
+            i + 1,
+            x.gr.display(schema),
+            x.score * 100.0,
+            x.supp
+        );
+    }
+
+    // The D2 story: database researchers who collaborate *often* outside
+    // their own area overwhelmingly collaborate with data mining — a
+    // pattern with tiny confidence that only nhp surfaces.
+    let d2 = GrBuilder::new(schema)
+        .l("Area", "DB")
+        .w("S", "often")
+        .r("Area", "DM")
+        .build()
+        .unwrap();
+    let m = query::evaluate(&graph, &d2);
+    println!("\nD2 = {}", d2.display(schema));
+    println!("     {}", m.summary());
+
+    // §VII: the lift metric corrects the Poor-productivity population
+    // skew that inflates D1-style patterns.
+    let cfg = MinerConfig {
+        min_supp,
+        min_score: f64::NEG_INFINITY,
+        k: 5,
+        dynamic_topk: false,
+        ..MinerConfig::default().with_metric(RankMetric::Lift)
+    };
+    let by_lift = GrMiner::new(&graph, cfg).mine();
+    println!("\ntop GRs by lift (population-skew corrected, §VII):");
+    for (i, x) in by_lift.top.iter().enumerate() {
+        println!(
+            "{:>3}. {}  lift={:.2}  supp={}",
+            i + 1,
+            x.gr.display(schema),
+            x.score,
+            x.supp
+        );
+    }
+}

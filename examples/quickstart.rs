@@ -1,0 +1,48 @@
+//! Quickstart: build a tiny attributed dating network, mine the top-k
+//! group relationships beyond homophily, and inspect one of them.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use social_ties::core::query;
+use social_ties::{toy_network, GrBuilder, GrMiner, MinerConfig};
+
+fn main() {
+    // The Fig. 1 toy dating network: 14 people with SEX / RACE / EDU
+    // attributes (RACE and EDU homophilous), 15 dating edges.
+    let graph = toy_network();
+    let schema = graph.schema();
+    println!(
+        "network: {} nodes, {} edges, {} node attrs, {} edge attrs\n",
+        graph.node_count(),
+        graph.edge_count(),
+        schema.node_attr_count(),
+        schema.edge_attr_count()
+    );
+
+    // Mine the top-5 GRs by non-homophily preference:
+    // minSupp = 2 edges, minNhp = 50%.
+    let result = GrMiner::new(&graph, MinerConfig::nhp(2, 0.5, 5)).mine();
+    println!("top-5 GRs by non-homophily preference:");
+    print!("{}", result.report(schema));
+    println!("\nminer stats: {}\n", result.stats);
+
+    // Compare with the classic support/confidence ranking: trivial
+    // homophily restatements are allowed to show up there.
+    let by_conf = GrMiner::new(&graph, MinerConfig::conf(2, 0.5, 5)).mine();
+    println!("top-5 GRs by plain confidence:");
+    print!("{}", by_conf.report(schema));
+
+    // Ad-hoc hypothesis: the paper's GR4. Confidence says 33%; once the
+    // homophily effect (Grad-Grad dating) is excluded, the preference for
+    // College partners is 100%.
+    let gr4 = GrBuilder::new(schema)
+        .l("SEX", "F")
+        .l("EDU", "Grad")
+        .r("SEX", "M")
+        .r("EDU", "College")
+        .build()
+        .expect("valid names");
+    let m = query::evaluate(&graph, &gr4);
+    println!("\nGR4 = {}", gr4.display(schema));
+    println!("     {}", m.summary());
+}

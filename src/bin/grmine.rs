@@ -1,0 +1,216 @@
+//! `grmine` — command-line GR mining and querying.
+//!
+//! ```text
+//! grmine mine  <graph.grm> [--min-supp N] [--min-score F] [--k N]
+//!              [--metric nhp|conf|laplace|gain|ps|conviction|lift]
+//!              [--no-dynamic] [--parallel N] [--json]
+//! grmine query <graph.grm> "<GR>"            # e.g. "(SEX:F) -> (EDU:Grad)"
+//! grmine gen   <pokec|dblp> <out.grm> [--scale F] [--seed N]
+//! grmine info  <graph.grm>
+//! ```
+//!
+//! The graph format is the self-describing GRMGRAPH text format written by
+//! `grm_graph::io` (and by `grmine gen`).
+
+use social_ties::core::baseline::{mine_baseline, BaselineKind};
+use social_ties::core::parallel::mine_parallel;
+use social_ties::core::{parse_gr, query};
+use social_ties::graph::io;
+use social_ties::{generate, GrMiner, MinerConfig, RankMetric};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("mine") => cmd_mine(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        _ => {
+            eprintln!("usage: grmine <mine|query|gen|info> …  (see --help in source)");
+            2
+        }
+    };
+    exit(code);
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn load(path: &str) -> Option<social_ties::SocialGraph> {
+    match io::load_graph(path) {
+        Ok(g) => Some(g),
+        Err(e) => {
+            eprintln!("error loading `{path}`: {e}");
+            None
+        }
+    }
+}
+
+fn cmd_mine(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: grmine mine <graph.grm> [flags]");
+        return 2;
+    };
+    let Some(graph) = load(path) else { return 1 };
+
+    let metric = match flag_value(args, "--metric").unwrap_or("nhp") {
+        "nhp" => RankMetric::Nhp,
+        "conf" => RankMetric::Conf,
+        "laplace" => RankMetric::Laplace { k: 2 },
+        "gain" => RankMetric::Gain { theta: 0.5 },
+        "ps" => RankMetric::PiatetskyShapiro,
+        "conviction" => RankMetric::Conviction,
+        "lift" => RankMetric::Lift,
+        other => {
+            eprintln!("unknown metric `{other}`");
+            return 2;
+        }
+    };
+    let default_score = if metric.anti_monotone() { 0.5 } else { f64::NEG_INFINITY };
+    let mut cfg = MinerConfig {
+        min_supp: flag_value(args, "--min-supp")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| ((graph.edge_count() / 1000) as u64).max(1)),
+        min_score: flag_value(args, "--min-score")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_score),
+        k: flag_value(args, "--k").and_then(|v| v.parse().ok()).unwrap_or(20),
+        ..MinerConfig::default().with_metric(metric)
+    };
+    if has_flag(args, "--no-dynamic") {
+        cfg.dynamic_topk = false;
+    }
+    if has_flag(args, "--allow-empty-lhs") {
+        cfg.allow_empty_lhs = true;
+    }
+
+    let result = if let Some(threads) = flag_value(args, "--parallel") {
+        let threads: usize = threads.parse().unwrap_or(0);
+        mine_parallel(&graph, &cfg.clone().without_dynamic_topk(), threads)
+    } else if has_flag(args, "--baseline-bl1") {
+        mine_baseline(&graph, &cfg, BaselineKind::Bl1)
+    } else if has_flag(args, "--baseline-bl2") {
+        mine_baseline(&graph, &cfg, BaselineKind::Bl2)
+    } else {
+        GrMiner::new(&graph, cfg.clone()).mine()
+    };
+
+    if has_flag(args, "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result.top).expect("results serialize")
+        );
+    } else {
+        println!(
+            "# {} GRs (metric {}, minSupp {}, minScore {}, k {})",
+            result.top.len(),
+            cfg.metric,
+            cfg.min_supp,
+            cfg.min_score,
+            cfg.k
+        );
+        print!("{}", result.report(graph.schema()));
+        eprintln!("{}", result.stats);
+    }
+    0
+}
+
+fn cmd_query(args: &[String]) -> i32 {
+    let (Some(path), Some(text)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: grmine query <graph.grm> \"<GR>\"");
+        return 2;
+    };
+    let Some(graph) = load(path) else { return 1 };
+    match parse_gr(graph.schema(), text) {
+        Ok(gr) => {
+            let m = query::evaluate(&graph, &gr);
+            println!("{}", gr.display(graph.schema()));
+            println!("{}", m.summary());
+            println!(
+                "supp_lw={} heff={} supp_r={} |E|={} beta={:?}",
+                m.supp_lw, m.heff, m.supp_r, m.edges, m.beta_attrs
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("cannot parse GR: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_gen(args: &[String]) -> i32 {
+    let (Some(which), Some(out)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: grmine gen <pokec|dblp> <out.grm> [--scale F] [--seed N]");
+        return 2;
+    };
+    let scale: f64 = flag_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1);
+    let mut cfg = match which.as_str() {
+        "pokec" => social_ties::datagen::pokec_config_scaled(scale),
+        "dblp" => social_ties::datagen::dblp_config_scaled(scale),
+        other => {
+            eprintln!("unknown dataset `{other}`");
+            return 2;
+        }
+    };
+    if let Some(seed) = flag_value(args, "--seed").and_then(|v| v.parse().ok()) {
+        cfg = cfg.with_seed(seed);
+    }
+    let graph = generate(&cfg).expect("builtin configs are valid");
+    if let Err(e) = io::save_graph(&graph, out) {
+        eprintln!("error writing `{out}`: {e}");
+        return 1;
+    }
+    eprintln!(
+        "wrote {} nodes / {} edges to {out}",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    0
+}
+
+fn cmd_info(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: grmine info <graph.grm>");
+        return 2;
+    };
+    let Some(graph) = load(path) else { return 1 };
+    let s = graph.schema();
+    println!("nodes: {}", graph.node_count());
+    println!("edges: {}", graph.edge_count());
+    println!("node attributes:");
+    for a in s.node_attr_ids() {
+        let def = s.node_attr(a);
+        println!(
+            "  {} (|A|={}, {})",
+            def.name(),
+            def.domain_size(),
+            if def.is_homophily() { "homophily" } else { "non-homophily" }
+        );
+    }
+    println!("edge attributes:");
+    for a in s.edge_attr_ids() {
+        let def = s.edge_attr(a);
+        println!("  {} (|A|={})", def.name(), def.domain_size());
+    }
+    let cm = social_ties::graph::CompactModel::build(&graph);
+    let st = social_ties::graph::SingleTable::build(&graph);
+    println!(
+        "compact model: {} cells; single table: {} cells ({:.1}x)",
+        cm.cells(),
+        st.cells(),
+        st.cells() as f64 / cm.cells() as f64
+    );
+    0
+}

@@ -1,0 +1,38 @@
+//! # social-ties — Mining Social Ties Beyond Homophily
+//!
+//! Umbrella crate for the Rust reproduction of *Liang, Wang, Zhu: "Mining
+//! Social Ties Beyond Homophily", IEEE ICDE 2016*. It re-exports the three
+//! workspace crates as modules:
+//!
+//! * [`graph`] — attributed social-network substrate (schemas with
+//!   homophily flags, the compact LArray/EArray/RArray data model of
+//!   §IV-A, counting-sort partitioning, I/O);
+//! * [`core`] — the GRMiner algorithm (non-homophily preference, SFDF
+//!   enumeration with dynamic tail ordering, top-k with dynamic threshold,
+//!   BL1/BL2 baselines, §VII alternative metrics, ad-hoc GR queries, a
+//!   parallel miner);
+//! * [`datagen`] — synthetic Pokec-like / DBLP-like workloads with planted
+//!   beyond-homophily preferences, plus the Fig. 1 toy dating network.
+//!
+//! The most common entry points are re-exported at the top level:
+//!
+//! ```
+//! use social_ties::{GrMiner, MinerConfig, toy_network};
+//!
+//! let graph = toy_network();
+//! let top = GrMiner::new(&graph, MinerConfig::nhp(1, 0.5, 5)).mine();
+//! println!("{}", top.report(graph.schema()));
+//! ```
+
+pub use grm_core as core;
+pub use grm_datagen as datagen;
+pub use grm_graph as graph;
+
+pub use grm_core::{
+    Dims, EdgeDescriptor, Gr, GrBuilder, GrMiner, MineResult, MinerConfig, MinerStats,
+    NodeDescriptor, RankMetric, ScoredGr,
+};
+pub use grm_datagen::{
+    dblp_config, generate, pokec_config, toy_network, toy_schema, GeneratorConfig,
+};
+pub use grm_graph::{GraphBuilder, Schema, SchemaBuilder, SocialGraph};

@@ -1,0 +1,151 @@
+//! The `grmine` CLI and the GR text parser, end to end: generate a graph,
+//! inspect it, mine it, and re-query a mined GR — all through the shipped
+//! binary and the parse API.
+
+use social_ties::core::{parse_gr, query};
+use social_ties::{toy_network, GrMiner, MinerConfig};
+use std::process::Command;
+
+fn grmine() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_grmine"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("grmine-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn parser_round_trips_every_mined_gr() {
+    let g = toy_network();
+    let s = g.schema();
+    let result = GrMiner::new(&g, MinerConfig::nhp(1, 0.0, 500)).mine();
+    assert!(!result.top.is_empty());
+    for x in &result.top {
+        let text = x.gr.display(s);
+        let parsed = parse_gr(s, &text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(parsed, x.gr, "parse(display(gr)) == gr for {text}");
+        // And the parsed GR re-queries to the same counts.
+        let m = query::evaluate(&g, &parsed);
+        assert_eq!(m.supp, x.supp);
+        assert_eq!(m.supp_lw, x.supp_lw);
+        assert_eq!(m.heff, x.heff);
+    }
+}
+
+#[test]
+fn cli_gen_info_mine_query_pipeline() {
+    let path = tmp("pipeline.grm");
+    let out = grmine()
+        .args(["gen", "dblp", path.to_str().unwrap(), "--scale", "0.03", "--seed", "5"])
+        .output()
+        .expect("gen runs");
+    assert!(out.status.success(), "gen failed: {out:?}");
+
+    let out = grmine()
+        .args(["info", path.to_str().unwrap()])
+        .output()
+        .expect("info runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Area (|A|=4, homophily)"));
+    assert!(text.contains("compact model:"));
+
+    let out = grmine()
+        .args(["mine", path.to_str().unwrap(), "--k", "5", "--min-supp", "3"])
+        .output()
+        .expect("mine runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("metric nhp"), "got: {text}");
+
+    let out = grmine()
+        .args([
+            "query",
+            path.to_str().unwrap(),
+            "(Productivity:Fair) -> (Productivity:Poor)",
+        ])
+        .output()
+        .expect("query runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("supp="), "got: {text}");
+}
+
+#[test]
+fn cli_mine_json_is_parseable() {
+    let path = tmp("json.grm");
+    assert!(grmine()
+        .args(["gen", "dblp", path.to_str().unwrap(), "--scale", "0.03"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = grmine()
+        .args(["mine", path.to_str().unwrap(), "--k", "3", "--min-supp", "3", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let parsed: Vec<social_ties::ScoredGr> =
+        serde_json::from_slice(&out.stdout).expect("valid JSON results");
+    assert!(parsed.len() <= 3);
+}
+
+#[test]
+fn cli_rejects_bad_input() {
+    assert!(!grmine().args(["mine", "/nonexistent.grm"]).output().unwrap().status.success());
+    assert!(!grmine().args(["gen", "nope", "/tmp/x.grm"]).output().unwrap().status.success());
+    assert!(!grmine().args(["bogus"]).output().unwrap().status.success());
+
+    let path = tmp("badquery.grm");
+    assert!(grmine()
+        .args(["gen", "dblp", path.to_str().unwrap(), "--scale", "0.03"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    assert!(!grmine()
+        .args(["query", path.to_str().unwrap(), "(Nope:1) -> (Area:DB)"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+}
+
+#[test]
+fn cli_parallel_and_baseline_modes_agree() {
+    let path = tmp("modes.grm");
+    assert!(grmine()
+        .args(["gen", "dblp", path.to_str().unwrap(), "--scale", "0.05"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let run = |extra: &[&str]| -> Vec<social_ties::ScoredGr> {
+        let mut args = vec![
+            "mine",
+            path.to_str().unwrap(),
+            "--k",
+            "5",
+            "--min-supp",
+            "5",
+            "--no-dynamic",
+            "--json",
+        ];
+        args.extend_from_slice(extra);
+        let out = grmine().args(&args).output().unwrap();
+        assert!(out.status.success());
+        serde_json::from_slice(&out.stdout).unwrap()
+    };
+    let plain = run(&[]);
+    let parallel = run(&["--parallel", "2"]);
+    let bl1 = run(&["--baseline-bl1"]);
+    let bl2 = run(&["--baseline-bl2"]);
+    let keys = |v: &[social_ties::ScoredGr]| -> Vec<(social_ties::Gr, u64)> {
+        v.iter().map(|x| (x.gr.clone(), x.supp)).collect()
+    };
+    assert_eq!(keys(&plain), keys(&parallel));
+    assert_eq!(keys(&plain), keys(&bl1));
+    assert_eq!(keys(&plain), keys(&bl2));
+}

@@ -1,0 +1,85 @@
+//! Data-driven homophily detection recovers the planted configuration of
+//! both synthetic workloads — closing the loop between the generator's
+//! ground truth and the §III-B problem input.
+
+use social_ties::datagen::{dblp_config_scaled, pokec_config_scaled};
+use social_ties::generate;
+use social_ties::graph::stats;
+
+#[test]
+fn pokec_detection_matches_planted_flags() {
+    let g = generate(&pokec_config_scaled(0.04)).unwrap();
+    let schema = g.schema();
+    let scores = stats::homophily_scores(&g);
+
+    // Region is the dominant homophily driver: highest assortativity.
+    let region = schema.node_attr_by_name("Region").unwrap();
+    let best = scores
+        .iter()
+        .max_by(|a, b| a.assortativity().total_cmp(&b.assortativity()))
+        .unwrap();
+    assert_eq!(best.attr, region, "Region should top the assortativity list");
+    assert!(best.assortativity() > 0.4, "got {}", best.assortativity());
+
+    // Gender and Marital (non-homophily in the config) measure near zero…
+    for name in ["Gender", "Marital"] {
+        let a = schema.node_attr_by_name(name).unwrap();
+        let s = scores.iter().find(|s| s.attr == a).unwrap();
+        assert!(
+            s.assortativity().abs() < 0.08,
+            "{name} assortativity {}",
+            s.assortativity()
+        );
+    }
+    // …and are never suggested.
+    let suggested = stats::suggest_homophily_attrs(&g, 0.1);
+    for name in ["Gender", "Marital"] {
+        let a = schema.node_attr_by_name(name).unwrap();
+        assert!(!suggested.contains(&a), "{name} wrongly suggested");
+    }
+    assert!(suggested.contains(&region));
+}
+
+#[test]
+fn dblp_detection_flags_area_not_productivity() {
+    let g = generate(&dblp_config_scaled(0.3)).unwrap();
+    let schema = g.schema();
+    let suggested = stats::suggest_homophily_attrs(&g, 0.1);
+    let area = schema.node_attr_by_name("Area").unwrap();
+    let prod = schema.node_attr_by_name("Productivity").unwrap();
+    assert!(suggested.contains(&area), "Area is strongly homophilous");
+    assert!(
+        !suggested.contains(&prod),
+        "Productivity must not look homophilous (students<->professors)"
+    );
+}
+
+#[test]
+fn audit_report_renders_for_both_workloads() {
+    for g in [
+        generate(&pokec_config_scaled(0.01)).unwrap(),
+        generate(&dblp_config_scaled(0.05)).unwrap(),
+    ] {
+        let report = stats::audit_report(&g);
+        assert!(report.contains("nodes:"));
+        assert!(report.contains("assortativity"));
+        assert!(report.lines().count() >= 4);
+    }
+}
+
+#[test]
+fn dst_marginal_reflects_attractiveness_weights() {
+    // DBLP's Poor authors are ~91% of nodes but far less of edge
+    // destinations (the supervisor-hub effect the generator plants).
+    let g = generate(&dblp_config_scaled(0.3)).unwrap();
+    let prod = g.schema().node_attr_by_name("Productivity").unwrap();
+    let nodes = stats::node_marginal(&g, prod);
+    let dsts = stats::dst_marginal(&g, prod);
+    let node_poor = nodes[1] as f64 / nodes.iter().sum::<u64>() as f64;
+    let dst_poor = dsts[1] as f64 / dsts.iter().sum::<u64>() as f64;
+    assert!(node_poor > 0.88, "population share {node_poor}");
+    assert!(
+        dst_poor < node_poor - 0.1,
+        "edge share {dst_poor} must sit well below population share {node_poor}"
+    );
+}

@@ -1,0 +1,240 @@
+//! Property-based tests (proptest) for the paper's theorems and the
+//! miner's end-to-end correctness on arbitrary attributed graphs.
+
+use proptest::prelude::*;
+use social_ties::core::reference::mine_reference;
+use social_ties::graph::io;
+use social_ties::graph::sort::partition_by;
+use social_ties::{Gr, GrMiner, MinerConfig, SchemaBuilder, SocialGraph};
+
+/// An arbitrary small attributed graph: up to 3 node attrs (random
+/// homophily flags), up to 1 edge attr, up to 10 nodes / 40 edges.
+fn arb_graph() -> impl Strategy<Value = SocialGraph> {
+    (
+        prop::collection::vec(any::<bool>(), 1..=3), // homophily flags
+        2u16..=3,                                    // node domain size
+        0usize..=1,                                  // edge attr count
+        2u32..=10,                                   // nodes
+        1u32..=40,                                   // edges
+        any::<u64>(),                                // value seed
+    )
+        .prop_map(|(flags, domain, ea, nodes, edges, seed)| {
+            let mut sb = SchemaBuilder::new();
+            for (i, &h) in flags.iter().enumerate() {
+                sb = sb.node_attr(format!("N{i}"), domain, h);
+            }
+            for i in 0..ea {
+                sb = sb.edge_attr(format!("E{i}"), 2);
+            }
+            let schema = sb.build().unwrap();
+            let mut b = social_ties::GraphBuilder::new(schema);
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for _ in 0..nodes {
+                let row: Vec<u16> = (0..flags.len())
+                    .map(|_| (next() % (domain as u64 + 1)) as u16)
+                    .collect();
+                b.add_node(&row).unwrap();
+            }
+            for _ in 0..edges {
+                let s = (next() % nodes as u64) as u32;
+                let mut t = (next() % nodes as u64) as u32;
+                if t == s {
+                    t = (t + 1) % nodes;
+                }
+                let ev: Vec<u16> = (0..ea).map(|_| (next() % 3) as u16).collect();
+                b.add_edge(s, t, &ev).unwrap();
+            }
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    // Each case runs a brute-force reference mine (exponential in attrs),
+    // so keep the case count moderate; the deterministic differential
+    // tests in miner_equivalence.rs cover many more seeds cheaply.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: GRMiner (static threshold) equals the
+    /// brute-force Definition-5 oracle on arbitrary graphs and thresholds.
+    #[test]
+    fn grminer_equals_reference(
+        g in arb_graph(),
+        min_supp in 1u64..=3,
+        min_nhp in prop::sample::select(vec![0.2, 0.45, 0.75]),
+        k in 1usize..=20,
+    ) {
+        let cfg = MinerConfig::nhp(min_supp, min_nhp, k).without_dynamic_topk();
+        let fast = GrMiner::new(&g, cfg.clone()).mine();
+        let oracle = mine_reference(&g, &cfg);
+        let fk: Vec<(Gr, u64)> = fast.top.iter().map(|s| (s.gr.clone(), s.supp)).collect();
+        let ok: Vec<(Gr, u64)> = oracle.iter().map(|s| (s.gr.clone(), s.supp)).collect();
+        prop_assert_eq!(fk, ok);
+    }
+
+    /// Theorem 1: for every examined GR, nhp ∈ [0, 1], the denominator is
+    /// positive, and nhp ≥ conf (Remark 1).
+    #[test]
+    fn theorem1_nhp_bounds(g in arb_graph()) {
+        let result = GrMiner::new(&g, MinerConfig::nhp(1, 0.0, 1000)).mine();
+        for x in &result.top {
+            prop_assert!(x.supp > 0);
+            prop_assert!(x.supp_lw > x.heff, "denominator must stay positive");
+            let nhp = x.nhp();
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&nhp));
+            prop_assert!(nhp + 1e-12 >= x.conf(), "nhp >= conf (Remark 1)");
+            prop_assert!((x.score - nhp).abs() < 1e-12);
+        }
+    }
+
+    /// Theorem 2(1): results respect minSupp; Def. 5(1): results respect
+    /// minNhp; Def. 5(3): results are rank-sorted and at most k.
+    #[test]
+    fn definition5_conditions(
+        g in arb_graph(),
+        min_supp in 1u64..=4,
+        k in 1usize..=10,
+    ) {
+        let cfg = MinerConfig::nhp(min_supp, 0.4, k);
+        let result = GrMiner::new(&g, cfg).mine();
+        prop_assert!(result.top.len() <= k);
+        for w in result.top.windows(2) {
+            prop_assert_ne!(
+                w[0].rank_cmp(&w[1]),
+                std::cmp::Ordering::Greater,
+                "output must be rank-sorted"
+            );
+        }
+        for x in &result.top {
+            prop_assert!(x.supp >= min_supp);
+            prop_assert!(x.score >= 0.4);
+            prop_assert!(!x.gr.is_trivial(g.schema()));
+        }
+        // Def. 5(2): no result generalizes another.
+        for a in &result.top {
+            for b in &result.top {
+                if a.gr != b.gr {
+                    prop_assert!(!a.gr.is_more_general_than(&b.gr));
+                }
+            }
+        }
+    }
+
+    /// GRMiner(k) never does more work than GRMiner, and every GR it
+    /// returns satisfies condition (1) with exactly measured supports
+    /// (the generality corner case may add entries — see DESIGN.md — but
+    /// never unsound ones).
+    #[test]
+    fn dynamic_pruning_is_sound(g in arb_graph(), k in 1usize..=8) {
+        let cfg = MinerConfig::nhp(1, 0.3, k);
+        let dynamic = GrMiner::new(&g, cfg.clone()).mine();
+        let exact = GrMiner::new(&g, cfg.clone().without_dynamic_topk()).mine();
+        prop_assert!(dynamic.stats.grs_examined <= exact.stats.grs_examined);
+
+        let cond1 = mine_reference(&g, &MinerConfig {
+            generality_filter: false,
+            k: usize::MAX,
+            dynamic_topk: false,
+            ..cfg
+        });
+        for x in &dynamic.top {
+            prop_assert!(
+                cond1.iter().any(|r| r.gr == x.gr && r.supp == x.supp
+                    && r.supp_lw == x.supp_lw && r.heff == x.heff),
+                "unsound dynamic result: {:?}", x.gr
+            );
+        }
+        // Exact winners are only displaced by better-ranked entries.
+        if dynamic.top.len() == k {
+            let worst = dynamic.top.last().expect("k >= 1");
+            for e in &exact.top {
+                let present = dynamic.top.iter().any(|d| d.gr == e.gr);
+                let outranked = e.rank_cmp(worst) == std::cmp::Ordering::Greater;
+                prop_assert!(present || outranked);
+            }
+        }
+    }
+
+    /// Counting sort: output is a permutation, partitions tile the slice
+    /// in increasing key order, and the sort is stable.
+    #[test]
+    fn counting_sort_properties(
+        keys in prop::collection::vec(0u16..8, 0..200),
+    ) {
+        let mut data: Vec<u32> = (0..keys.len() as u32).collect();
+        let parts = partition_by(&mut data, 8, |i| keys[i as usize]);
+        // Permutation.
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..keys.len() as u32).collect::<Vec<_>>());
+        // Tiling, ordering, stability.
+        let mut next = 0usize;
+        for p in &parts {
+            prop_assert_eq!(p.range.start, next);
+            next = p.range.end;
+            let ids = &data[p.range.clone()];
+            for w in ids.windows(2) {
+                prop_assert!(w[0] < w[1], "stability preserves input order");
+            }
+            for &id in ids {
+                prop_assert_eq!(keys[id as usize], p.value);
+            }
+        }
+        prop_assert_eq!(next, keys.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// GRMGRAPH persistence is lossless on arbitrary graphs: every node
+    /// row, edge endpoint, edge row and schema flag survives, and mining
+    /// the reloaded graph yields identical results.
+    #[test]
+    fn io_round_trip_lossless(g in arb_graph()) {
+        let mut buf = Vec::new();
+        io::write_graph(&g, &mut buf).unwrap();
+        let back = io::read_graph(&buf[..]).unwrap();
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        prop_assert_eq!(back.schema(), g.schema());
+        for n in g.node_ids() {
+            prop_assert_eq!(back.node_row(n), g.node_row(n));
+        }
+        for e in g.edge_ids() {
+            prop_assert_eq!(back.src(e), g.src(e));
+            prop_assert_eq!(back.dst(e), g.dst(e));
+            prop_assert_eq!(back.edge_row(e), g.edge_row(e));
+        }
+        let cfg = MinerConfig::nhp(1, 0.5, 10);
+        let a = GrMiner::new(&g, cfg.clone()).mine();
+        let b = GrMiner::new(&back, cfg).mine();
+        let ka: Vec<Gr> = a.top.iter().map(|x| x.gr.clone()).collect();
+        let kb: Vec<Gr> = b.top.iter().map(|x| x.gr.clone()).collect();
+        prop_assert_eq!(ka, kb);
+    }
+
+    /// The homophily-effect identity: for every mined GR,
+    /// `heff <= supp_lw - supp` is NOT generally true, but
+    /// `supp + heff <= supp_lw` is (Theorem 1's disjointness argument:
+    /// the edges counted by supp go to r, those by heff to l[β], and the
+    /// two sets are disjoint whenever β ≠ ∅).
+    #[test]
+    fn theorem1_disjointness(g in arb_graph()) {
+        let result = GrMiner::new(&g, MinerConfig::nhp(1, 0.0, 500)).mine();
+        for x in &result.top {
+            if x.heff > 0 {
+                prop_assert!(
+                    x.supp + x.heff <= x.supp_lw,
+                    "supp {} + heff {} > supp_lw {}",
+                    x.supp, x.heff, x.supp_lw
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The mechanics behind Fig. 4: which constraints prune how much work.
+//! These tests pin the *relationships* the runtime plots rely on, using
+//! the partition/GR counters rather than wall-clock time (stable in CI).
+
+use social_ties::core::baseline::{mine_baseline, BaselineKind};
+use social_ties::datagen::pokec_config_scaled;
+use social_ties::{generate, GrMiner, MinerConfig, SocialGraph};
+
+fn workload() -> SocialGraph {
+    generate(&pokec_config_scaled(0.02)).unwrap()
+}
+
+#[test]
+fn fig4b_mechanics_more_minnhp_more_pruning() {
+    // BL1/BL2 "do not benefit from a larger minNhp since they employ only
+    // minSupp for pruning"; GRMiner's examined-GR count must drop as
+    // minNhp grows.
+    let g = workload();
+    let mut examined = Vec::new();
+    for min_nhp in [0.0, 0.5, 0.9] {
+        let cfg = MinerConfig::nhp(20, min_nhp, 100).without_dynamic_topk();
+        examined.push(GrMiner::new(&g, cfg).mine().stats.grs_examined);
+    }
+    assert!(
+        examined[0] >= examined[1] && examined[1] >= examined[2],
+        "examined GRs must not increase with minNhp: {examined:?}"
+    );
+    assert!(
+        examined[2] < examined[0],
+        "pruning must actually bite at minNhp=0.9: {examined:?}"
+    );
+
+    // Baselines: identical partition counts regardless of minNhp.
+    let b1 = mine_baseline(&g, &MinerConfig::nhp(20, 0.1, 100), BaselineKind::Bl2);
+    let b2 = mine_baseline(&g, &MinerConfig::nhp(20, 0.9, 100), BaselineKind::Bl2);
+    assert_eq!(
+        b1.stats.partitions_examined, b2.stats.partitions_examined,
+        "BUC work is independent of minNhp"
+    );
+}
+
+#[test]
+fn fig4c_mechanics_small_k_tightens_dynamic_bound() {
+    // "With a small k, the smallest nhp of top-k GRs is likely high, so
+    // the upgraded minNhp has a similar effect to a large user-specified
+    // minNhp."
+    let g = workload();
+    let loose = GrMiner::new(&g, MinerConfig::nhp(20, 0.0, 10_000)).mine();
+    let tight = GrMiner::new(&g, MinerConfig::nhp(20, 0.0, 1)).mine();
+    assert!(
+        tight.stats.grs_examined <= loose.stats.grs_examined,
+        "k=1 must not examine more GRs than k=10000: {} vs {}",
+        tight.stats.grs_examined,
+        loose.stats.grs_examined
+    );
+    assert!(tight.stats.pruned_by_score >= loose.stats.pruned_by_score);
+}
+
+#[test]
+fn fig4a_mechanics_grminer_stays_stable_as_minsupp_drops() {
+    // As minSupp shrinks, the baselines' frequent-pattern space explodes
+    // while GRMiner's nhp pruning keeps the examined count near-flat.
+    let g = workload();
+    let supp_hi = (g.edge_count() / 100) as u64;
+    let supp_lo = 2u64;
+
+    let cfg = |s| MinerConfig::nhp(s, 0.5, 100);
+    let miner_hi = GrMiner::new(&g, cfg(supp_hi)).mine().stats.partitions_examined;
+    let miner_lo = GrMiner::new(&g, cfg(supp_lo)).mine().stats.partitions_examined;
+    let bl_hi = mine_baseline(&g, &cfg(supp_hi), BaselineKind::Bl2)
+        .stats
+        .partitions_examined;
+    let bl_lo = mine_baseline(&g, &cfg(supp_lo), BaselineKind::Bl2)
+        .stats
+        .partitions_examined;
+
+    let miner_growth = miner_lo as f64 / miner_hi.max(1) as f64;
+    let bl_growth = bl_lo as f64 / bl_hi.max(1) as f64;
+    assert!(
+        bl_growth > miner_growth,
+        "baseline work must grow faster as minSupp drops: baseline x{bl_growth:.1} vs GRMiner x{miner_growth:.1}"
+    );
+}
+
+#[test]
+fn fig4d_mechanics_dimensionality_hurts_baselines_more() {
+    use social_ties::Dims;
+    let g = workload();
+    let schema = g.schema();
+    let all: Vec<_> = schema.node_attr_ids().collect();
+
+    let cfg = MinerConfig::nhp(20, 0.5, 100);
+    let mut miner_counts = Vec::new();
+    let mut bl_counts = Vec::new();
+    for l in [2usize, 4, 6] {
+        let dims = Dims::subset(schema, &all[..l], &[]);
+        miner_counts.push(
+            GrMiner::with_dims(&g, cfg.clone(), dims.clone())
+                .mine()
+                .stats
+                .partitions_examined,
+        );
+        bl_counts.push(
+            social_ties::core::baseline::mine_baseline_with_dims(
+                &g,
+                &cfg,
+                &dims,
+                BaselineKind::Bl2,
+            )
+            .stats
+            .partitions_examined,
+        );
+    }
+    // Both grow with dimensionality, the baseline faster.
+    assert!(miner_counts[2] > miner_counts[0]);
+    assert!(bl_counts[2] > bl_counts[0]);
+    let miner_growth = miner_counts[2] as f64 / miner_counts[0] as f64;
+    let bl_growth = bl_counts[2] as f64 / bl_counts[0] as f64;
+    assert!(
+        bl_growth > miner_growth,
+        "baseline dim-growth x{bl_growth:.1} must exceed GRMiner's x{miner_growth:.1}"
+    );
+}
+
+#[test]
+fn theorem4_no_work_below_thresholds() {
+    // Theorem 4(2): every accepted GR passed both thresholds; with an
+    // impossible threshold nothing is accepted but the run still finishes.
+    let g = workload();
+    let result = GrMiner::new(&g, MinerConfig::nhp(u64::MAX, 1.1, 10)).mine();
+    assert!(result.top.is_empty());
+    assert_eq!(result.stats.accepted, 0);
+}

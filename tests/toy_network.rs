@@ -1,0 +1,143 @@
+//! End-to-end checks on the Fig. 1 toy dating network: the motivating
+//! Examples 1–2 of the paper, executed through the full public API.
+
+use social_ties::core::query;
+use social_ties::{toy_network, GrBuilder, GrMiner, MinerConfig, RankMetric};
+
+#[test]
+fn gr4_surfaces_at_full_nhp() {
+    // Example 2 / §III-B: (SEX:F, EDU:Grad) -> (SEX:M, EDU:College) has
+    // conf 2/6 but nhp 2/(6-4) = 100% once the homophily effect (GR3's 4
+    // edges) is excluded.
+    let g = toy_network();
+    let result = GrMiner::new(&g, MinerConfig::nhp(2, 0.95, 50)).mine();
+    let s = g.schema();
+    let gr4 = result
+        .top
+        .iter()
+        .find(|x| x.gr.display(s) == "(SEX:F, EDU:Grad) -[TYPE:dates]-> (EDU:College)"
+            || x.gr.display(s) == "(SEX:F, EDU:Grad) -> (EDU:College)")
+        .or_else(|| {
+            // The most general form satisfying the thresholds may drop SEX
+            // or TYPE from the LHS; accept any generalization whose RHS is
+            // EDU:College with the full-nhp score.
+            result.top.iter().find(|x| {
+                x.gr.r.pairs().iter().any(|&(a, v)| {
+                    s.node_attr(a).name() == "EDU" && s.node_attr(a).value_name(v) == "College"
+                }) && (x.score - 1.0).abs() < 1e-9
+            })
+        });
+    assert!(
+        gr4.is_some(),
+        "a College-preference GR with nhp=1.0 must be in the top-k:\n{}",
+        result.report(s)
+    );
+}
+
+#[test]
+fn query_reproduces_example_1() {
+    let g = toy_network();
+    let s = g.schema();
+    // GR1: (SEX:M) -> (SEX:F, RACE:Asian), supp 7/15.
+    let gr1 = GrBuilder::new(s)
+        .l("SEX", "M")
+        .r("SEX", "F")
+        .r("RACE", "Asian")
+        .build()
+        .unwrap();
+    let m1 = query::evaluate(&g, &gr1);
+    assert_eq!(m1.supp, 7);
+    assert_eq!(m1.edges, 15);
+    assert!((m1.supp_rel - 7.0 / 15.0).abs() < 1e-12);
+
+    // GR2: (SEX:M, RACE:Asian) -> (SEX:F, RACE:Asian), supp 0. nhp is
+    // defined (β = {RACE}, denominator > 0) and equals 0.
+    let gr2 = GrBuilder::new(s)
+        .l("SEX", "M")
+        .l("RACE", "Asian")
+        .r("SEX", "F")
+        .r("RACE", "Asian")
+        .build()
+        .unwrap();
+    let m2 = query::evaluate(&g, &gr2);
+    assert_eq!(m2.supp, 0);
+    assert_eq!(m2.conf, Some(0.0));
+}
+
+#[test]
+fn query_reproduces_example_2() {
+    let g = toy_network();
+    let s = g.schema();
+    let gr3 = GrBuilder::new(s)
+        .l("SEX", "F")
+        .l("EDU", "Grad")
+        .r("SEX", "M")
+        .r("EDU", "Grad")
+        .build()
+        .unwrap();
+    let m3 = query::evaluate(&g, &gr3);
+    assert_eq!((m3.supp, m3.supp_lw), (4, 6));
+    assert_eq!(m3.conf, Some(4.0 / 6.0));
+    assert!(m3.beta_attrs.is_empty(), "same EDU value: β = ∅");
+    assert_eq!(m3.nhp, m3.conf, "Remark 1: nhp degenerates to conf");
+
+    let gr4 = GrBuilder::new(s)
+        .l("SEX", "F")
+        .l("EDU", "Grad")
+        .r("SEX", "M")
+        .r("EDU", "College")
+        .build()
+        .unwrap();
+    let m4 = query::evaluate(&g, &gr4);
+    assert_eq!((m4.supp, m4.supp_lw, m4.heff), (2, 6, 4));
+    assert_eq!(m4.nhp, Some(1.0));
+    assert!(m4.nhp.unwrap() > m4.conf.unwrap(), "nhp boosts GR4's rank");
+}
+
+#[test]
+fn trivial_grs_never_reported_under_nhp() {
+    let g = toy_network();
+    let result = GrMiner::new(&g, MinerConfig::nhp(1, 0.0, 500)).mine();
+    for x in &result.top {
+        assert!(!x.gr.is_trivial(g.schema()), "{}", x.gr.display(g.schema()));
+    }
+}
+
+#[test]
+fn conf_and_nhp_rankings_differ() {
+    let g = toy_network();
+    let nhp = GrMiner::new(&g, MinerConfig::nhp(2, 0.5, 5)).mine();
+    let conf = GrMiner::new(&g, MinerConfig::conf(2, 0.5, 5)).mine();
+    assert!(!nhp.top.is_empty() && !conf.top.is_empty());
+    let nhp_keys: Vec<_> = nhp.top.iter().map(|x| x.gr.clone()).collect();
+    let conf_keys: Vec<_> = conf.top.iter().map(|x| x.gr.clone()).collect();
+    assert_ne!(nhp_keys, conf_keys, "the two metrics must rank differently");
+}
+
+#[test]
+fn all_alt_metrics_run_on_toy() {
+    let g = toy_network();
+    for metric in [
+        RankMetric::Laplace { k: 2 },
+        RankMetric::Gain { theta: 0.2 },
+        RankMetric::PiatetskyShapiro,
+        RankMetric::Conviction,
+        RankMetric::Lift,
+    ] {
+        let cfg = MinerConfig {
+            min_supp: 2,
+            min_score: f64::NEG_INFINITY,
+            k: 10,
+            ..MinerConfig::default().with_metric(metric)
+        };
+        let result = GrMiner::new(&g, cfg).mine();
+        assert!(
+            !result.top.is_empty(),
+            "metric {metric} produced no results"
+        );
+        // Scores are finite or +inf (conviction), never NaN.
+        for x in &result.top {
+            assert!(!x.score.is_nan(), "metric {metric} produced NaN");
+        }
+    }
+}
