@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use grm_bench::{fixture, Dataset};
-use grm_core::parallel::mine_parallel_with_dims;
+use grm_core::parallel::{mine_parallel_with_opts, ParallelOptions};
 use grm_core::{Dims, GrMiner, MinerConfig};
 use grm_graph::NodeAttrId;
 
@@ -48,13 +48,36 @@ fn bench(c: &mut Criterion) {
         };
         b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
     });
-    for threads in [1usize, 2, 4, 8] {
-        let cfg = base.clone().without_dynamic_topk();
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &t| b.iter(|| mine_parallel_with_dims(&graph, &cfg, &dims, t)),
-        );
+    // Parallel scaling, with and without dominant-task splitting: the
+    // delta at high thread counts is the granularity bound the split
+    // removes (Pokec's Region dominates the unsplit task list).
+    for split_dominant in [false, true] {
+        for threads in [1usize, 2, 4, 8] {
+            if split_dominant && threads == 1 {
+                // A single-threaded pool never splits; this cell would
+                // duplicate parallel/1.
+                continue;
+            }
+            let cfg = base.clone().without_dynamic_topk();
+            let tag = if split_dominant {
+                "parallel_split"
+            } else {
+                "parallel"
+            };
+            group.bench_with_input(BenchmarkId::new(tag, threads), &threads, |b, &t| {
+                b.iter(|| {
+                    mine_parallel_with_opts(
+                        &graph,
+                        &cfg,
+                        &dims,
+                        ParallelOptions {
+                            threads: t,
+                            split_dominant,
+                        },
+                    )
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -24,11 +24,9 @@ fn bench(c: &mut Criterion) {
 
     for min_supp in [5u64, 10, 30, 100, 300] {
         let cfg = MinerConfig::nhp(min_supp, 0.5, 100);
-        group.bench_with_input(
-            BenchmarkId::new("grminer_k", min_supp),
-            &cfg,
-            |b, cfg| b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine()),
-        );
+        group.bench_with_input(BenchmarkId::new("grminer_k", min_supp), &cfg, |b, cfg| {
+            b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
+        });
         let static_cfg = cfg.clone().without_dynamic_topk();
         group.bench_with_input(
             BenchmarkId::new("grminer", min_supp),

@@ -26,11 +26,9 @@ fn bench(c: &mut Criterion) {
             b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
         });
         let static_cfg = cfg.clone().without_dynamic_topk();
-        group.bench_with_input(
-            BenchmarkId::new("grminer", pct),
-            &static_cfg,
-            |b, cfg| b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine()),
-        );
+        group.bench_with_input(BenchmarkId::new("grminer", pct), &static_cfg, |b, cfg| {
+            b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
+        });
         group.bench_with_input(BenchmarkId::new("bl2", pct), &cfg, |b, cfg| {
             b.iter(|| mine_baseline_with_dims(&graph, cfg, &dims, BaselineKind::Bl2))
         });

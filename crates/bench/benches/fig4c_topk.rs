@@ -23,13 +23,9 @@ fn bench(c: &mut Criterion) {
     for k in [1usize, 100, 10_000] {
         for pct in [0u32, 50, 100] {
             let cfg = MinerConfig::nhp(30, pct as f64 / 100.0, k);
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), pct),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), pct), &cfg, |b, cfg| {
+                b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
+            });
         }
     }
     group.finish();

@@ -20,19 +20,13 @@ fn bench(c: &mut Criterion) {
 
     for l in 2..=6usize {
         let dims = Dims::subset(graph.schema(), &all[..l], &[]);
-        group.bench_with_input(
-            BenchmarkId::new("grminer_k", 2 * l),
-            &dims,
-            |b, dims| b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine()),
-        );
+        group.bench_with_input(BenchmarkId::new("grminer_k", 2 * l), &dims, |b, dims| {
+            b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
+        });
         let static_cfg = cfg.clone().without_dynamic_topk();
-        group.bench_with_input(
-            BenchmarkId::new("grminer", 2 * l),
-            &dims,
-            |b, dims| {
-                b.iter(|| GrMiner::with_dims(&graph, static_cfg.clone(), dims.clone()).mine())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("grminer", 2 * l), &dims, |b, dims| {
+            b.iter(|| GrMiner::with_dims(&graph, static_cfg.clone(), dims.clone()).mine())
+        });
         group.bench_with_input(BenchmarkId::new("bl2", 2 * l), &dims, |b, dims| {
             b.iter(|| mine_baseline_with_dims(&graph, &cfg, dims, BaselineKind::Bl2))
         });

@@ -31,9 +31,7 @@ fn bench_model_builds(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_build");
     group.sample_size(20);
     group.throughput(Throughput::Elements(graph.edge_count() as u64));
-    group.bench_function("compact_model", |b| {
-        b.iter(|| CompactModel::build(&graph))
-    });
+    group.bench_function("compact_model", |b| b.iter(|| CompactModel::build(&graph)));
     group.bench_function("single_table", |b| b.iter(|| SingleTable::build(&graph)));
     group.finish();
 }
@@ -58,9 +56,7 @@ fn bench_generator(c: &mut Criterion) {
     group.sample_size(10);
     let cfg = pokec_config_scaled(0.02);
     group.throughput(Throughput::Elements(cfg.edges as u64));
-    group.bench_function("pokec_scale_0_02", |b| {
-        b.iter(|| generate(&cfg).unwrap())
-    });
+    group.bench_function("pokec_scale_0_02", |b| b.iter(|| generate(&cfg).unwrap()));
     group.finish();
 }
 

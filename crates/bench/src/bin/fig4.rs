@@ -42,17 +42,12 @@ struct Algo {
 const ALGOS: [Algo; 4] = [
     Algo {
         name: "GRMiner(k)",
-        run: |g, cfg, d| {
-            timed(|| GrMiner::with_dims(g, cfg.clone(), d.clone()).mine()).1
-        },
+        run: |g, cfg, d| timed(|| GrMiner::with_dims(g, cfg.clone(), d.clone()).mine()).1,
     },
     Algo {
         name: "GRMiner",
         run: |g, cfg, d| {
-            timed(|| {
-                GrMiner::with_dims(g, cfg.clone().without_dynamic_topk(), d.clone()).mine()
-            })
-            .1
+            timed(|| GrMiner::with_dims(g, cfg.clone().without_dynamic_topk(), d.clone()).mine()).1
         },
     },
     Algo {
@@ -178,13 +173,13 @@ fn dblp_runtime() {
         let cfg = MinerConfig::nhp(supp, nhp, k);
         let d = timed(|| GrMiner::new(&graph, cfg).mine()).1;
         worst = worst.max(d);
-        t.row([
-            format!("minSupp={supp} minNhp={nhp} k={k}"),
-            secs(d),
-        ]);
+        t.row([format!("minSupp={supp} minNhp={nhp} k={k}"), secs(d)]);
     }
     println!("{}", t.render());
-    println!("worst case: {}s (paper: <= 0.483s on 2009-era hardware)\n", secs(worst));
+    println!(
+        "worst case: {}s (paper: <= 0.483s on 2009-era hardware)\n",
+        secs(worst)
+    );
 }
 
 fn main() {

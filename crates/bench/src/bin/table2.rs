@@ -38,7 +38,11 @@ fn main() {
     // At reduced scale the same relative threshold admits sampling-noise
     // GRs on tiny groups, so below half scale we raise it to 0.4% — the
     // equivalent noise floor (conf noise shrinks with sqrt(group size)).
-    let rel = if dataset == Dataset::Pokec && scale < 0.5 { 0.004 } else { 0.001 };
+    let rel = if dataset == Dataset::Pokec && scale < 0.5 {
+        0.004
+    } else {
+        0.001
+    };
     let min_supp = (((graph.edge_count() as f64) * rel) as u64).max(1);
     let k = match dataset {
         Dataset::Pokec => 300,
@@ -55,8 +59,7 @@ fn main() {
     );
 
     let (nhp, t_nhp) = timed(|| GrMiner::new(&graph, MinerConfig::nhp(min_supp, 0.5, k)).mine());
-    let (conf, t_conf) =
-        timed(|| GrMiner::new(&graph, MinerConfig::conf(min_supp, 0.5, k)).mine());
+    let (conf, t_conf) = timed(|| GrMiner::new(&graph, MinerConfig::conf(min_supp, 0.5, k)).mine());
 
     let mut table = Table::new(["rank", "ranked by nhp", "nhp", "supp", "(conf)"]);
     for (i, x) in nhp.top.iter().take(5).enumerate() {
@@ -100,21 +103,79 @@ fn main() {
     let mut probes = Table::new(["gr", "supp", "conf", "nhp"]);
     let probe_list: Vec<grm_core::Gr> = match dataset {
         Dataset::Pokec => vec![
-            GrBuilder::new(schema).l("Looking", "Chat").r("Looking", "GoodFriend").build().unwrap(),
-            GrBuilder::new(schema).l("Education", "Basic").r("Education", "Secondary").build().unwrap(),
-            GrBuilder::new(schema).l("Looking", "SexualPartner").r("Gender", "F").build().unwrap(),
-            GrBuilder::new(schema).l("Gender", "M").l("Looking", "SexualPartner").r("Gender", "F").build().unwrap(),
-            GrBuilder::new(schema).l("Gender", "F").l("Looking", "SexualPartner").r("Gender", "M").build().unwrap(),
-            GrBuilder::new(schema).l("Gender", "M").l("Age", "25-34").r("Age", "18-24").build().unwrap(),
-            GrBuilder::new(schema).l("Gender", "F").l("Age", "25-34").r("Age", "18-24").build().unwrap(),
+            GrBuilder::new(schema)
+                .l("Looking", "Chat")
+                .r("Looking", "GoodFriend")
+                .build()
+                .unwrap(),
+            GrBuilder::new(schema)
+                .l("Education", "Basic")
+                .r("Education", "Secondary")
+                .build()
+                .unwrap(),
+            GrBuilder::new(schema)
+                .l("Looking", "SexualPartner")
+                .r("Gender", "F")
+                .build()
+                .unwrap(),
+            GrBuilder::new(schema)
+                .l("Gender", "M")
+                .l("Looking", "SexualPartner")
+                .r("Gender", "F")
+                .build()
+                .unwrap(),
+            GrBuilder::new(schema)
+                .l("Gender", "F")
+                .l("Looking", "SexualPartner")
+                .r("Gender", "M")
+                .build()
+                .unwrap(),
+            GrBuilder::new(schema)
+                .l("Gender", "M")
+                .l("Age", "25-34")
+                .r("Age", "18-24")
+                .build()
+                .unwrap(),
+            GrBuilder::new(schema)
+                .l("Gender", "F")
+                .l("Age", "25-34")
+                .r("Age", "18-24")
+                .build()
+                .unwrap(),
         ],
         Dataset::Dblp => vec![
-            GrBuilder::new(schema).l("Area", "AI").r("Productivity", "Poor").build().unwrap(),
-            GrBuilder::new(schema).l("Area", "DB").w("S", "often").r("Area", "DM").build().unwrap(),
-            GrBuilder::new(schema).l("Productivity", "Poor").r("Productivity", "Poor").build().unwrap(),
-            GrBuilder::new(schema).l("Productivity", "Excellent").r("Area", "DB").build().unwrap(),
-            GrBuilder::new(schema).l("Area", "IR").r("Productivity", "Poor").build().unwrap(),
-            GrBuilder::new(schema).l("Area", "AI").l("Productivity", "Good").r("Area", "DM").build().unwrap(),
+            GrBuilder::new(schema)
+                .l("Area", "AI")
+                .r("Productivity", "Poor")
+                .build()
+                .unwrap(),
+            GrBuilder::new(schema)
+                .l("Area", "DB")
+                .w("S", "often")
+                .r("Area", "DM")
+                .build()
+                .unwrap(),
+            GrBuilder::new(schema)
+                .l("Productivity", "Poor")
+                .r("Productivity", "Poor")
+                .build()
+                .unwrap(),
+            GrBuilder::new(schema)
+                .l("Productivity", "Excellent")
+                .r("Area", "DB")
+                .build()
+                .unwrap(),
+            GrBuilder::new(schema)
+                .l("Area", "IR")
+                .r("Productivity", "Poor")
+                .build()
+                .unwrap(),
+            GrBuilder::new(schema)
+                .l("Area", "AI")
+                .l("Productivity", "Good")
+                .r("Area", "DM")
+                .build()
+                .unwrap(),
         ],
     };
     let pct = |v: Option<f64>| v.map_or("n/a".into(), |x| format!("{:.1}%", x * 100.0));

@@ -48,10 +48,9 @@ impl Dataset {
 /// the dataset at the given scale. Caching makes repeated harness runs and
 /// Criterion warm-ups cheap; delete the directory to force regeneration.
 pub fn fixture(dataset: Dataset, scale: f64) -> SocialGraph {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("grm-fixtures");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("grm-fixtures");
     std::fs::create_dir_all(&dir).ok();
     let path = dir.join(format!("{}-{scale}.grm", dataset.name()));
     if let Ok(g) = grm_graph::io::load_graph(&path) {

@@ -182,8 +182,7 @@ pub fn mine_baseline_with_dims(
             continue;
         }
         // ... and, unless configured otherwise, a non-empty LHS.
-        if !config.allow_empty_lhs
-            && !pattern.iter().any(|&(d, _)| (d as usize) < dim_map.l.len())
+        if !config.allow_empty_lhs && !pattern.iter().any(|&(d, _)| (d as usize) < dim_map.l.len())
         {
             continue;
         }
@@ -339,13 +338,26 @@ fn buc_rec<V: TableView>(
             out.insert(pattern.clone(), supp);
             stats.grs_examined += 1;
             let sub = &mut data[part.range.clone()];
-            buc_rec(view, dims, sub, d + 1, min_supp, pattern, scratch, out, stats);
+            buc_rec(
+                view,
+                dims,
+                sub,
+                d + 1,
+                min_supp,
+                pattern,
+                scratch,
+                out,
+                stats,
+            );
             pattern.pop();
         }
     }
 }
 
-fn split_pattern(dims: &DimMap, pattern: &Pattern) -> (NodeDescriptor, EdgeDescriptor, NodeDescriptor) {
+fn split_pattern(
+    dims: &DimMap,
+    pattern: &Pattern,
+) -> (NodeDescriptor, EdgeDescriptor, NodeDescriptor) {
     let mut l = Vec::new();
     let mut w = Vec::new();
     let mut r = Vec::new();
@@ -363,12 +375,7 @@ fn split_pattern(dims: &DimMap, pattern: &Pattern) -> (NodeDescriptor, EdgeDescr
     )
 }
 
-fn count_pattern(
-    graph: &SocialGraph,
-    dims: &DimMap,
-    kind: BaselineKind,
-    pattern: &Pattern,
-) -> u64 {
+fn count_pattern(graph: &SocialGraph, dims: &DimMap, kind: BaselineKind, pattern: &Pattern) -> u64 {
     // Direct scan; used only for infrequent helper patterns.
     let matches = |row: u32, view: &dyn Fn(u32, usize) -> AttrValue| {
         pattern.iter().all(|&(d, v)| view(row, d as usize) == v)
@@ -406,7 +413,8 @@ mod tests {
         };
         let n = 10;
         for _ in 0..n {
-            b.add_node(&[(next() % 4) as u16, (next() % 3) as u16]).unwrap();
+            b.add_node(&[(next() % 4) as u16, (next() % 3) as u16])
+                .unwrap();
         }
         for _ in 0..40 {
             let s = next() % n;
@@ -465,7 +473,10 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let schema = SchemaBuilder::new().node_attr("A", 2, true).build().unwrap();
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 2, true)
+            .build()
+            .unwrap();
         let g = GraphBuilder::new(schema).build().unwrap();
         let r = mine_baseline(&g, &MinerConfig::default(), BaselineKind::Bl1);
         assert!(r.top.is_empty());

@@ -153,10 +153,7 @@ mod tests {
         let r = nd(&[(1, 2), (2, 3)]);
         let b = beta(&s, &l, &r);
         assert_eq!(b.len(), 2);
-        assert_eq!(
-            l_beta(&l, b),
-            vec![(NodeAttrId(1), 1), (NodeAttrId(2), 1)]
-        );
+        assert_eq!(l_beta(&l, b), vec![(NodeAttrId(1), 1), (NodeAttrId(2), 1)]);
     }
 
     #[test]

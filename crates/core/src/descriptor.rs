@@ -193,10 +193,7 @@ mod tests {
     #[test]
     fn with_inserts_in_order() {
         let d = nd(&[(3, 1)]).with(NodeAttrId(1), 9);
-        assert_eq!(
-            d.pairs(),
-            &[(NodeAttrId(1), 9), (NodeAttrId(3), 1)]
-        );
+        assert_eq!(d.pairs(), &[(NodeAttrId(1), 9), (NodeAttrId(3), 1)]);
     }
 
     #[test]
@@ -208,7 +205,10 @@ mod tests {
         assert!(small.is_subset_of(&small));
         assert!(NodeDescriptor::empty().is_subset_of(&small));
         assert!(!big.is_subset_of(&small));
-        assert!(!other_value.is_subset_of(&big), "same attr, different value");
+        assert!(
+            !other_value.is_subset_of(&big),
+            "same attr, different value"
+        );
         assert!(!small.is_subset_of(&NodeDescriptor::empty()));
     }
 

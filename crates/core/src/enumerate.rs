@@ -196,9 +196,9 @@ mod tests {
     #[test]
     fn counts_scale_with_dimensions() {
         for (nh, e, expected) in [
-            (vec![true], 0, 4usize),            // 2^1·2^1
-            (vec![true, false], 0, 16),         // 2^2·2^2
-            (vec![true, false], 2, 64),         // 2^2·2^2·2^2
+            (vec![true], 0, 4usize),    // 2^1·2^1
+            (vec![true, false], 0, 16), // 2^2·2^2
+            (vec![true, false], 2, 64), // 2^2·2^2·2^2
         ] {
             let d = dims(&nh, e);
             assert_eq!(sfdf_subset_order(&d).len(), expected);

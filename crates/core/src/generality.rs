@@ -81,11 +81,19 @@ mod tests {
         let general = Gr::new(nd(&[(0, 1)]), EdgeDescriptor::empty(), nd(&[(1, 2)]));
         idx.record(&general);
 
-        let special = Gr::new(nd(&[(0, 1), (2, 3)]), EdgeDescriptor::empty(), nd(&[(1, 2)]));
+        let special = Gr::new(
+            nd(&[(0, 1), (2, 3)]),
+            EdgeDescriptor::empty(),
+            nd(&[(1, 2)]),
+        );
         assert!(idx.has_more_general(&special));
 
         // Different RHS: not suppressed.
-        let other_rhs = Gr::new(nd(&[(0, 1), (2, 3)]), EdgeDescriptor::empty(), nd(&[(1, 3)]));
+        let other_rhs = Gr::new(
+            nd(&[(0, 1), (2, 3)]),
+            EdgeDescriptor::empty(),
+            nd(&[(1, 3)]),
+        );
         assert!(!idx.has_more_general(&other_rhs));
     }
 
@@ -96,7 +104,11 @@ mod tests {
         idx.record(&general);
 
         // Candidate with empty w is *more* general on w: not suppressed.
-        let cand = Gr::new(nd(&[(0, 1), (2, 2)]), EdgeDescriptor::empty(), nd(&[(1, 2)]));
+        let cand = Gr::new(
+            nd(&[(0, 1), (2, 2)]),
+            EdgeDescriptor::empty(),
+            nd(&[(1, 2)]),
+        );
         assert!(!idx.has_more_general(&cand));
 
         // Candidate with the same w and bigger l: suppressed.
@@ -120,7 +132,11 @@ mod tests {
     #[test]
     fn same_attr_different_value_is_not_general() {
         let mut idx = GeneralityIndex::new();
-        idx.record(&Gr::new(nd(&[(0, 1)]), EdgeDescriptor::empty(), nd(&[(1, 1)])));
+        idx.record(&Gr::new(
+            nd(&[(0, 1)]),
+            EdgeDescriptor::empty(),
+            nd(&[(1, 1)]),
+        ));
         let cand = Gr::new(nd(&[(0, 2)]), EdgeDescriptor::empty(), nd(&[(1, 1)]));
         assert!(!idx.has_more_general(&cand));
     }

@@ -353,7 +353,11 @@ mod tests {
             .node_attr("Region", 188, true)
             .build()
             .unwrap();
-        let gr = GrBuilder::new(&s).l("Region", "27").r("Region", "27").build().unwrap();
+        let gr = GrBuilder::new(&s)
+            .l("Region", "27")
+            .r("Region", "27")
+            .build()
+            .unwrap();
         assert_eq!(gr.display(&s), "(Region:27) -> (Region:27)");
         assert!(
             GrBuilder::new(&s).l("Region", "999").build().is_err(),

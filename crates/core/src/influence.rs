@@ -170,7 +170,10 @@ mod tests {
 
     /// 3-value homophily attribute; edges: 1->1 ×4, 1->2 ×2, 2->3 ×3.
     fn graph() -> SocialGraph {
-        let schema = SchemaBuilder::new().node_attr("A", 3, true).build().unwrap();
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 3, true)
+            .build()
+            .unwrap();
         let mut b = GraphBuilder::new(schema);
         let n1 = b.add_node(&[1]).unwrap();
         let n1b = b.add_node(&[1]).unwrap();
@@ -224,7 +227,10 @@ mod tests {
 
     #[test]
     fn non_homophily_attribute_has_no_exclusion() {
-        let schema = SchemaBuilder::new().node_attr("A", 2, false).build().unwrap();
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 2, false)
+            .build()
+            .unwrap();
         let mut b = GraphBuilder::new(schema);
         let x = b.add_node(&[1]).unwrap();
         let y = b.add_node(&[2]).unwrap();

@@ -50,7 +50,10 @@ pub fn nhp(supp: u64, supp_lw: u64, heff: u64) -> f64 {
         "Theorem 1(i): denominator nonzero when supp > 0"
     );
     let v = supp as f64 / (supp_lw - heff) as f64;
-    debug_assert!((0.0..=1.0 + 1e-12).contains(&v), "Theorem 1(ii): nhp ∈ [0,1]");
+    debug_assert!(
+        (0.0..=1.0 + 1e-12).contains(&v),
+        "Theorem 1(ii): nhp ∈ [0,1]"
+    );
     v
 }
 
@@ -93,9 +96,7 @@ impl RankMetric {
         match self {
             RankMetric::Nhp => nhp(m.supp, m.supp_lw, m.heff),
             RankMetric::Conf => confidence(m.supp, m.supp_lw),
-            RankMetric::Laplace { k } => {
-                (m.supp as f64 + 1.0) / (m.supp_lw as f64 + k as f64)
-            }
+            RankMetric::Laplace { k } => (m.supp as f64 + 1.0) / (m.supp_lw as f64 + k as f64),
             RankMetric::Gain { theta } => {
                 (m.supp as f64 - theta * m.supp_lw as f64) / m.edges as f64
             }
@@ -114,9 +115,7 @@ impl RankMetric {
                     (m.edges - m.supp_r) as f64 / denom
                 }
             }
-            RankMetric::Lift => {
-                m.edges as f64 * confidence(m.supp, m.supp_lw) / m.supp_r as f64
-            }
+            RankMetric::Lift => m.edges as f64 * confidence(m.supp, m.supp_lw) / m.supp_r as f64,
         }
     }
 

@@ -36,7 +36,7 @@ use crate::stats::MinerStats;
 use crate::tail::Dims;
 use crate::topk::TopK;
 use grm_graph::sort::{partition_in_place, SortScratch};
-use grm_graph::{CompactModel, NodeAttrId, Schema, SocialGraph, NULL};
+use grm_graph::{AttrValue, CompactModel, NodeAttrId, Schema, SocialGraph, NULL};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -147,6 +147,22 @@ pub(crate) enum RootTask {
     /// One dimension of `LEFT(LArray, tail(nil))`: subsets whose first
     /// constrained dimension is `dims.l[i]`.
     Left(usize),
+    /// One chunk of partition values of `Left(i)`: subsets whose first
+    /// constrained dimension is `dims.l[i]` fixed to a value in
+    /// `lo..=hi`. The parallel miner splits the dominant LHS dimension
+    /// into these so no single subtree serializes the pool; the chunks
+    /// tile the non-null value range, so their union visits exactly the
+    /// nodes `Left(i)` visits. Bounds are inclusive because the domain
+    /// may extend to `AttrValue::MAX`, where an exclusive end would
+    /// overflow.
+    LeftValues {
+        /// Index into `dims.l`.
+        dim: usize,
+        /// First partition value of the chunk (inclusive, never `NULL`).
+        lo: AttrValue,
+        /// Last partition value of the chunk (inclusive).
+        hi: AttrValue,
+    },
 }
 
 impl RootTask {
@@ -215,7 +231,26 @@ impl<'a, 'g> Run<'a, 'g> {
             RootTask::Right => self.right_root(data, &l0, &w0),
             RootTask::Edge(i) => self.edge_range(data, i..i + 1, &l0, &w0),
             RootTask::Left(i) => self.left_range(data, i..i + 1, &l0),
+            RootTask::LeftValues { dim, lo, hi } => self.left_values_root(data, dim, lo, hi),
         }
+    }
+
+    /// Execute the partitions of top-level LHS dimension `i` whose value
+    /// falls in `lo..=hi`: the body of `left_range`'s partition loop
+    /// restricted to one value chunk. Each chunk task repeats the
+    /// counting-sort pass over the full position set (the duplication
+    /// splitting trades for balance — which is why the parallel miner
+    /// bounds the chunk count), then recurses only into its own
+    /// partitions, so counters and candidates sum across chunks to
+    /// exactly the unsplit task's.
+    fn left_values_root(&mut self, data: &mut [u32], i: usize, lo: AttrValue, hi: AttrValue) {
+        debug_assert_ne!(lo, NULL, "null partitions are never enumerated");
+        // Mirror `left_range`'s max_lhs guard: constraining this chunk's
+        // dimension would already exceed the cap when it is zero.
+        if self.cfg.max_lhs.is_some_and(|m| m == 0) {
+            return;
+        }
+        self.left_partitions(data, i, &NodeDescriptor::empty(), Some((lo, hi)));
     }
 }
 
@@ -249,37 +284,48 @@ impl<'a, 'g> Run<'a, 'g> {
         self.left_range(data, 0..l_tail_len, l);
     }
 
-    fn left_range(
-        &mut self,
-        data: &mut [u32],
-        range: std::ops::Range<usize>,
-        l: &NodeDescriptor,
-    ) {
+    fn left_range(&mut self, data: &mut [u32], range: std::ops::Range<usize>, l: &NodeDescriptor) {
         if self.cfg.max_lhs.is_some_and(|m| l.len() >= m) {
             return;
         }
-        let model = self.model;
         for i in range {
-            let d = self.dims.l[i];
-            let buckets = self.schema.node_attr(d).bucket_count();
-            let parts = partition_in_place(data, buckets, &mut self.scratch, |p| {
-                model.l_key(p, d)
-            });
-            for part in parts {
-                if part.value == NULL {
-                    continue;
-                }
-                self.stats.partitions_examined += 1;
-                if (part.len() as u64) < self.cfg.min_supp {
-                    self.stats.pruned_by_supp += 1;
-                    continue;
-                }
-                let l2 = l.with(d, part.value);
-                let sub = &mut data[part.range.clone()];
-                self.right_root(sub, &l2, &EdgeDescriptor::empty());
-                self.edge(sub, self.dims.w.len(), &l2, &EdgeDescriptor::empty());
-                self.left(sub, i, &l2);
+            self.left_partitions(data, i, l, None);
+        }
+    }
+
+    /// The LEFT partition loop over one dimension `dims.l[i]`, shared by
+    /// the sequential tail walk and the parallel miner's value-chunk
+    /// tasks: partition `data`, then recurse into every surviving
+    /// partition whose value lies in `values` (inclusive; `None` = all
+    /// non-null).
+    fn left_partitions(
+        &mut self,
+        data: &mut [u32],
+        i: usize,
+        l: &NodeDescriptor,
+        values: Option<(AttrValue, AttrValue)>,
+    ) {
+        let model = self.model;
+        let d = self.dims.l[i];
+        let buckets = self.schema.node_attr(d).bucket_count();
+        let parts = partition_in_place(data, buckets, &mut self.scratch, |p| model.l_key(p, d));
+        for part in parts {
+            if part.value == NULL {
+                continue;
             }
+            if values.is_some_and(|(lo, hi)| part.value < lo || part.value > hi) {
+                continue;
+            }
+            self.stats.partitions_examined += 1;
+            if (part.len() as u64) < self.cfg.min_supp {
+                self.stats.pruned_by_supp += 1;
+                continue;
+            }
+            let l2 = l.with(d, part.value);
+            let sub = &mut data[part.range.clone()];
+            self.right_root(sub, &l2, &EdgeDescriptor::empty());
+            self.edge(sub, self.dims.w.len(), &l2, &EdgeDescriptor::empty());
+            self.left(sub, i, &l2);
         }
     }
 
@@ -306,9 +352,7 @@ impl<'a, 'g> Run<'a, 'g> {
         for i in range {
             let d = self.dims.w[i];
             let buckets = self.schema.edge_attr(d).bucket_count();
-            let parts = partition_in_place(data, buckets, &mut self.scratch, |p| {
-                model.w_key(p, d)
-            });
+            let parts = partition_in_place(data, buckets, &mut self.scratch, |p| model.w_key(p, d));
             for part in parts {
                 if part.value == NULL {
                     continue;
@@ -330,14 +374,20 @@ impl<'a, 'g> Run<'a, 'g> {
     /// for homophily-effect counting, fix the dynamic RHS order (Eqn. 8)
     /// for the whole subtree, and recurse.
     fn right_root(&mut self, data: &mut [u32], l: &NodeDescriptor, w: &EdgeDescriptor) {
-        let l_mask = l
-            .attrs()
-            .fold(0u64, |m, a| m | (1u64 << a.0));
+        let l_mask = l.attrs().fold(0u64, |m, a| m | (1u64 << a.0));
         let needs_snapshot = l.attrs().any(|a| self.dims.is_homophily(a));
         let mut ctx = LwContext::new(data, needs_snapshot);
         let r_order = self.dims.r_order(l_mask);
         let len = r_order.len();
-        self.right(&mut ctx, data, &r_order, len, l, w, &NodeDescriptor::empty());
+        self.right(
+            &mut ctx,
+            data,
+            &r_order,
+            len,
+            l,
+            w,
+            &NodeDescriptor::empty(),
+        );
     }
 
     /// `RIGHT(data, Tail)` (lines 22–29): partition on each RHS dimension,
@@ -360,9 +410,7 @@ impl<'a, 'g> Run<'a, 'g> {
         for i in 0..r_tail_len {
             let d = r_order[i];
             let buckets = self.schema.node_attr(d).bucket_count();
-            let parts = partition_in_place(data, buckets, &mut self.scratch, |p| {
-                model.r_key(p, d)
-            });
+            let parts = partition_in_place(data, buckets, &mut self.scratch, |p| model.r_key(p, d));
             for part in parts {
                 if part.value == NULL {
                     continue;
@@ -409,15 +457,17 @@ impl<'a, 'g> Run<'a, 'g> {
                         // Collect phase: generality and top-k run after
                         // the cross-task merge.
                         self.stats.accepted += 1;
-                        self.collector.as_mut().expect("just checked").push(ScoredGr {
-                            gr,
-                            supp,
-                            supp_lw: ctx.supp_lw,
-                            heff,
-                            score,
-                        });
-                    } else if self.cfg.generality_filter && self.generality.has_more_general(&gr)
-                    {
+                        self.collector
+                            .as_mut()
+                            .expect("just checked")
+                            .push(ScoredGr {
+                                gr,
+                                supp,
+                                supp_lw: ctx.supp_lw,
+                                heff,
+                                score,
+                            });
+                    } else if self.cfg.generality_filter && self.generality.has_more_general(&gr) {
                         self.stats.rejected_generality += 1;
                     } else {
                         if self.cfg.generality_filter {
@@ -575,10 +625,7 @@ mod tests {
         let result = GrMiner::new(&g, MinerConfig::conf(1, 0.6, 100)).mine();
         let s = g.schema();
         assert!(
-            result
-                .top
-                .iter()
-                .any(|sgr| sgr.gr.is_trivial(s)),
+            result.top.iter().any(|sgr| sgr.gr.is_trivial(s)),
             "conf ranking should surface trivial homophily GRs (Table II)"
         );
     }
@@ -621,7 +668,10 @@ mod tests {
 
     #[test]
     fn empty_graph_yields_empty_result() {
-        let schema = SchemaBuilder::new().node_attr("A", 2, true).build().unwrap();
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 2, true)
+            .build()
+            .unwrap();
         let g = GraphBuilder::new(schema).build().unwrap();
         let result = GrMiner::new(&g, MinerConfig::default()).mine();
         assert!(result.top.is_empty());

@@ -18,13 +18,21 @@
 //! dynamic top-k bound of GRMiner(k), whose benefit shrinks as workers
 //! would race to tighten it. The `ablation` bench quantifies the trade.
 //!
-//! **Granularity bound.** Speedup is limited by the largest root task: on
-//! workloads dominated by one high-cardinality LHS dimension (Pokec's
-//! `Region`), that task's subtree holds most of the work and extra
-//! threads idle once the small tasks drain (measured in EXPERIMENTS.md).
-//! Splitting the dominant task by partition value would lift the bound
-//! at the cost of duplicating its counting-sort pass per worker — left
-//! as the natural next extension.
+//! **Granularity.** Naïve root-task distribution is bounded by the
+//! largest root task: on workloads dominated by one high-cardinality LHS
+//! dimension (Pokec's `Region`), that task's subtree holds most of the
+//! work and extra threads idle once the small tasks drain. The miner
+//! therefore *splits the dominant root task by LHS partition value*
+//! (`RootTask::LeftValues`, enabled by default via
+//! [`ParallelOptions::split_dominant`]): the LHS dimension with the
+//! largest domain becomes one task per chunk of non-null values — at
+//! most `2 × threads` chunks — each repeating the top-level
+//! counting-sort pass and descending only into its own partitions. The
+//! split subtrees are exactly the unsplit task's partition-loop
+//! iterations, so the collect-mode merge — and with it the bit-identical
+//! guarantee above — is unchanged; what splitting costs is one
+//! duplicated `O(|E|)` counting-sort pass per extra chunk, which is why
+//! the chunk count is bounded and a single-threaded pool never splits.
 
 use crate::config::MinerConfig;
 use crate::generality::GeneralityIndex;
@@ -33,28 +41,119 @@ use crate::miner::{MineResult, RootTask, Run};
 use crate::stats::MinerStats;
 use crate::tail::Dims;
 use crate::topk::TopK;
-use grm_graph::{CompactModel, SocialGraph};
+use grm_graph::{CompactModel, Schema, SocialGraph};
 use parking_lot::Mutex;
 use std::time::Instant;
 
+/// Tuning knobs for [`mine_parallel_with_opts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelOptions {
+    /// Worker count (0 = available parallelism).
+    pub threads: usize,
+    /// Split the dominant root task — the LHS dimension with the largest
+    /// domain — into one task per partition value, lifting the
+    /// largest-subtree bound on speedup at the cost of one duplicated
+    /// top-level counting-sort pass per extra task. Results are
+    /// bit-identical either way.
+    pub split_dominant: bool,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            threads: 0,
+            split_dominant: true,
+        }
+    }
+}
+
 /// Parallel top-k GR mining with `threads` workers (0 = available
-/// parallelism).
+/// parallelism) and dominant-task splitting on.
 pub fn mine_parallel(graph: &SocialGraph, config: &MinerConfig, threads: usize) -> MineResult {
     mine_parallel_with_dims(graph, config, &Dims::all(graph.schema()), threads)
 }
 
-/// Parallel mining over a restricted dimension set.
+/// Parallel mining over a restricted dimension set (splitting on).
 pub fn mine_parallel_with_dims(
     graph: &SocialGraph,
     config: &MinerConfig,
     dims: &Dims,
     threads: usize,
 ) -> MineResult {
+    mine_parallel_with_opts(
+        graph,
+        config,
+        dims,
+        ParallelOptions {
+            threads,
+            ..ParallelOptions::default()
+        },
+    )
+}
+
+/// The root task list, with the dominant LHS task optionally split into
+/// value chunks. The dominant dimension is the one with the largest
+/// domain — the best static proxy for subtree size at the root, where
+/// partition cardinality (Pokec's `Region`) is what concentrates work.
+///
+/// Every chunk repeats the top-level `O(|E|)` counting-sort pass, so the
+/// chunk count is bounded at `2 × threads` (enough slack for the pool to
+/// rebalance around a skewed chunk) rather than one task per value, and
+/// a single-threaded pool never splits.
+fn root_tasks(dims: &Dims, schema: &Schema, split_dominant: bool, threads: usize) -> Vec<RootTask> {
+    let tasks = RootTask::all(dims);
+    if !split_dominant || threads <= 1 {
+        return tasks;
+    }
+    let dominant = dims
+        .l
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &a)| (schema.node_attr(a).bucket_count(), usize::MAX - i));
+    let Some((idx, &attr)) = dominant else {
+        return tasks;
+    };
+    let values = schema.node_attr(attr).bucket_count().saturating_sub(1);
+    if values < 2 {
+        // One non-null value: splitting would change nothing.
+        return tasks;
+    }
+    let chunks = values.min(2 * threads);
+    // Replace `Left(idx)` in place with its chunk tasks, preserving the
+    // surrounding order (the queue drains front-to-back, so the heavy
+    // chunk tasks start as early as the unsplit task would have).
+    tasks
+        .into_iter()
+        .flat_map(|t| {
+            if t == RootTask::Left(idx) {
+                // Tile the non-null values 1..=values into `chunks`
+                // near-equal ranges.
+                (0..chunks)
+                    .map(|c| RootTask::LeftValues {
+                        dim: idx,
+                        lo: (1 + c * values / chunks) as u16,
+                        hi: ((c + 1) * values / chunks) as u16,
+                    })
+                    .collect()
+            } else {
+                vec![t]
+            }
+        })
+        .collect()
+}
+
+/// Parallel mining with explicit [`ParallelOptions`].
+pub fn mine_parallel_with_opts(
+    graph: &SocialGraph,
+    config: &MinerConfig,
+    dims: &Dims,
+    opts: ParallelOptions,
+) -> MineResult {
     let start = Instant::now();
-    let threads = if threads == 0 {
+    let threads = if opts.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
-        threads
+        opts.threads
     };
 
     let model = CompactModel::build(graph);
@@ -65,20 +164,20 @@ pub fn mine_parallel_with_dims(
     let mut stats = MinerStats::default();
 
     if edge_count > 0 {
-        let tasks = RootTask::all(dims);
+        let tasks = root_tasks(dims, schema, opts.split_dominant, threads);
+        let task_count = tasks.len();
         let queue = Mutex::new(tasks.into_iter());
         let results: Mutex<Vec<(Vec<ScoredGr>, MinerStats)>> = Mutex::new(Vec::new());
 
         crossbeam::thread::scope(|scope| {
-            for _ in 0..threads.min(1 + dims.l.len() + dims.w.len()) {
+            for _ in 0..threads.min(task_count) {
                 scope.spawn(|_| {
                     let mut local: Vec<(Vec<ScoredGr>, MinerStats)> = Vec::new();
                     loop {
                         let task = { queue.lock().next() };
                         let Some(task) = task else { break };
                         let task_start = Instant::now();
-                        let mut run =
-                            Run::new(&model, schema, dims, config, Some(Vec::new()));
+                        let mut run = Run::new(&model, schema, dims, config, Some(Vec::new()));
                         let mut data = model.all_positions();
                         run.run_root(&mut data, task);
                         let mut s = std::mem::take(&mut run.stats);
@@ -193,6 +292,117 @@ mod tests {
     }
 
     #[test]
+    fn split_tasks_tile_the_unsplit_left_task() {
+        let g = sample(11, 30, 200);
+        let dims = Dims::all(g.schema());
+        let split = root_tasks(&dims, g.schema(), true, 4);
+        let unsplit = root_tasks(&dims, g.schema(), false, 4);
+        // The dominant dimension is C (domain 4, the largest); its Left
+        // task is replaced by value-chunk tasks tiling 1..=4.
+        let dominant = dims
+            .l
+            .iter()
+            .position(|&a| g.schema().node_attr(a).name() == "C")
+            .expect("C is an LHS dimension");
+        assert!(!split.contains(&RootTask::Left(dominant)));
+        let chunks: Vec<(u16, u16)> = split
+            .iter()
+            .filter_map(|t| match t {
+                RootTask::LeftValues { dim, lo, hi } if *dim == dominant => Some((*lo, *hi)),
+                _ => None,
+            })
+            .collect();
+        assert!(!chunks.is_empty());
+        assert!(chunks.len() <= 8, "chunk count is bounded by 2 × threads");
+        assert_eq!(chunks.first().unwrap().0, 1, "chunks start after NULL");
+        assert_eq!(chunks.last().unwrap().1, 4, "chunks cover the domain");
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].1 + 1, w[1].0, "chunks tile without gap or overlap");
+        }
+        assert_eq!(split.len(), unsplit.len() + chunks.len() - 1);
+        // Every other task is preserved.
+        for t in unsplit {
+            if t != RootTask::Left(dominant) {
+                assert!(split.contains(&t), "{t:?} lost by splitting");
+            }
+        }
+        // A single-threaded pool never splits.
+        assert_eq!(root_tasks(&dims, g.schema(), true, 1), RootTask::all(&dims));
+    }
+
+    #[test]
+    fn split_and_unsplit_are_bit_identical_to_sequential() {
+        for seed in 0..4u32 {
+            let g = sample(seed.wrapping_add(100), 40, 300);
+            let cfg = MinerConfig::nhp(2, 0.3, 20).without_dynamic_topk();
+            let seq = GrMiner::new(&g, cfg.clone()).mine();
+            let dims = Dims::all(g.schema());
+            for threads in [1, 2, 4] {
+                for split_dominant in [false, true] {
+                    let par = mine_parallel_with_opts(
+                        &g,
+                        &cfg,
+                        &dims,
+                        ParallelOptions {
+                            threads,
+                            split_dominant,
+                        },
+                    );
+                    assert_eq!(
+                        seq.top, par.top,
+                        "seed {seed} threads {threads} split {split_dominant}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_does_not_change_counters() {
+        // Each split task counts only its own partition, so the merged
+        // counters equal the unsplit run's (elapsed aside).
+        let g = sample(5, 40, 300);
+        let cfg = MinerConfig::nhp(1, 0.4, 10).without_dynamic_topk();
+        let dims = Dims::all(g.schema());
+        let run = |split_dominant| {
+            let mut r = mine_parallel_with_opts(
+                &g,
+                &cfg,
+                &dims,
+                ParallelOptions {
+                    threads: 4,
+                    split_dominant,
+                },
+            );
+            r.stats.elapsed = std::time::Duration::ZERO;
+            r.stats
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn split_respects_zero_max_lhs() {
+        // max_lhs = 0 forbids any LHS condition; the split tasks fix one
+        // LHS value each and must mirror `left_range`'s guard, or the
+        // parallel miner invents GRs the sequential miner never emits.
+        let g = sample(2, 30, 200);
+        let mut cfg = MinerConfig::nhp(1, 0.0, 100).without_dynamic_topk();
+        cfg.max_lhs = Some(0);
+        cfg.allow_empty_lhs = true;
+        let seq = GrMiner::new(&g, cfg.clone()).mine();
+        let par = mine_parallel_with_opts(
+            &g,
+            &cfg,
+            &Dims::all(g.schema()),
+            ParallelOptions {
+                threads: 2,
+                split_dominant: true,
+            },
+        );
+        assert_eq!(seq.top, par.top);
+    }
+
+    #[test]
     fn parallel_is_deterministic_across_runs() {
         let g = sample(7, 40, 300);
         let cfg = MinerConfig::nhp(2, 0.3, 15);
@@ -212,7 +422,10 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let schema = SchemaBuilder::new().node_attr("A", 2, true).build().unwrap();
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 2, true)
+            .build()
+            .unwrap();
         let g = GraphBuilder::new(schema).build().unwrap();
         let r = mine_parallel(&g, &MinerConfig::default(), 2);
         assert!(r.top.is_empty());

@@ -38,8 +38,14 @@ pub fn parse_gr(schema: &Schema, input: &str) -> Result<Gr> {
         return Err(err("malformed arrow"));
     };
 
-    let l = parse_node_conds(schema, strip_parens(lhs_raw).ok_or_else(|| err("LHS needs (…)"))?)?;
-    let r = parse_node_conds(schema, strip_parens(rhs_raw).ok_or_else(|| err("RHS needs (…)"))?)?;
+    let l = parse_node_conds(
+        schema,
+        strip_parens(lhs_raw).ok_or_else(|| err("LHS needs (…)"))?,
+    )?;
+    let r = parse_node_conds(
+        schema,
+        strip_parens(rhs_raw).ok_or_else(|| err("RHS needs (…)"))?,
+    )?;
     let w = match w_raw {
         None => EdgeDescriptor::empty(),
         Some(raw) => parse_edge_conds(schema, raw)?,
@@ -150,14 +156,14 @@ mod tests {
     fn rejects_malformed() {
         let s = schema();
         for bad in [
-            "(SEX:F)",                       // no arrow
-            "(SEX:F) -> ()",                 // empty RHS
-            "(SEX:F) -> (NOPE:1)",           // unknown attr
-            "(SEX:F) -> (EDU:PhD)",          // unknown value
+            "(SEX:F)",                        // no arrow
+            "(SEX:F) -> ()",                  // empty RHS
+            "(SEX:F) -> (NOPE:1)",            // unknown attr
+            "(SEX:F) -> (EDU:PhD)",           // unknown value
             "(SEX:F) -[TYPE:dates-> (SEX:M)", // unterminated edge part
-            "(SEX:F) -> (Region:0)",         // null value
-            "(SEX:F) -> (Region:9999)",      // out of domain
-            "SEX:F -> (SEX:M)",              // missing parens
+            "(SEX:F) -> (Region:0)",          // null value
+            "(SEX:F) -> (Region:9999)",       // out of domain
+            "SEX:F -> (SEX:M)",               // missing parens
         ] {
             assert!(parse_gr(&s, bad).is_err(), "should reject `{bad}`");
         }

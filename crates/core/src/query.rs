@@ -48,19 +48,11 @@ pub fn evaluate(graph: &SocialGraph, gr: &Gr) -> GrMeasures {
     let edges = graph.edge_count() as u64;
 
     for e in graph.edge_ids() {
-        let r_match = gr
-            .r
-            .pairs()
-            .iter()
-            .all(|&(a, v)| graph.dst_attr(e, a) == v);
+        let r_match = gr.r.pairs().iter().all(|&(a, v)| graph.dst_attr(e, a) == v);
         if r_match {
             supp_r += 1;
         }
-        let lw_match = gr
-            .l
-            .pairs()
-            .iter()
-            .all(|&(a, v)| graph.src_attr(e, a) == v)
+        let lw_match = gr.l.pairs().iter().all(|&(a, v)| graph.src_attr(e, a) == v)
             && gr
                 .w
                 .pairs()

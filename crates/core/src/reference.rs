@@ -41,15 +41,12 @@ pub fn mine_reference_with_dims(
     let rhs_descs = lhs_descs.clone();
     let w_descs = all_edge_descriptors(graph, &dims.w);
 
-    let matches_l = |e: EdgeId, d: &NodeDescriptor| {
-        d.pairs().iter().all(|&(a, v)| graph.src_attr(e, a) == v)
-    };
-    let matches_r = |e: EdgeId, d: &NodeDescriptor| {
-        d.pairs().iter().all(|&(a, v)| graph.dst_attr(e, a) == v)
-    };
-    let matches_w = |e: EdgeId, d: &EdgeDescriptor| {
-        d.pairs().iter().all(|&(a, v)| graph.edge_attr(e, a) == v)
-    };
+    let matches_l =
+        |e: EdgeId, d: &NodeDescriptor| d.pairs().iter().all(|&(a, v)| graph.src_attr(e, a) == v);
+    let matches_r =
+        |e: EdgeId, d: &NodeDescriptor| d.pairs().iter().all(|&(a, v)| graph.dst_attr(e, a) == v);
+    let matches_w =
+        |e: EdgeId, d: &EdgeDescriptor| d.pairs().iter().all(|&(a, v)| graph.edge_attr(e, a) == v);
 
     // Condition (1): thresholds (plus the trivial-GR policy).
     let mut satisfying: Vec<ScoredGr> = Vec::new();
@@ -123,9 +120,9 @@ pub fn mine_reference_with_dims(
         .iter()
         .filter(|cand| {
             !config.generality_filter
-                || !satisfying.iter().any(|other| {
-                    other.gr != cand.gr && other.gr.is_more_general_than(&cand.gr)
-                })
+                || !satisfying
+                    .iter()
+                    .any(|other| other.gr != cand.gr && other.gr.is_more_general_than(&cand.gr))
         })
         .cloned()
         .collect();
@@ -230,11 +227,7 @@ mod tests {
                 let cfg = cfg.without_dynamic_topk();
                 let fast = GrMiner::new(&g, cfg.clone()).mine();
                 let slow = mine_reference(&g, &cfg);
-                assert_eq!(
-                    keys(&fast.top),
-                    keys(&slow),
-                    "seed {seed}, cfg {cfg:?}"
-                );
+                assert_eq!(keys(&fast.top), keys(&slow), "seed {seed}, cfg {cfg:?}");
                 // Scores agree too.
                 for (a, b) in fast.top.iter().zip(&slow) {
                     assert!((a.score - b.score).abs() < 1e-12);
@@ -261,7 +254,10 @@ mod tests {
 
     #[test]
     fn reference_empty_graph() {
-        let schema = SchemaBuilder::new().node_attr("A", 2, true).build().unwrap();
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 2, true)
+            .build()
+            .unwrap();
         let g = GraphBuilder::new(schema).build().unwrap();
         assert!(mine_reference(&g, &MinerConfig::default()).is_empty());
     }

@@ -91,10 +91,20 @@ pub fn dblp_config() -> GeneratorConfig {
         )],
         rules: vec![
             // D2: DB authors who collaborate often outside their area go
-            // to DM. Small strength keeps D2's support small (paper: 98)
-            // and its conf low (6.98%) while nhp stays high.
-            PlantedRule::new("D2", vec![("Area".into(), area::DB)], "Area", area::DM, 0.005)
-                .with_edge_attr("S", strength::OFTEN),
+            // to DM. Small strength keeps D2's support small and its conf
+            // low while nhp stays comfortably above the 50% mining
+            // threshold at every fixture scale. At full scale this yields
+            // supp ≈ 137, conf ≈ 15%, nhp ≈ 69% — the same shape as the
+            // paper's supp 98 / conf 6.98% / nhp 71.5%, scaled to the
+            // synthetic generator's denser often-edge population.
+            PlantedRule::new(
+                "D2",
+                vec![("Area".into(), area::DB)],
+                "Area",
+                area::DM,
+                0.012,
+            )
+            .with_edge_attr("S", strength::OFTEN),
             // D16: productive AI authors drift toward DM.
             PlantedRule::new(
                 "D16",
@@ -120,8 +130,12 @@ pub fn dblp_config() -> GeneratorConfig {
             // then routes their collaborations to DB partners — the
             // mechanism behind D4 `(P:Excellent) -> (A:DB)` that a
             // source-side rule cannot produce under undirected reversal.
-            ValueCorrelation::new("Productivity", productivity::EXCELLENT, "Area",
-                vec![0.72, 0.10, 0.10, 0.08]),
+            ValueCorrelation::new(
+                "Productivity",
+                productivity::EXCELLENT,
+                "Area",
+                vec![0.72, 0.10, 0.10, 0.08],
+            ),
         ],
         homophily_prob: 0.85,
         undirected: true,

@@ -323,12 +323,7 @@ mod tests {
             nodes: 200,
             edges: 1000,
             node_attrs: vec![
-                NodeAttrSpec::named(
-                    "G",
-                    false,
-                    vec!["F".into(), "M".into()],
-                    vec![0.5, 0.5],
-                ),
+                NodeAttrSpec::named("G", false, vec!["F".into(), "M".into()], vec![0.5, 0.5]),
                 NodeAttrSpec::named(
                     "E",
                     true,
@@ -336,18 +331,8 @@ mod tests {
                     vec![0.5, 0.3, 0.2],
                 ),
             ],
-            edge_attrs: vec![EdgeAttrSpec::named(
-                "T",
-                vec!["dates".into()],
-                vec![1.0],
-            )],
-            rules: vec![PlantedRule::new(
-                "R1",
-                vec![("E".into(), 1)],
-                "E",
-                2,
-                0.3,
-            )],
+            edge_attrs: vec![EdgeAttrSpec::named("T", vec!["dates".into()], vec![1.0])],
+            rules: vec![PlantedRule::new("R1", vec![("E".into(), 1)], "E", 2, 0.3)],
             correlations: vec![],
             homophily_prob: 0.5,
             undirected: false,

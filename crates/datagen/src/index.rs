@@ -34,7 +34,10 @@ impl Bucket {
         }
         for _ in 0..8 {
             let u = rng.gen::<f64>() * total;
-            let i = self.cum.partition_point(|&c| c <= u).min(self.nodes.len() - 1);
+            let i = self
+                .cum
+                .partition_point(|&c| c <= u)
+                .min(self.nodes.len() - 1);
             if self.nodes[i] != exclude {
                 return Some(self.nodes[i]);
             }

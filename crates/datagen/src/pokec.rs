@@ -91,7 +91,9 @@ pub fn pokec_config() -> GeneratorConfig {
                     "80+".into(),
                     "Unknown".into(),
                 ],
-                vec![0.01, 0.04, 0.12, 0.30, 0.25, 0.12, 0.07, 0.04, 0.02, 0.01, 0.02],
+                vec![
+                    0.01, 0.04, 0.12, 0.30, 0.25, 0.12, 0.07, 0.04, 0.02, 0.01, 0.02,
+                ],
             )
             .with_homophily_weight(0.5)
             .with_null_prob(0.02),
@@ -134,7 +136,9 @@ pub fn pokec_config() -> GeneratorConfig {
                     "Travel".into(),
                     "Other".into(),
                 ],
-                vec![0.25, 0.20, 0.15, 0.12, 0.05, 0.04, 0.05, 0.06, 0.04, 0.02, 0.02],
+                vec![
+                    0.25, 0.20, 0.15, 0.12, 0.05, 0.04, 0.05, 0.06, 0.04, 0.02, 0.02,
+                ],
             )
             .with_homophily_weight(1.0)
             .with_null_prob(0.05),
@@ -269,7 +273,10 @@ mod tests {
         assert_eq!(s.node_attr(REGION).domain_size(), 188);
         assert_eq!(s.node_attr(AGE).domain_size(), 11);
         // Homophily setting: A, R, E, L homophilous; G, S not (§VI-A).
-        let flags: Vec<bool> = s.node_attr_ids().map(|a| s.node_attr(a).is_homophily()).collect();
+        let flags: Vec<bool> = s
+            .node_attr_ids()
+            .map(|a| s.node_attr(a).is_homophily())
+            .collect();
         assert_eq!(flags, vec![false, true, true, true, true, false]);
     }
 

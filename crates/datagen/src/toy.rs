@@ -112,7 +112,7 @@ mod tests {
         assert_eq!(g.node_row(6), &[1, 2, 1]); // 7: F Latino HighSchool
         assert_eq!(g.node_row(7), &[2, 1, 3]); // 8: M Asian Grad
         assert_eq!(g.node_row(13), &[2, 3, 1]); // 14: M White HighSchool
-        // Seven women, seven men.
+                                                // Seven women, seven men.
         let females = g.node_ids().filter(|&v| g.node_attr(v, SEX) == 1).count();
         assert_eq!(females, 7);
     }

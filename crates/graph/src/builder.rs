@@ -87,7 +87,10 @@ impl GraphBuilder {
         let n = self.node_count() as u32;
         for end in [src, dst] {
             if end >= n {
-                return Err(GraphError::DanglingEndpoint { node: end, nodes: n });
+                return Err(GraphError::DanglingEndpoint {
+                    node: end,
+                    nodes: n,
+                });
             }
         }
         if src == dst && !self.allow_self_loops {
@@ -161,7 +164,10 @@ mod tests {
     fn self_loop_policy() {
         let mut b = GraphBuilder::new(schema());
         let n = b.add_node(&[1]).unwrap();
-        assert!(matches!(b.add_edge(n, n, &[1]), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            b.add_edge(n, n, &[1]),
+            Err(GraphError::SelfLoop { .. })
+        ));
 
         let mut b = GraphBuilder::new(schema()).allow_self_loops();
         let n = b.add_node(&[1]).unwrap();

@@ -107,7 +107,10 @@ pub fn read_csv_graph<N: Read, E: Read>(
             continue;
         }
         let fields = split(&line, options.delimiter);
-        let id_raw = fields.get(id_col).ok_or(parse_err(ln, "missing id"))?.clone();
+        let id_raw = fields
+            .get(id_col)
+            .ok_or(parse_err(ln, "missing id"))?
+            .clone();
         row.iter_mut().for_each(|v| *v = 0);
         for &(col, attr) in &attr_cols {
             let raw = fields.get(col).map(|s| s.trim()).unwrap_or("");

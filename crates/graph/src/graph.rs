@@ -214,7 +214,10 @@ mod tests {
 
     #[test]
     fn empty_edge_schema_has_empty_rows() {
-        let schema = SchemaBuilder::new().node_attr("A", 2, false).build().unwrap();
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 2, false)
+            .build()
+            .unwrap();
         let mut b = GraphBuilder::new(schema);
         let n0 = b.add_node(&[1]).unwrap();
         let n1 = b.add_node(&[2]).unwrap();

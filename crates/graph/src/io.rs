@@ -59,9 +59,7 @@ fn write_attr<W: Write>(w: &mut W, tag: &str, def: &AttrDef) -> Result<()> {
     let flag = if def.is_homophily() { "h" } else { "n" };
     let mut line = format!("{tag}\t{}\t{}\t{flag}", def.name(), def.domain_size());
     // Emit the dictionary only when at least one value has a real name.
-    let named: Vec<String> = (0..=def.domain_size())
-        .map(|v| def.value_name(v))
-        .collect();
+    let named: Vec<String> = (0..=def.domain_size()).map(|v| def.value_name(v)).collect();
     let has_dict = (1..=def.domain_size()).any(|v| def.value_name(v) != v.to_string());
     if has_dict {
         for name in named {

@@ -270,7 +270,8 @@ impl SchemaBuilder {
         domain_size: AttrValue,
         homophily: bool,
     ) -> Self {
-        self.node_attrs.push(AttrDef::new(name, domain_size, homophily));
+        self.node_attrs
+            .push(AttrDef::new(name, domain_size, homophily));
         self
     }
 
@@ -281,7 +282,8 @@ impl SchemaBuilder {
         homophily: bool,
         values: impl IntoIterator<Item = S>,
     ) -> Self {
-        self.node_attrs.push(AttrDef::with_values(name, homophily, values));
+        self.node_attrs
+            .push(AttrDef::with_values(name, homophily, values));
         self
     }
 
@@ -297,7 +299,8 @@ impl SchemaBuilder {
         name: impl Into<String>,
         values: impl IntoIterator<Item = S>,
     ) -> Self {
-        self.edge_attrs.push(AttrDef::with_values(name, false, values));
+        self.edge_attrs
+            .push(AttrDef::with_values(name, false, values));
         self
     }
 

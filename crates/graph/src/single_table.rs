@@ -71,7 +71,8 @@ impl SingleTable {
     /// RHS (destination) node attribute `a` of row `r`.
     #[inline]
     pub fn r_attr(&self, r: u32, a: NodeAttrId) -> AttrValue {
-        self.data[r as usize * self.width() + self.node_attr_count + self.edge_attr_count + a.index()]
+        self.data
+            [r as usize * self.width() + self.node_attr_count + self.edge_attr_count + a.index()]
     }
 }
 

@@ -99,7 +99,11 @@ pub fn homophily_scores(graph: &SocialGraph) -> Vec<HomophilyScore> {
             };
             HomophilyScore {
                 attr: a,
-                observed_same: if measured[i] == 0 { 0.0 } else { same[i] as f64 / m },
+                observed_same: if measured[i] == 0 {
+                    0.0
+                } else {
+                    same[i] as f64 / m
+                },
                 expected_same: expected,
                 measured_edges: measured[i],
             }
@@ -205,12 +209,7 @@ mod tests {
             .unwrap();
         let mut b = GraphBuilder::new(schema);
         // Nodes: (A, B, C)
-        let rows = [
-            [1, 1, 1],
-            [1, 2, 2],
-            [2, 1, 1],
-            [2, 2, 2],
-        ];
+        let rows = [[1, 1, 1], [1, 2, 2], [2, 1, 1], [2, 2, 2]];
         for r in rows {
             b.add_node(&r).unwrap();
         }
@@ -250,7 +249,10 @@ mod tests {
 
     #[test]
     fn null_endpoints_excluded() {
-        let schema = SchemaBuilder::new().node_attr("A", 2, true).build().unwrap();
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 2, true)
+            .build()
+            .unwrap();
         let mut b = GraphBuilder::new(schema);
         let x = b.add_node(&[1]).unwrap();
         let y = b.add_node(&[0]).unwrap(); // null
@@ -290,7 +292,10 @@ mod tests {
 
     #[test]
     fn empty_graph_is_quiet() {
-        let schema = SchemaBuilder::new().node_attr("A", 2, true).build().unwrap();
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 2, true)
+            .build()
+            .unwrap();
         let g = GraphBuilder::new(schema).build().unwrap();
         let s = &homophily_scores(&g)[0];
         assert_eq!(s.measured_edges, 0);

@@ -28,7 +28,10 @@ fn main() {
     // the first 10.
     let min_supp = ((graph.edge_count() as f64) * 0.001) as u64;
     let result = GrMiner::new(&graph, MinerConfig::nhp(min_supp.max(1), 0.5, 300)).mine();
-    println!("top GRs by non-homophily preference (of {} mined):", result.top.len());
+    println!(
+        "top GRs by non-homophily preference (of {} mined):",
+        result.top.len()
+    );
     for (i, x) in result.top.iter().take(10).enumerate() {
         println!(
             "{:>3}. {}  nhp={:.1}%  supp={}  (conf={:.1}%)",

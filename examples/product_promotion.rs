@@ -92,9 +92,15 @@ fn main() {
 
     let m_same = query::evaluate(&graph, &stocks_to_stocks);
     let m_bond = query::evaluate(&graph, &stocks_to_bonds);
-    println!("homophily strategy      {}", stocks_to_stocks.display(schema));
+    println!(
+        "homophily strategy      {}",
+        stocks_to_stocks.display(schema)
+    );
     println!("                        {}", m_same.summary());
-    println!("beyond-homophily play   {}", stocks_to_bonds.display(schema));
+    println!(
+        "beyond-homophily play   {}",
+        stocks_to_bonds.display(schema)
+    );
     println!("                        {}", m_bond.summary());
     println!(
         "\n=> among friends who do NOT hold Stocks already, {:.0}% hold Bonds:\n\

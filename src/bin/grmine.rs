@@ -34,11 +34,19 @@ fn main() {
     exit(code);
 }
 
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// Parse `name`'s value if the flag is present. A present flag whose
+/// value is missing or unparseable is an error — silently falling back
+/// to a default would turn a typo into a wrong run.
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    let Some(raw) = args.get(i + 1) else {
+        return Err(format!("flag `{name}` is missing its value"));
+    };
+    raw.parse()
+        .map(Some)
+        .map_err(|_| format!("invalid value `{raw}` for flag `{name}`"))
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -62,7 +70,14 @@ fn cmd_mine(args: &[String]) -> i32 {
     };
     let Some(graph) = load(path) else { return 1 };
 
-    let metric = match flag_value(args, "--metric").unwrap_or("nhp") {
+    let metric_name = match parse_flag::<String>(args, "--metric") {
+        Ok(v) => v.unwrap_or_else(|| "nhp".to_string()),
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let metric = match metric_name.as_str() {
         "nhp" => RankMetric::Nhp,
         "conf" => RankMetric::Conf,
         "laplace" => RankMetric::Laplace { k: 2 },
@@ -75,15 +90,31 @@ fn cmd_mine(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let default_score = if metric.anti_monotone() { 0.5 } else { f64::NEG_INFINITY };
+    let default_score = if metric.anti_monotone() {
+        0.5
+    } else {
+        f64::NEG_INFINITY
+    };
+    let parsed = (|| -> Result<(u64, f64, usize, Option<usize>), String> {
+        Ok((
+            parse_flag(args, "--min-supp")?
+                .unwrap_or_else(|| ((graph.edge_count() / 1000) as u64).max(1)),
+            parse_flag(args, "--min-score")?.unwrap_or(default_score),
+            parse_flag(args, "--k")?.unwrap_or(20),
+            parse_flag(args, "--parallel")?,
+        ))
+    })();
+    let (min_supp, min_score, k, parallel) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let mut cfg = MinerConfig {
-        min_supp: flag_value(args, "--min-supp")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| ((graph.edge_count() / 1000) as u64).max(1)),
-        min_score: flag_value(args, "--min-score")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default_score),
-        k: flag_value(args, "--k").and_then(|v| v.parse().ok()).unwrap_or(20),
+        min_supp,
+        min_score,
+        k,
         ..MinerConfig::default().with_metric(metric)
     };
     if has_flag(args, "--no-dynamic") {
@@ -93,8 +124,7 @@ fn cmd_mine(args: &[String]) -> i32 {
         cfg.allow_empty_lhs = true;
     }
 
-    let result = if let Some(threads) = flag_value(args, "--parallel") {
-        let threads: usize = threads.parse().unwrap_or(0);
+    let result = if let Some(threads) = parallel {
         mine_parallel(&graph, &cfg.clone().without_dynamic_topk(), threads)
     } else if has_flag(args, "--baseline-bl1") {
         mine_baseline(&graph, &cfg, BaselineKind::Bl1)
@@ -153,9 +183,25 @@ fn cmd_gen(args: &[String]) -> i32 {
         eprintln!("usage: grmine gen <pokec|dblp> <out.grm> [--scale F] [--seed N]");
         return 2;
     };
-    let scale: f64 = flag_value(args, "--scale")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.1);
+    let (scale, seed) = match (|| -> Result<(f64, Option<u64>), String> {
+        Ok((
+            parse_flag(args, "--scale")?.unwrap_or(0.1),
+            parse_flag(args, "--seed")?,
+        ))
+    })() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    // Reject NaN/inf and runaway magnitudes: `scaled()` multiplies node
+    // and edge counts by this factor, so an extreme value turns a typo
+    // into an allocation abort instead of an error.
+    if !(scale.is_finite() && scale > 0.0 && scale <= 1e4) {
+        eprintln!("invalid --scale {scale}: must be a positive number <= 10000");
+        return 2;
+    }
     let mut cfg = match which.as_str() {
         "pokec" => social_ties::datagen::pokec_config_scaled(scale),
         "dblp" => social_ties::datagen::dblp_config_scaled(scale),
@@ -164,10 +210,16 @@ fn cmd_gen(args: &[String]) -> i32 {
             return 2;
         }
     };
-    if let Some(seed) = flag_value(args, "--seed").and_then(|v| v.parse().ok()) {
+    if let Some(seed) = seed {
         cfg = cfg.with_seed(seed);
     }
-    let graph = generate(&cfg).expect("builtin configs are valid");
+    let graph = match generate(&cfg) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot generate `{which}` at scale {scale}: {e}");
+            return 2;
+        }
+    };
     if let Err(e) = io::save_graph(&graph, out) {
         eprintln!("error writing `{out}`: {e}");
         return 1;
@@ -196,7 +248,11 @@ fn cmd_info(args: &[String]) -> i32 {
             "  {} (|A|={}, {})",
             def.name(),
             def.domain_size(),
-            if def.is_homophily() { "homophily" } else { "non-homophily" }
+            if def.is_homophily() {
+                "homophily"
+            } else {
+                "non-homophily"
+            }
         );
     }
     println!("edge attributes:");

@@ -19,7 +19,11 @@ fn lift_deflates_the_poor_productivity_pattern() {
     let g = dblp();
     let s = g.schema();
 
-    let d1 = GrBuilder::new(s).l("Area", "AI").r("Productivity", "Poor").build().unwrap();
+    let d1 = GrBuilder::new(s)
+        .l("Area", "AI")
+        .r("Productivity", "Poor")
+        .build()
+        .unwrap();
     let m1 = query::evaluate(&g, &d1);
     let lift_d1 = m1.conf.unwrap() / (m1.supp_r as f64 / m1.edges as f64);
     assert!(
@@ -30,7 +34,11 @@ fn lift_deflates_the_poor_productivity_pattern() {
     // Lift corrects for RHS-population skew but NOT for homophily: the
     // same-area restatement scores a huge lift, which is precisely why
     // the paper still needs nhp on top of the §VII alternatives.
-    let same_area = GrBuilder::new(s).l("Area", "DB").r("Area", "DB").build().unwrap();
+    let same_area = GrBuilder::new(s)
+        .l("Area", "DB")
+        .r("Area", "DB")
+        .build()
+        .unwrap();
     let m3 = query::evaluate(&g, &same_area);
     let lift_same = m3.conf.unwrap() / (m3.supp_r as f64 / m3.edges as f64);
     assert!(
@@ -71,8 +79,7 @@ fn lift_ranking_does_not_lead_with_poor() {
     for x in &result.top {
         if x.gr.r.pairs().len() == 1 {
             let (a, v) = x.gr.r.pairs()[0];
-            if s.node_attr(a).name() == "Productivity" && s.node_attr(a).value_name(v) == "Poor"
-            {
+            if s.node_attr(a).name() == "Productivity" && s.node_attr(a).value_name(v) == "Poor" {
                 assert!(x.score < 1.5, "bare Poor lift {}", x.score);
             }
         }
@@ -88,7 +95,9 @@ fn laplace_discounts_tiny_supports() {
         .build()
         .unwrap();
     let mut b = social_ties::GraphBuilder::new(schema);
-    let n: Vec<u32> = (0..8).map(|i| b.add_node(&[(i % 4) + 1]).unwrap()).collect();
+    let n: Vec<u32> = (0..8)
+        .map(|i| b.add_node(&[(i % 4) + 1]).unwrap())
+        .collect();
     // A:1 sources -> A:2 (10 edges); A:3 source -> A:4 (1 edge).
     for _ in 0..10 {
         b.add_edge(n[0], n[1], &[]).unwrap();
@@ -150,8 +159,16 @@ fn conviction_orders_consistently_with_conf_at_fixed_rhs() {
     let g = dblp();
     let s = g.schema();
     let grs = [
-        GrBuilder::new(s).l("Area", "DB").r("Area", "DB").build().unwrap(),
-        GrBuilder::new(s).l("Productivity", "Fair").r("Area", "DB").build().unwrap(),
+        GrBuilder::new(s)
+            .l("Area", "DB")
+            .r("Area", "DB")
+            .build()
+            .unwrap(),
+        GrBuilder::new(s)
+            .l("Productivity", "Fair")
+            .r("Area", "DB")
+            .build()
+            .unwrap(),
     ];
     let conv = |gr: &social_ties::Gr| {
         let m = query::evaluate(&g, gr);

@@ -38,7 +38,15 @@ fn parser_round_trips_every_mined_gr() {
 fn cli_gen_info_mine_query_pipeline() {
     let path = tmp("pipeline.grm");
     let out = grmine()
-        .args(["gen", "dblp", path.to_str().unwrap(), "--scale", "0.03", "--seed", "5"])
+        .args([
+            "gen",
+            "dblp",
+            path.to_str().unwrap(),
+            "--scale",
+            "0.03",
+            "--seed",
+            "5",
+        ])
         .output()
         .expect("gen runs");
     assert!(out.status.success(), "gen failed: {out:?}");
@@ -53,7 +61,14 @@ fn cli_gen_info_mine_query_pipeline() {
     assert!(text.contains("compact model:"));
 
     let out = grmine()
-        .args(["mine", path.to_str().unwrap(), "--k", "5", "--min-supp", "3"])
+        .args([
+            "mine",
+            path.to_str().unwrap(),
+            "--k",
+            "5",
+            "--min-supp",
+            "3",
+        ])
         .output()
         .expect("mine runs");
     assert!(out.status.success());
@@ -83,7 +98,15 @@ fn cli_mine_json_is_parseable() {
         .status
         .success());
     let out = grmine()
-        .args(["mine", path.to_str().unwrap(), "--k", "3", "--min-supp", "3", "--json"])
+        .args([
+            "mine",
+            path.to_str().unwrap(),
+            "--k",
+            "3",
+            "--min-supp",
+            "3",
+            "--json",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -94,8 +117,18 @@ fn cli_mine_json_is_parseable() {
 
 #[test]
 fn cli_rejects_bad_input() {
-    assert!(!grmine().args(["mine", "/nonexistent.grm"]).output().unwrap().status.success());
-    assert!(!grmine().args(["gen", "nope", "/tmp/x.grm"]).output().unwrap().status.success());
+    assert!(!grmine()
+        .args(["mine", "/nonexistent.grm"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    assert!(!grmine()
+        .args(["gen", "nope", "/tmp/x.grm"])
+        .output()
+        .unwrap()
+        .status
+        .success());
     assert!(!grmine().args(["bogus"]).output().unwrap().status.success());
 
     let path = tmp("badquery.grm");
@@ -111,6 +144,56 @@ fn cli_rejects_bad_input() {
         .unwrap()
         .status
         .success());
+}
+
+#[test]
+fn cli_rejects_malformed_flag_values() {
+    let path = tmp("flags.grm");
+    assert!(grmine()
+        .args(["gen", "dblp", path.to_str().unwrap(), "--scale", "0.03"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    // A present numeric flag with a bad or missing value must fail
+    // loudly, not silently fall back to a default.
+    for bad in [
+        vec!["mine", path.to_str().unwrap(), "--min-supp", "three"],
+        vec!["mine", path.to_str().unwrap(), "--k", "many"],
+        vec!["mine", path.to_str().unwrap(), "--min-score", "high"],
+        vec!["mine", path.to_str().unwrap(), "--parallel", "all"],
+        vec!["mine", path.to_str().unwrap(), "--k"],
+        vec!["gen", "dblp", "/tmp/x.grm", "--scale", "big"],
+        vec!["gen", "dblp", "/tmp/x.grm", "--scale", "0"],
+        vec!["gen", "dblp", "/tmp/x.grm", "--seed", "yes"],
+        vec!["mine", path.to_str().unwrap(), "--metric", "vibes"],
+    ] {
+        let out = grmine().args(&bad).output().unwrap();
+        assert!(
+            !out.status.success(),
+            "expected failure for {bad:?}, got: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        assert!(
+            !out.stderr.is_empty(),
+            "expected a message on stderr for {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn cli_rejects_corrupt_graph_file() {
+    let path = tmp("corrupt.grm");
+    std::fs::write(&path, "this is not a GRMGRAPH file\n").unwrap();
+    for cmd in ["mine", "info"] {
+        let out = grmine()
+            .args([cmd, path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{cmd} accepted a corrupt file");
+        assert!(!out.stderr.is_empty());
+    }
 }
 
 #[test]

@@ -18,7 +18,10 @@ fn pokec_detection_matches_planted_flags() {
         .iter()
         .max_by(|a, b| a.assortativity().total_cmp(&b.assortativity()))
         .unwrap();
-    assert_eq!(best.attr, region, "Region should top the assortativity list");
+    assert_eq!(
+        best.attr, region,
+        "Region should top the assortativity list"
+    );
     assert!(best.assortativity() > 0.4, "got {}", best.assortativity());
 
     // Gender and Marital (non-homophily in the config) measure near zero…

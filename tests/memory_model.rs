@@ -15,7 +15,11 @@ fn formulas_match_the_paper() {
     let ea = g.schema().edge_attr_count();
 
     let st = SingleTable::build(&g);
-    assert_eq!(st.cells(), e * (2 * na + ea), "single table: |E|(2#AttrV+#AttrE)");
+    assert_eq!(
+        st.cells(),
+        e * (2 * na + ea),
+        "single table: |E|(2#AttrV+#AttrE)"
+    );
 
     let cm = CompactModel::build(&g);
     assert_eq!(
@@ -53,8 +57,8 @@ fn sparse_graph_still_no_worse_than_single_table_bottleneck() {
     let st = SingleTable::build(&g);
     let cm = CompactModel::build(&g);
     let edge_term_compact = g.edge_count() * (g.schema().edge_attr_count() + 1);
-    let edge_term_single = g.edge_count() * (2 * g.schema().node_attr_count()
-        + g.schema().edge_attr_count());
+    let edge_term_single =
+        g.edge_count() * (2 * g.schema().node_attr_count() + g.schema().edge_attr_count());
     assert!(edge_term_compact < edge_term_single);
     // Zero-degree nodes are dropped from LArray/RArray (§IV-A).
     assert!(cm.lrow_count() <= g.node_count());

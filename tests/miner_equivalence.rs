@@ -137,7 +137,11 @@ fn alt_metrics_match_reference() {
         ] {
             let cfg = MinerConfig {
                 min_supp: 2,
-                min_score: if metric.anti_monotone() { 0.1 } else { f64::NEG_INFINITY },
+                min_score: if metric.anti_monotone() {
+                    0.1
+                } else {
+                    f64::NEG_INFINITY
+                },
                 k: 12,
                 dynamic_topk: false,
                 ..MinerConfig::default().with_metric(metric)

@@ -1,0 +1,72 @@
+//! Parallel-vs-sequential equivalence (the collect-mode guarantee of
+//! `grm_core::parallel`): `mine_parallel` — with and without dominant
+//! root-task splitting, at 2 and 4 threads — must return bit-identical
+//! `top` to the sequential static-threshold `GrMiner::mine`, on the
+//! Fig. 1 toy network and on a Pokec-like workload whose high-cardinality
+//! `Region` dimension is exactly the dominant-task case splitting exists
+//! for.
+
+use social_ties::core::parallel::{mine_parallel, mine_parallel_with_opts, ParallelOptions};
+use social_ties::core::Dims;
+use social_ties::datagen::pokec_config_scaled;
+use social_ties::{generate, toy_network, GrMiner, MinerConfig, SocialGraph};
+
+fn assert_parallel_matches_sequential(g: &SocialGraph, cfg: &MinerConfig, label: &str) {
+    let cfg = cfg.clone().without_dynamic_topk();
+    let seq = GrMiner::new(g, cfg.clone()).mine();
+    let dims = Dims::all(g.schema());
+    for threads in [2usize, 4] {
+        for split_dominant in [false, true] {
+            let par = mine_parallel_with_opts(
+                g,
+                &cfg,
+                &dims,
+                ParallelOptions {
+                    threads,
+                    split_dominant,
+                },
+            );
+            assert_eq!(
+                seq.top, par.top,
+                "{label}: parallel diverged (threads {threads}, split {split_dominant})"
+            );
+        }
+    }
+}
+
+#[test]
+fn toy_network_bit_identical() {
+    let g = toy_network();
+    for cfg in [
+        MinerConfig::nhp(1, 0.5, 10),
+        MinerConfig::nhp(1, 0.0, 100),
+        MinerConfig::conf(1, 0.4, 20),
+    ] {
+        assert_parallel_matches_sequential(&g, &cfg, "toy");
+    }
+}
+
+#[test]
+fn pokec_like_bit_identical() {
+    let g = generate(&pokec_config_scaled(0.02)).unwrap();
+    assert!(g.edge_count() > 0);
+    let min_supp = (g.edge_count() as u64 / 1000).max(1);
+    for cfg in [
+        MinerConfig::nhp(min_supp, 0.5, 50),
+        MinerConfig::conf(min_supp, 0.5, 50),
+    ] {
+        assert_parallel_matches_sequential(&g, &cfg, "pokec");
+    }
+}
+
+#[test]
+fn default_entry_point_splits_and_matches() {
+    // `mine_parallel` (splitting on by default) equals sequential too.
+    let g = generate(&pokec_config_scaled(0.01)).unwrap();
+    let cfg = MinerConfig::nhp(5, 0.5, 25).without_dynamic_topk();
+    let seq = GrMiner::new(&g, cfg.clone()).mine();
+    for threads in [2usize, 4] {
+        let par = mine_parallel(&g, &cfg, threads);
+        assert_eq!(seq.top, par.top, "threads {threads}");
+    }
+}

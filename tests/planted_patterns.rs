@@ -73,8 +73,7 @@ fn pokec_conf_top_is_dominated_by_homophily() {
     assert!(
         trivial_in_top5 >= 3,
         "conf top-5 should be dominated by trivial homophily GRs, got {trivial_in_top5}:\n{}",
-        result
-            .top[..5]
+        result.top[..5]
             .iter()
             .map(|x| x.display(s))
             .collect::<Vec<_>>()
@@ -97,7 +96,10 @@ fn pokec_nhp_boosts_what_conf_buries() {
     let conf = m.conf.unwrap();
     assert!(nhp >= 0.5, "planted P2 passes the paper's minNhp: {nhp}");
     assert!(conf < 0.5, "P2 is invisible at minConf 50%: {conf}");
-    assert!(nhp > conf + 0.1, "nhp {nhp} must clearly exceed conf {conf}");
+    assert!(
+        nhp > conf + 0.1,
+        "nhp {nhp} must clearly exceed conf {conf}"
+    );
 }
 
 #[test]
@@ -184,7 +186,10 @@ fn dblp_conf_top_is_same_area_collaboration() {
     // restatements, interleaved with Poor-productivity GRs like
     // (A:AI)->(P:Poor) at 74.3%. Require at least two trivial same-area
     // GRs among the top 5, all with high confidence.
-    let trivial_in_top5 = result.top[..5].iter().filter(|x| x.gr.is_trivial(s)).count();
+    let trivial_in_top5 = result.top[..5]
+        .iter()
+        .filter(|x| x.gr.is_trivial(s))
+        .count();
     assert!(
         trivial_in_top5 >= 2,
         "conf top-5 should contain same-area restatements:\n{}",

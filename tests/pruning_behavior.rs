@@ -65,8 +65,14 @@ fn fig4a_mechanics_grminer_stays_stable_as_minsupp_drops() {
     let supp_lo = 2u64;
 
     let cfg = |s| MinerConfig::nhp(s, 0.5, 100);
-    let miner_hi = GrMiner::new(&g, cfg(supp_hi)).mine().stats.partitions_examined;
-    let miner_lo = GrMiner::new(&g, cfg(supp_lo)).mine().stats.partitions_examined;
+    let miner_hi = GrMiner::new(&g, cfg(supp_hi))
+        .mine()
+        .stats
+        .partitions_examined;
+    let miner_lo = GrMiner::new(&g, cfg(supp_lo))
+        .mine()
+        .stats
+        .partitions_examined;
     let bl_hi = mine_baseline(&g, &cfg(supp_hi), BaselineKind::Bl2)
         .stats
         .partitions_examined;

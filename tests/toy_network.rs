@@ -15,8 +15,10 @@ fn gr4_surfaces_at_full_nhp() {
     let gr4 = result
         .top
         .iter()
-        .find(|x| x.gr.display(s) == "(SEX:F, EDU:Grad) -[TYPE:dates]-> (EDU:College)"
-            || x.gr.display(s) == "(SEX:F, EDU:Grad) -> (EDU:College)")
+        .find(|x| {
+            x.gr.display(s) == "(SEX:F, EDU:Grad) -[TYPE:dates]-> (EDU:College)"
+                || x.gr.display(s) == "(SEX:F, EDU:Grad) -> (EDU:College)"
+        })
         .or_else(|| {
             // The most general form satisfying the thresholds may drop SEX
             // or TYPE from the LHS; accept any generalization whose RHS is

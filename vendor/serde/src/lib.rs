@@ -1,0 +1,423 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The real serde pipes values through a visitor-based data model; this
+//! subset routes everything through an owned value tree ([`Content`]),
+//! which is all the workspace needs (JSON round-trips of owned structs
+//! and enums). The generic trait signatures mirror real serde so code
+//! written against it — including `#[serde(with = "module")]` helper
+//! modules — compiles unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The owned value tree every (de)serialization routes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// Uninhabited error for infallible serializers.
+#[derive(Debug)]
+pub enum Never {}
+
+impl std::fmt::Display for Never {
+    fn fmt(&self, _: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {}
+    }
+}
+
+/// Deserialization error carried by [`ContentDeserializer`].
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub mod de {
+    /// Mirror of `serde::de::Error`: any deserializer error type can be
+    /// built from a message.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::Error {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            super::Error(msg.to_string())
+        }
+    }
+}
+
+pub mod ser {
+    /// Mirror of `serde::ser::Error`.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A type that can be serialized through any [`Serializer`].
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for one [`Content`] tree.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be deserialized through any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A source of one [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// Serializer producing the value tree itself (infallible).
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = Never;
+    fn serialize_content(self, content: Content) -> Result<Content, Never> {
+        Ok(content)
+    }
+}
+
+/// Deserializer reading from an owned value tree.
+pub struct ContentDeserializer {
+    content: Content,
+}
+
+impl ContentDeserializer {
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer { content }
+    }
+}
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = Error;
+    fn deserialize_content(self) -> Result<Content, Error> {
+        Ok(self.content)
+    }
+}
+
+/// Serialize a value to its [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+    match value.serialize(ContentSerializer) {
+        Ok(c) => c,
+        Err(never) => match never {},
+    }
+}
+
+/// Run a `#[serde(with = …)]`-style serialize fn against the content sink.
+pub fn with_to_content<F>(f: F) -> Content
+where
+    F: FnOnce(ContentSerializer) -> Result<Content, Never>,
+{
+    match f(ContentSerializer) {
+        Ok(c) => c,
+        Err(never) => match never {},
+    }
+}
+
+/// Deserialize a value from a [`Content`] tree, lifting the error into any
+/// [`de::Error`] type (used by derived impls).
+pub fn from_content<T, E>(content: Content) -> Result<T, E>
+where
+    T: for<'de> Deserialize<'de>,
+    E: de::Error,
+{
+    T::deserialize(ContentDeserializer::new(content)).map_err(E::custom)
+}
+
+/// Lift a content-deserializer error into the caller's error type.
+pub fn lift_err<E: de::Error>(e: Error) -> E {
+    E::custom(e)
+}
+
+/// Unwrap a map content or error (derived struct impls).
+pub fn expect_map<E: de::Error>(content: Content, what: &str) -> Result<Vec<(String, Content)>, E> {
+    match content {
+        Content::Map(m) => Ok(m),
+        other => Err(E::custom(format!("expected map for {what}, got {other:?}"))),
+    }
+}
+
+/// Unwrap a sequence content or error (derived tuple impls).
+pub fn expect_seq<E: de::Error>(content: Content, what: &str) -> Result<Vec<Content>, E> {
+    match content {
+        Content::Seq(s) => Ok(s),
+        other => Err(E::custom(format!(
+            "expected sequence for {what}, got {other:?}"
+        ))),
+    }
+}
+
+/// Remove a field from a decoded map by key.
+pub fn take_field(map: &mut Vec<(String, Content)>, key: &str) -> Option<Content> {
+    map.iter()
+        .position(|(k, _)| k == key)
+        .map(|i| map.remove(i).1)
+}
+
+/// Error for a missing struct field.
+pub fn missing_field<E: de::Error>(ty: &str, field: &str) -> E {
+    E::custom(format!("missing field `{field}` of {ty}"))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive and container impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_content(Content::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.deserialize_content()? {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(format!("{v} out of range"))),
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(format!("{v} out of range"))),
+                    other => Err(de::Error::custom(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_content(Content::I64(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.deserialize_content()? {
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(format!("{v} out of range"))),
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(format!("{v} out of range"))),
+                    other => Err(de::Error::custom(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::F64(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(de::Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::F64(*self as f64))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(de::Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Str(v) => Ok(v),
+            other => Err(de::Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_content(to_content(v)),
+            None => s.serialize_content(Content::Null),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Null => Ok(None),
+            c => from_content::<T, D::Error>(c).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = expect_seq::<D::Error>(d.deserialize_content()?, "Vec")?;
+        items.into_iter().map(from_content::<T, D::Error>).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for std::sync::Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_content(Content::Seq(vec![$(to_content(&self.$n)),+]))
+            }
+        }
+        impl<'de, $($t: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let seq = expect_seq::<D::Error>(d.deserialize_content()?, "tuple")?;
+                let expected = [$($n,)+].len();
+                if seq.len() != expected {
+                    return Err(de::Error::custom(format!(
+                        "expected tuple of {expected}, got {}", seq.len()
+                    )));
+                }
+                let mut it = seq.into_iter();
+                Ok(($({
+                    let _ = $n;
+                    from_content::<$t, D::Error>(it.next().expect("length checked"))?
+                },)+))
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (0 T0)
+    (0 T0, 1 T1)
+    (0 T0, 1 T1, 2 T2)
+    (0 T0, 1 T1, 2 T2, 3 T3)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let entries = self
+            .iter()
+            .map(|(k, v)| {
+                let key = match to_content(k) {
+                    Content::Str(text) => text,
+                    other => format!("{other:?}"),
+                };
+                (key, to_content(v))
+            })
+            .collect();
+        s.serialize_content(Content::Map(entries))
+    }
+}

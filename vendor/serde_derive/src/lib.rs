@@ -1,0 +1,486 @@
+//! Offline subset of `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for the value-tree `serde` stub, with `#[serde(default)]` and
+//! `#[serde(with = "module")]` field attributes.
+//!
+//! Implemented with hand-rolled token parsing (no `syn`/`quote`, which are
+//! unavailable offline). Supports non-generic named/tuple/unit structs and
+//! enums with unit, named-field, and tuple variants — the full shape set
+//! used by this workspace.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+    with: Option<String>,
+    is_option: bool,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip attributes (`# [...]`) starting at `i`; parse serde field attrs
+/// into `default` / `with` when requested.
+fn skip_attrs(
+    toks: &[TokenTree],
+    mut i: usize,
+    mut serde_sink: Option<(&mut bool, &mut Option<String>)>,
+) -> usize {
+    while i < toks.len() && is_punct(&toks[i], '#') {
+        if let Some(TokenTree::Group(attr)) = toks.get(i + 1) {
+            if let Some((default, with)) = serde_sink.as_mut() {
+                parse_serde_attr(attr, default, with);
+            }
+        }
+        i += 2;
+    }
+    i
+}
+
+fn parse_serde_attr(attr: &Group, default: &mut bool, with: &mut Option<String>) {
+    let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+    let Some(first) = inner.first() else { return };
+    if ident_of(first).as_deref() != Some("serde") {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        match ident_of(&args[j]).as_deref() {
+            Some("default") => {
+                *default = true;
+                j += 1;
+            }
+            Some("with") => {
+                // with = "path"
+                if let Some(TokenTree::Literal(lit)) = args.get(j + 2) {
+                    *with = Some(lit.to_string().trim_matches('"').to_string());
+                }
+                j += 3;
+            }
+            _ => j += 1,
+        }
+        if j < args.len() && is_punct(&args[j], ',') {
+            j += 1;
+        }
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && ident_of(&toks[i]).as_deref() == Some("pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Advance past one type, tracking `<…>` nesting; returns (next index,
+/// first path ident of the type).
+fn skip_type(toks: &[TokenTree], mut i: usize) -> (usize, Option<String>) {
+    let mut depth = 0i32;
+    let mut first_ident = None;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Ident(id) if first_ident.is_none() => {
+                first_ident = Some(id.to_string());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (i, first_ident)
+}
+
+fn parse_named_fields(g: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let mut default = false;
+        let mut with = None;
+        i = skip_attrs(&toks, i, Some((&mut default, &mut with)));
+        i = skip_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("field name");
+        i += 1; // name
+        i += 1; // ':'
+        let (next, first_ident) = skip_type(&toks, i);
+        i = next + 1; // past comma (or end)
+        out.push(Field {
+            name,
+            default,
+            with,
+            is_option: first_ident.as_deref() == Some("Option"),
+        });
+    }
+    out
+}
+
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i, None);
+        i = skip_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let (next, _) = skip_type(&toks, i);
+        i = next + 1;
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        i = skip_attrs(&toks, i, None);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("variant name");
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantFields::Unit,
+        };
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        out.push(Variant { name, fields });
+    }
+    out
+}
+
+fn parse_input(input: TokenStream) -> (String, Body) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0, None);
+    i = skip_vis(&toks, i);
+    let kind = ident_of(&toks[i]).expect("struct or enum");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("type name");
+    i += 1;
+    assert!(
+        !matches!(&toks.get(i), Some(t) if is_punct(t, '<')),
+        "serde_derive stub: generic types are not supported (type {name})"
+    );
+    let body = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g))
+            }
+            _ => Body::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g))
+            }
+            other => panic!("serde_derive stub: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}`"),
+    };
+    (name, body)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn named_push(field: &Field, access: &str) -> String {
+    match &field.with {
+        Some(path) => format!(
+            "__m.push((::std::string::String::from(\"{n}\"), \
+             ::serde::with_to_content(|__cs| {path}::serialize(&{access}, __cs))));",
+            n = field.name,
+        ),
+        None => format!(
+            "__m.push((::std::string::String::from(\"{n}\"), ::serde::to_content(&{access})));",
+            n = field.name,
+        ),
+    }
+}
+
+fn named_take(field: &Field, ty_name: &str) -> String {
+    let missing = if field.default || field.is_option {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::core::result::Result::Err(::serde::missing_field::<__D::Error>(\
+             \"{ty_name}\", \"{n}\"))",
+            n = field.name,
+        )
+    };
+    let some = match &field.with {
+        Some(path) => format!(
+            "{path}::deserialize(::serde::ContentDeserializer::new(__c))\
+             .map_err(::serde::lift_err::<__D::Error>)?"
+        ),
+        None => "::serde::from_content::<_, __D::Error>(__c)?".to_string(),
+    };
+    format!(
+        "{n}: match ::serde::take_field(&mut __m, \"{n}\") {{ \
+         ::core::option::Option::Some(__c) => {some}, \
+         ::core::option::Option::None => {missing}, }},",
+        n = field.name,
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_input(input);
+    let body_code = match &body {
+        Body::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| named_push(f, &format!("self.{}", f.name)))
+                .collect();
+            format!(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                 ::std::vec::Vec::new(); {pushes} \
+                 __s.serialize_content(::serde::Content::Map(__m))"
+            )
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::serialize(&self.0, __s)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::to_content(&self.{i})"))
+                .collect();
+            format!(
+                "__s.serialize_content(::serde::Content::Seq(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Body::UnitStruct => "__s.serialize_content(::serde::Content::Null)".to_string(),
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => __s.serialize_content(\
+                             ::serde::Content::Str(::std::string::String::from(\"{vn}\"))),"
+                        ),
+                        VariantFields::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| named_push(f, f.name.as_str()))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{ \
+                                 let mut __m: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Content)> = ::std::vec::Vec::new(); {pushes} \
+                                 __s.serialize_content(::serde::Content::Map(vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Content::Map(__m))])) }},",
+                                binds = binds.join(", "),
+                            )
+                        }
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::to_content(__f0)".to_string()
+                            } else {
+                                format!(
+                                    "::serde::Content::Seq(vec![{}])",
+                                    binds
+                                        .iter()
+                                        .map(|b| format!("::serde::to_content({b})"))
+                                        .collect::<Vec<_>>()
+                                        .join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => __s.serialize_content(\
+                                 ::serde::Content::Map(vec![(\
+                                 ::std::string::String::from(\"{vn}\"), {inner})])),",
+                                binds = binds.join(", "),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{ {body_code} }} }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_input(input);
+    let body_code = match &body {
+        Body::NamedStruct(fields) => {
+            let takes: String = fields.iter().map(|f| named_take(f, &name)).collect();
+            format!(
+                "let mut __m = ::serde::expect_map::<__D::Error>(\
+                 __d.deserialize_content()?, \"{name}\")?; \
+                 let _ = &mut __m; \
+                 ::core::result::Result::Ok({name} {{ {takes} }})"
+            )
+        }
+        Body::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::from_content::<_, __D::Error>(\
+             __d.deserialize_content()?)?))"
+        ),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::from_content::<_, __D::Error>(__it.next().ok_or_else(|| \
+                         ::serde::missing_field::<__D::Error>(\"{name}\", \"{i}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __seq = ::serde::expect_seq::<__D::Error>(\
+                 __d.deserialize_content()?, \"{name}\")?; \
+                 let mut __it = __seq.into_iter(); \
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Named(fields) => {
+                            let takes: String = fields
+                                .iter()
+                                .map(|f| named_take(f, &format!("{name}::{vn}")))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ \
+                                 let mut __m = ::serde::expect_map::<__D::Error>(\
+                                 __v, \"{name}::{vn}\")?; \
+                                 let _ = &mut __m; \
+                                 ::core::result::Result::Ok({name}::{vn} {{ {takes} }}) }},"
+                            ))
+                        }
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                             ::serde::from_content::<_, __D::Error>(__v)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::from_content::<_, __D::Error>(\
+                                         __it.next().ok_or_else(|| \
+                                         ::serde::missing_field::<__D::Error>(\
+                                         \"{name}::{vn}\", \"{i}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ \
+                                 let __seq = ::serde::expect_seq::<__D::Error>(\
+                                 __v, \"{name}::{vn}\")?; \
+                                 let mut __it = __seq.into_iter(); \
+                                 ::core::result::Result::Ok({name}::{vn}({items})) }},",
+                                items = items.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __d.deserialize_content()? {{ \
+                 ::serde::Content::Str(__s0) => match __s0.as_str() {{ \
+                 {unit_arms} \
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))), }}, \
+                 ::serde::Content::Map(__m0) if __m0.len() == 1 => {{ \
+                 let (__k, __v) = __m0.into_iter().next().expect(\"len checked\"); \
+                 match __k.as_str() {{ \
+                 {data_arms} \
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))), }} }}, \
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"expected variant of {name}, got {{__other:?}}\"))), }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{ {body_code} }} }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,390 @@
+//! Offline, API-compatible subset of `serde_json` over the serde stub's
+//! [`Content`] value tree: `to_string`, `to_string_pretty`, `from_str`,
+//! `from_slice`, and a re-exported [`Value`] alias.
+
+use serde::{Content, Deserialize, Serialize};
+
+/// JSON values (the serde stub's content tree).
+pub type Value = Content;
+
+/// Parse or stringify error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&serde::to_content(value), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&serde::to_content(value), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<T: for<'de> Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let content = Parser::new(s).parse_document()?;
+    serde::from_content(content)
+}
+
+/// Deserialize a `T` from JSON bytes.
+pub fn from_slice<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| Error(format!("invalid UTF-8 in JSON input: {e}")))?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let text = format!("{v}");
+        out.push_str(&text);
+        // Keep the value a float on re-parse.
+        if !text.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no infinities/NaN; mirror serde_json's lossy `null`.
+        out.push_str("null");
+    }
+}
+
+fn write_content(c: &Content, out: &mut String, indent: Option<usize>, level: usize) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(*v, out),
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_content(item, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(v, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Content, Error> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error(format!("trailing characters at offset {}", self.pos)));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Content::Null),
+            Some(b't') => self.literal("true", Content::Bool(true)),
+            Some(b'f') => self.literal("false", Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|&b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            // Surrogate pairs are not needed by this
+                            // workspace's data; map lone surrogates to the
+                            // replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.bytes.get(self.pos),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number characters");
+        if text.contains(['.', 'e', 'E']) {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Content::I64)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `]`, got {:?} at offset {}",
+                        other.map(|&b| b as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}`, got {:?} at offset {}",
+                        other.map(|&b| b as char),
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let v: Vec<u64> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+        let s: String = from_str("\"a\\nb\"").unwrap();
+        assert_eq!(s, "a\nb");
+        let f: f64 = from_str("1.5e2").unwrap();
+        assert!((f - 150.0).abs() < 1e-12);
+        let n: Option<u32> = from_str("null").unwrap();
+        assert_eq!(n, None);
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = vec![(String::from("k"), 3u64)];
+        let text = to_string_pretty(&v).unwrap();
+        let back: Vec<(String, u64)> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        let x = 0.1f64 + 0.2;
+        let text = to_string(&x).unwrap();
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(back, x);
+    }
+}
