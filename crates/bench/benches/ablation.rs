@@ -4,12 +4,14 @@
 //! * generality filter on/off;
 //! * nhp pruning vs support-only (emulating a BUC-style traversal by
 //!   setting min_score to 0 with a huge k);
-//! * sequential vs parallel miner at 1/2/4/8 threads.
+//! * sequential vs parallel miner at 1/2/4/8 threads;
+//! * lift mining, whose `supp(r)` marginals the shared context serves
+//!   from one precomputed table instead of per-task rescans.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use grm_bench::{fixture, Dataset};
 use grm_core::parallel::{mine_parallel_with_opts, ParallelOptions};
-use grm_core::{Dims, GrMiner, MinerConfig};
+use grm_core::{Dims, GrMiner, MinerConfig, RankMetric};
 use grm_graph::NodeAttrId;
 
 fn bench(c: &mut Criterion) {
@@ -48,6 +50,34 @@ fn bench(c: &mut Criterion) {
         };
         b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
     });
+    // Lift needs an RHS marginal per candidate; the shared context
+    // precomputes the single-attribute table once per run and shares the
+    // multi-attribute memo across parallel tasks.
+    let lift = MinerConfig {
+        min_score: f64::NEG_INFINITY,
+        dynamic_topk: false,
+        ..base.clone().with_metric(RankMetric::Lift)
+    };
+    group.bench_function("lift_marginals_seq", |b| {
+        b.iter(|| GrMiner::with_dims(&graph, lift.clone(), dims.clone()).mine())
+    });
+    group.bench_with_input(
+        BenchmarkId::new("lift_marginals_par", 4),
+        &4usize,
+        |b, &t| {
+            b.iter(|| {
+                mine_parallel_with_opts(
+                    &graph,
+                    &lift,
+                    &dims,
+                    ParallelOptions {
+                        threads: t,
+                        split_dominant: true,
+                    },
+                )
+            })
+        },
+    );
     // Parallel scaling, with and without dominant-task splitting: the
     // delta at high thread counts is the granularity bound the split
     // removes (Pokec's Region dominates the unsplit task list).

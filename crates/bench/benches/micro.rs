@@ -4,10 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use grm_bench::{fixture, Dataset};
+use grm_core::beta::heff_table;
 use grm_core::{query, GrBuilder};
 use grm_datagen::{generate, pokec_config_scaled};
 use grm_graph::sort::{partition_in_place, SortScratch};
-use grm_graph::{CompactModel, NodeAttrId, SingleTable};
+use grm_graph::{AttrValue, CompactModel, NodeAttrId, SingleTable};
 
 fn bench_counting_sort(c: &mut Criterion) {
     let mut group = c.benchmark_group("counting_sort");
@@ -87,12 +88,62 @@ fn bench_heff_keys(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_heff_supports(c: &mut Criterion) {
+    // The homophily-effect supports of one l∧w node: the seed re-filtered
+    // the whole snapshot once per distinct β; the shared-context miner
+    // fills every β support with one counting-partition group-by pass
+    // (`grm_core::beta::heff_table`). Both variants compute the supports
+    // of all non-empty β over the full edge set.
+    let graph = fixture(Dataset::Pokec, 0.05);
+    let model = CompactModel::build(&graph);
+    let schema = graph.schema();
+    let pairs: Vec<(NodeAttrId, AttrValue)> = schema
+        .node_attr_ids()
+        .filter(|&a| schema.node_attr(a).is_homophily())
+        .map(|a| (a, 1))
+        .collect();
+    assert!(pairs.len() >= 2, "Pokec has multiple homophily attributes");
+    let snapshot = model.all_positions();
+    let betas = (1u32 << pairs.len()) - 1;
+    let mut group = c.benchmark_group("heff");
+    group.throughput(Throughput::Elements(snapshot.len() as u64 * betas as u64));
+    group.bench_function("per_beta_rescan", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for mask in 1..=betas {
+                let needed: Vec<(NodeAttrId, AttrValue)> = pairs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &p)| p)
+                    .collect();
+                total += snapshot
+                    .iter()
+                    .filter(|&&p| needed.iter().all(|&(a, v)| model.r_key(p, a) == v))
+                    .count() as u64;
+            }
+            total
+        })
+    });
+    group.bench_function("group_by_table", |b| {
+        let mut scratch = SortScratch::new();
+        let mut snap = snapshot.clone();
+        b.iter(|| {
+            snap.copy_from_slice(&snapshot);
+            let table = heff_table(&mut snap, &pairs, &mut scratch, |p, a| model.r_key(p, a));
+            table[1..].iter().sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_counting_sort,
     bench_model_builds,
     bench_query,
     bench_generator,
-    bench_heff_keys
+    bench_heff_keys,
+    bench_heff_supports
 );
 criterion_main!(benches);

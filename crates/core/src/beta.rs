@@ -14,8 +14,19 @@
 //!
 //! β sets are represented as bitmasks over node-attribute ids, which keeps
 //! the per-`l∧w` memoization of homophily-effect supports allocation-free.
+//!
+//! ### The β group-by ([`heff_table`])
+//!
+//! Every β reachable at an `l ∧ w` enumeration node is a subset of
+//! `H_l` — the homophily attributes `l` constrains ([`homophily_pairs`]).
+//! Instead of re-filtering the `l ∧ w` snapshot once per distinct β, a
+//! single counting-partition pass groups the snapshot by its **match
+//! mask** (bit `i` set iff position `p` agrees with `l` on `H_l[i]`), and
+//! a subset-sum sweep turns the mask histogram into `supp(l -w-> l[β])`
+//! for *every* β at once: `heff(β) = Σ_{mask ⊇ β} hist[mask]`.
 
 use crate::descriptor::NodeDescriptor;
+use grm_graph::sort::{partition_in_place, SortScratch};
 use grm_graph::{AttrValue, NodeAttrId, Schema};
 
 /// Maximum number of node attributes supported by the bitmask
@@ -67,6 +78,94 @@ impl BetaSet {
             }
         })
     }
+}
+
+/// Widest LHS homophily set the group-by table handles: the table holds
+/// `2^|H_l|` counters, so the miner falls back to per-β snapshot scans
+/// beyond this width (no realistic schema comes close — the paper's
+/// widest has 6 node attributes total).
+pub const MAX_GROUPBY_ATTRS: usize = 12;
+
+impl BetaSet {
+    /// Compress this set into a bitmask over `pairs` (sorted by attribute
+    /// id, as produced by [`homophily_pairs`]): bit `i` is set iff
+    /// `pairs[i]`'s attribute is a member. Returns `None` when some
+    /// member does not occur in `pairs` — for the miner that would mean a
+    /// β outside the LHS homophily set, which Eqn. 4 rules out.
+    pub fn local_mask(self, pairs: &[(NodeAttrId, AttrValue)]) -> Option<usize> {
+        let mut mask = 0usize;
+        'member: for a in self.iter() {
+            for (i, &(pa, _)) in pairs.iter().enumerate() {
+                if pa == a {
+                    mask |= 1 << i;
+                    continue 'member;
+                }
+            }
+            return None;
+        }
+        Some(mask)
+    }
+}
+
+/// The homophily conditions of `l` in attribute order — the group-by
+/// dimensions of [`heff_table`]. Every β of a GR with LHS `l` is a subset
+/// of these attributes, and `l[β]`'s values are their values.
+pub fn homophily_pairs(
+    l: &NodeDescriptor,
+    mut is_homophily: impl FnMut(NodeAttrId) -> bool,
+) -> Vec<(NodeAttrId, AttrValue)> {
+    l.pairs()
+        .iter()
+        .copied()
+        .filter(|&(a, _)| is_homophily(a))
+        .collect()
+}
+
+/// One counting-partition group-by pass over `snapshot` (module docs):
+/// returns `table` of length `2^pairs.len()` where `table[m]` is the
+/// number of positions agreeing with `l` on every attribute in local mask
+/// `m` — i.e. `supp(l -w-> l[β])` for the β that `m` encodes
+/// ([`BetaSet::local_mask`]).
+///
+/// Reuses the miner's counting-sort machinery: the snapshot is
+/// partitioned in place by match mask (its order afterwards is
+/// mask-grouped, which no caller depends on), the partition sizes are the
+/// mask histogram, and a superset-sum sweep (`O(k·2^k)`) completes the
+/// table. `pairs.len()` must be at most [`MAX_GROUPBY_ATTRS`].
+pub fn heff_table(
+    snapshot: &mut [u32],
+    pairs: &[(NodeAttrId, AttrValue)],
+    scratch: &mut SortScratch,
+    mut r_key: impl FnMut(u32, NodeAttrId) -> AttrValue,
+) -> Vec<u64> {
+    let k = pairs.len();
+    assert!(
+        k <= MAX_GROUPBY_ATTRS,
+        "group-by over {k} homophily attributes exceeds {MAX_GROUPBY_ATTRS}"
+    );
+    let buckets = 1usize << k;
+    let parts = partition_in_place(snapshot, buckets, scratch, |p| {
+        let mut mask = 0u16;
+        for (i, &(a, v)) in pairs.iter().enumerate() {
+            mask |= u16::from(r_key(p, a) == v) << i;
+        }
+        mask
+    });
+    let mut table = vec![0u64; buckets];
+    for part in parts {
+        table[part.value as usize] = part.len() as u64;
+    }
+    // Superset sum: after sweeping bit i, table[m] counts positions whose
+    // mask restricted to bits ≥ processed agrees with a superset of m.
+    for i in 0..k {
+        let bit = 1usize << i;
+        for m in 0..buckets {
+            if m & bit == 0 {
+                table[m] += table[m | bit];
+            }
+        }
+    }
+    table
 }
 
 /// Compute β for the GR `l -w-> r` (Eqn. 4): homophily attributes
@@ -154,6 +253,62 @@ mod tests {
         let b = beta(&s, &l, &r);
         assert_eq!(b.len(), 2);
         assert_eq!(l_beta(&l, b), vec![(NodeAttrId(1), 1), (NodeAttrId(2), 1)]);
+    }
+
+    #[test]
+    fn local_mask_compresses_into_pair_order() {
+        let pairs = vec![(NodeAttrId(1), 3), (NodeAttrId(4), 2), (NodeAttrId(9), 1)];
+        let mut b = BetaSet::empty();
+        b.insert(NodeAttrId(1));
+        b.insert(NodeAttrId(9));
+        assert_eq!(b.local_mask(&pairs), Some(0b101));
+        assert_eq!(BetaSet::empty().local_mask(&pairs), Some(0));
+        let mut stray = BetaSet::empty();
+        stray.insert(NodeAttrId(7));
+        assert_eq!(stray.local_mask(&pairs), None, "β outside the LHS set");
+    }
+
+    #[test]
+    fn homophily_pairs_filters_and_keeps_order() {
+        let s = schema();
+        let l = nd(&[(0, 1), (1, 2), (2, 3)]);
+        let pairs = homophily_pairs(&l, |a| s.node_attr(a).is_homophily());
+        assert_eq!(pairs, vec![(NodeAttrId(1), 2), (NodeAttrId(2), 3)]);
+    }
+
+    #[test]
+    fn heff_table_matches_per_beta_filters() {
+        // Synthetic snapshot: positions 0..12, r_key(p, a) derived from p
+        // so every mask combination occurs. Compare the single-pass table
+        // against a naive per-β filter for every β ⊆ pairs.
+        let pairs = vec![(NodeAttrId(1), 1), (NodeAttrId(2), 2)];
+        let r_key = |p: u32, a: NodeAttrId| match a.0 {
+            1 => (p % 2) as AttrValue + 1, // matches value 1 on even p
+            2 => (p % 3) as AttrValue,     // matches value 2 on p ≡ 2 (mod 3)
+            _ => 0,
+        };
+        let mut snapshot: Vec<u32> = (0..12).collect();
+        let mut scratch = SortScratch::new();
+        let table = heff_table(&mut snapshot, &pairs, &mut scratch, r_key);
+        assert_eq!(table.len(), 4);
+        for (mask, &got) in table.iter().enumerate() {
+            let expected = (0..12u32)
+                .filter(|&p| {
+                    pairs
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| mask & (1 << i) != 0)
+                        .all(|(_, &(a, v))| r_key(p, a) == v)
+                })
+                .count() as u64;
+            assert_eq!(got, expected, "mask {mask:#b}");
+        }
+        // The pass only permutes the snapshot.
+        let mut sorted = snapshot.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<_>>());
+        // β = ∅ maps to the full snapshot size.
+        assert_eq!(table[0], 12);
     }
 
     #[test]

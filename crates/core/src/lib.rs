@@ -38,6 +38,7 @@
 //! | descriptors & GRs (Def. 1) | [`descriptor`], [`gr`] |
 //! | supp / conf / nhp (Defs. 2–4) and §VII alternatives | [`metrics`] |
 //! | β and the homophily effect (Eqns. 4–5) | [`beta`] |
+//! | shared read-only run context | [`context`] |
 //! | SFDF & dynamic tail ordering (§IV-C) | [`tail`], [`enumerate`] |
 //! | GRMiner, Algorithm 1 (§V) | [`miner`] |
 //! | top-k & generality (Def. 5) | [`topk`], [`generality`] |
@@ -53,6 +54,7 @@
 pub mod baseline;
 pub mod beta;
 pub mod config;
+pub mod context;
 pub mod descriptor;
 pub mod enumerate;
 pub mod generality;
@@ -69,6 +71,7 @@ pub mod tail;
 pub mod topk;
 
 pub use config::MinerConfig;
+pub use context::MiningContext;
 pub use descriptor::{EdgeDescriptor, NodeDescriptor};
 pub use gr::{Gr, GrBuilder, ScoredGr};
 pub use metrics::{MetricInputs, RankMetric};

@@ -26,8 +26,9 @@
 //! gain the metric is anti-monotone unconditionally and pruning applies
 //! everywhere.
 
-use crate::beta::{beta, l_beta, BetaSet, MAX_NODE_ATTRS};
+use crate::beta::{beta, heff_table, homophily_pairs, BetaSet, MAX_GROUPBY_ATTRS, MAX_NODE_ATTRS};
 use crate::config::MinerConfig;
+use crate::context::MiningContext;
 use crate::descriptor::{EdgeDescriptor, NodeDescriptor};
 use crate::generality::GeneralityIndex;
 use crate::gr::{Gr, ScoredGr};
@@ -36,7 +37,7 @@ use crate::stats::MinerStats;
 use crate::tail::Dims;
 use crate::topk::TopK;
 use grm_graph::sort::{partition_in_place, SortScratch};
-use grm_graph::{AttrValue, CompactModel, NodeAttrId, Schema, SocialGraph, NULL};
+use grm_graph::{AttrValue, NodeAttrId, Schema, SocialGraph, NULL};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -112,13 +113,18 @@ impl<'g> GrMiner<'g> {
     /// Run Algorithm 1 and return the top-k GRs.
     pub fn mine(&self) -> MineResult {
         let start = Instant::now();
-        let model = CompactModel::build(self.graph);
-        let mut run = Run::new(&model, self.graph.schema(), &self.dims, &self.config, None);
+        let ctx = MiningContext::build(self.graph, self.config.metric.needs_r_marginal());
+        let mut run = Run::new(&ctx, self.graph.schema(), &self.dims, &self.config, None);
 
         if run.edges_total > 0 {
             // Algorithm 1, Main: RIGHT, EDGE, LEFT over the full data with
-            // the full tails.
-            let mut data = model.all_positions();
+            // the full tails. The buffer is filled once and reused across
+            // tasks — each root task re-partitions the full (permuted)
+            // position set, and the recursion is invariant under input
+            // permutation (counting sort groups by value regardless of
+            // order, and every counted quantity is order-independent).
+            let mut data = Vec::new();
+            ctx.fill_positions(&mut data);
             for task in RootTask::all(&self.dims) {
                 run.run_root(&mut data, task);
             }
@@ -175,9 +181,11 @@ impl RootTask {
     }
 }
 
-/// Mutable state of one mining run.
+/// Mutable state of one mining run (one root task in parallel mode).
+/// Everything immutable — the compact model, the canonical position set,
+/// the RHS marginal table — lives in the shared [`MiningContext`].
 pub(crate) struct Run<'a, 'g> {
-    model: &'a CompactModel<'g>,
+    ctx: &'a MiningContext<'g>,
     schema: &'a Schema,
     dims: &'a Dims,
     cfg: &'a MinerConfig,
@@ -185,8 +193,6 @@ pub(crate) struct Run<'a, 'g> {
     pub(crate) topk: TopK,
     generality: GeneralityIndex,
     pub(crate) stats: MinerStats,
-    /// Memoized RHS marginals `supp(r)` for lift / PS / conviction.
-    r_marginals: HashMap<NodeDescriptor, u64>,
     pub(crate) edges_total: u64,
     /// When set, threshold-passing candidates are appended here instead of
     /// going through the generality index and top-k heap, and the dynamic
@@ -197,14 +203,14 @@ pub(crate) struct Run<'a, 'g> {
 
 impl<'a, 'g> Run<'a, 'g> {
     pub(crate) fn new(
-        model: &'a CompactModel<'g>,
+        ctx: &'a MiningContext<'g>,
         schema: &'a Schema,
         dims: &'a Dims,
         cfg: &'a MinerConfig,
         collector: Option<Vec<ScoredGr>>,
     ) -> Self {
         Run {
-            model,
+            ctx,
             schema,
             dims,
             cfg,
@@ -212,8 +218,7 @@ impl<'a, 'g> Run<'a, 'g> {
             topk: TopK::new(cfg.k),
             generality: GeneralityIndex::new(),
             stats: MinerStats::default(),
-            r_marginals: HashMap::new(),
-            edges_total: model.edge_count() as u64,
+            edges_total: ctx.edges_total(),
             collector,
         }
     }
@@ -255,23 +260,38 @@ impl<'a, 'g> Run<'a, 'g> {
 }
 
 /// Snapshot of the `l ∧ w` edge set taken when a RIGHT chain begins, with
-/// the β-keyed memo of homophily-effect supports (§IV-D). The snapshot is
-/// needed because the recursion below keeps reordering and narrowing the
-/// live slice while `supp(l -w-> l[β])` must be counted over the *whole*
-/// `l ∧ w` set. When the LHS constrains no homophily attribute, β is
-/// always empty and no snapshot is taken.
+/// the β group-by table of homophily-effect supports (§IV-D). The
+/// snapshot is needed because the recursion below keeps reordering and
+/// narrowing the live slice while `supp(l -w-> l[β])` must be counted
+/// over the *whole* `l ∧ w` set.
+///
+/// **Construction invariant:** `edges` is `Some` exactly when `pairs` —
+/// the homophily conditions of the LHS — is non-empty. Eqn. 4 makes every
+/// reachable β a subset of those attributes, so β ≠ ∅ implies a snapshot
+/// exists; [`Run::heff`] degrades to an empty support (debug-asserting)
+/// rather than panicking if that invariant is ever violated.
 struct LwContext {
+    /// The LHS homophily conditions `H_l` — group-by dimensions for heff.
+    pairs: Vec<(NodeAttrId, AttrValue)>,
     edges: Option<Vec<u32>>,
     supp_lw: u64,
+    /// All β supports for this `l ∧ w` node, filled by one
+    /// counting-partition pass on the first non-empty β (`None` until
+    /// then; index by [`BetaSet::local_mask`] over `pairs`).
+    table: Option<Vec<u64>>,
+    /// Per-β memo for the wide-LHS fallback path
+    /// (`pairs.len() > MAX_GROUPBY_ATTRS`).
     memo: HashMap<u64, u64>,
 }
 
 impl LwContext {
-    fn new(data: &[u32], needs_snapshot: bool) -> Self {
+    fn new(data: &[u32], pairs: Vec<(NodeAttrId, AttrValue)>) -> Self {
         LwContext {
-            edges: needs_snapshot.then(|| data.to_vec()),
+            edges: (!pairs.is_empty()).then(|| data.to_vec()),
             supp_lw: data.len() as u64,
+            table: None,
             memo: HashMap::new(),
+            pairs,
         }
     }
 }
@@ -305,7 +325,7 @@ impl<'a, 'g> Run<'a, 'g> {
         l: &NodeDescriptor,
         values: Option<(AttrValue, AttrValue)>,
     ) {
-        let model = self.model;
+        let model = self.ctx.model();
         let d = self.dims.l[i];
         let buckets = self.schema.node_attr(d).bucket_count();
         let parts = partition_in_place(data, buckets, &mut self.scratch, |p| model.l_key(p, d));
@@ -348,7 +368,7 @@ impl<'a, 'g> Run<'a, 'g> {
         l: &NodeDescriptor,
         w: &EdgeDescriptor,
     ) {
-        let model = self.model;
+        let model = self.ctx.model();
         for i in range {
             let d = self.dims.w[i];
             let buckets = self.schema.edge_attr(d).bucket_count();
@@ -375,8 +395,8 @@ impl<'a, 'g> Run<'a, 'g> {
     /// for the whole subtree, and recurse.
     fn right_root(&mut self, data: &mut [u32], l: &NodeDescriptor, w: &EdgeDescriptor) {
         let l_mask = l.attrs().fold(0u64, |m, a| m | (1u64 << a.0));
-        let needs_snapshot = l.attrs().any(|a| self.dims.is_homophily(a));
-        let mut ctx = LwContext::new(data, needs_snapshot);
+        let pairs = homophily_pairs(l, |a| self.dims.is_homophily(a));
+        let mut ctx = LwContext::new(data, pairs);
         let r_order = self.dims.r_order(l_mask);
         let len = r_order.len();
         self.right(
@@ -406,7 +426,7 @@ impl<'a, 'g> Run<'a, 'g> {
         if self.cfg.max_rhs.is_some_and(|m| r.len() >= m) {
             return;
         }
-        let model = self.model;
+        let model = self.ctx.model();
         for i in 0..r_tail_len {
             let d = r_order[i];
             let buckets = self.schema.node_attr(d).bucket_count();
@@ -426,13 +446,9 @@ impl<'a, 'g> Run<'a, 'g> {
 
                 // Score the GR l -w-> r2.
                 let b = beta(self.schema, l, &r2);
-                let heff = if b.is_empty() {
-                    0
-                } else {
-                    self.heff(ctx, b, l)
-                };
+                let heff = if b.is_empty() { 0 } else { self.heff(ctx, b) };
                 let supp_r = if self.cfg.metric.needs_r_marginal() {
-                    self.r_marginal(&r2)
+                    self.ctx.r_marginal(&r2)
                 } else {
                     0
                 };
@@ -512,40 +528,66 @@ impl<'a, 'g> Run<'a, 'g> {
         }
     }
 
-    /// `supp(l -w-> l[β])` over the snapshot, memoized per β (§IV-D: the
-    /// needed supports are computable at or before the current node; the
-    /// memo realizes "computed before" without retaining the whole
-    /// enumeration tree).
-    fn heff(&mut self, ctx: &mut LwContext, b: BetaSet, l: &NodeDescriptor) -> u64 {
+    /// `supp(l -w-> l[β])` over the snapshot (§IV-D: the needed supports
+    /// are computable at or before the current node). The first non-empty
+    /// β at this `l ∧ w` node triggers one counting-partition group-by
+    /// pass that fills the supports of *every* β ⊆ `H_l` at once
+    /// ([`crate::beta::heff_table`]); later lookups are a table index.
+    fn heff(&mut self, ctx: &mut LwContext, b: BetaSet) -> u64 {
+        debug_assert!(!b.is_empty(), "empty β is scored as heff = 0 upstream");
+        if ctx.pairs.len() > MAX_GROUPBY_ATTRS {
+            return self.heff_scan(ctx, b);
+        }
+        if ctx.table.is_none() {
+            let Some(edges) = ctx.edges.as_mut() else {
+                // LwContext::new snapshots exactly when the LHS constrains
+                // a homophily attribute, and Eqn. 4 keeps every β inside
+                // that set — so this is unreachable from the enumeration.
+                // Degrade to an empty homophily effect over panicking.
+                debug_assert!(false, "non-empty β without an l∧w snapshot");
+                return 0;
+            };
+            self.stats.heff_scans += 1;
+            let model = self.ctx.model();
+            ctx.table = Some(heff_table(edges, &ctx.pairs, &mut self.scratch, |p, a| {
+                model.r_key(p, a)
+            }));
+        }
+        let table = ctx.table.as_ref().expect("filled above");
+        match b.local_mask(&ctx.pairs) {
+            Some(mask) => table[mask],
+            None => {
+                debug_assert!(false, "β outside the LHS homophily set");
+                0
+            }
+        }
+    }
+
+    /// Per-β snapshot scan, memoized per β — the fallback for LHSes wider
+    /// than [`MAX_GROUPBY_ATTRS`] homophily attributes, where the group-by
+    /// table (`2^|H_l|` counters) would dwarf the snapshot.
+    fn heff_scan(&mut self, ctx: &mut LwContext, b: BetaSet) -> u64 {
         if let Some(&v) = ctx.memo.get(&b.0) {
             return v;
         }
+        let Some(edges) = ctx.edges.as_ref() else {
+            debug_assert!(false, "non-empty β without an l∧w snapshot");
+            return 0;
+        };
         self.stats.heff_scans += 1;
-        let pairs = l_beta(l, b);
-        let model = self.model;
-        let edges = ctx
-            .edges
-            .as_ref()
-            .expect("snapshot exists whenever the LHS constrains a homophily attribute");
+        let needed: Vec<(NodeAttrId, AttrValue)> = ctx
+            .pairs
+            .iter()
+            .copied()
+            .filter(|&(a, _)| b.contains(a))
+            .collect();
+        debug_assert_eq!(needed.len(), b.len(), "β outside the LHS homophily set");
+        let model = self.ctx.model();
         let count = edges
             .iter()
-            .filter(|&&p| pairs.iter().all(|&(a, v)| model.r_key(p, a) == v))
+            .filter(|&&p| needed.iter().all(|&(a, v)| model.r_key(p, a) == v))
             .count() as u64;
         ctx.memo.insert(b.0, count);
-        count
-    }
-
-    /// RHS marginal `supp(r)` over all edges, memoized (lift / PS /
-    /// conviction only — §VII).
-    fn r_marginal(&mut self, r: &NodeDescriptor) -> u64 {
-        if let Some(&v) = self.r_marginals.get(r) {
-            return v;
-        }
-        let model = self.model;
-        let count = (0..self.edges_total as u32)
-            .filter(|&p| r.pairs().iter().all(|&(a, v)| model.r_key(p, a) == v))
-            .count() as u64;
-        self.r_marginals.insert(r.clone(), count);
         count
     }
 }
@@ -719,6 +761,69 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn multi_homophily_lhs_takes_group_by_path_and_matches_reference() {
+        // Two homophily attributes (A, C) and one non-homophily (B):
+        // LHSes constraining both A and C reach RHS partitions with
+        // β = {A}, {C} and {A, C}, all of which the group-by pass must
+        // fill from a single snapshot scan. Differential check against
+        // the brute-force oracle pins every heff value.
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 3, true)
+            .node_attr("B", 2, false)
+            .node_attr("C", 3, true)
+            .build()
+            .unwrap();
+        let mut b = GraphBuilder::new(schema);
+        let mut state = 0xC0FFEEu32 | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        for _ in 0..20 {
+            b.add_node(&[
+                (next() % 4) as u16,
+                (next() % 3) as u16,
+                (next() % 4) as u16,
+            ])
+            .unwrap();
+        }
+        for _ in 0..120 {
+            let s = next() % 20;
+            let mut t = next() % 20;
+            if t == s {
+                t = (t + 1) % 20;
+            }
+            b.add_edge(s, t, &[]).unwrap();
+        }
+        let g = b.build().unwrap();
+        // Generality off so specialized (two-condition) LHSes stay in the
+        // result and their heff values are pinned by the oracle.
+        let cfg = MinerConfig {
+            generality_filter: false,
+            ..MinerConfig::nhp(1, 0.0, 100_000).without_dynamic_topk()
+        };
+        let fast = GrMiner::new(&g, cfg.clone()).mine();
+        let oracle = crate::reference::mine_reference(&g, &cfg);
+        let key = |v: &[ScoredGr]| {
+            v.iter()
+                .map(|s| (s.gr.clone(), s.supp, s.supp_lw, s.heff))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&fast.top), key(&oracle));
+        assert!(
+            fast.top.iter().any(|s| s.gr.l.len() >= 2 && s.heff > 0),
+            "a multi-homophily LHS with a non-trivial homophily effect must be reachable"
+        );
+        assert!(fast.stats.heff_scans > 0);
+        // The group-by fills all β supports of an l∧w node in one scan,
+        // so there can be at most one scan per examined GR's l∧w node —
+        // far fewer than the per-β scans the seed performed.
+        assert!(fast.stats.heff_scans <= fast.stats.grs_examined);
     }
 
     #[test]

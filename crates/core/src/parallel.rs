@@ -4,9 +4,12 @@
 //! 1's Main loop issues one `RIGHT` task plus one task per top-level edge
 //! and LHS dimension, and the subtrees are disjoint (every attribute
 //! subset lives under exactly one root task). The parallel miner
-//! distributes these root tasks (`RootTask`, crate-internal) over a crossbeam scoped
-//! thread pool; each worker owns a private copy of the edge-position
-//! buffer and a private [`crate::stats::MinerStats`].
+//! distributes these root tasks (`RootTask`, crate-internal) over a
+//! crossbeam scoped thread pool. All read-only run state — the compact
+//! model, the canonical position set, the RHS marginal table — lives in
+//! one shared [`MiningContext`]; each worker owns only a reusable
+//! edge-position buffer (filled from the context once, then permuted in
+//! place by its tasks) and a private [`crate::stats::MinerStats`].
 //!
 //! **Determinism over dynamic pruning.** The generality constraint
 //! (Def. 5(2)) is order-sensitive across subtrees — a suppressor found in
@@ -35,13 +38,14 @@
 //! the chunk count is bounded and a single-threaded pool never splits.
 
 use crate::config::MinerConfig;
+use crate::context::MiningContext;
 use crate::generality::GeneralityIndex;
 use crate::gr::ScoredGr;
 use crate::miner::{MineResult, RootTask, Run};
 use crate::stats::MinerStats;
 use crate::tail::Dims;
 use crate::topk::TopK;
-use grm_graph::{CompactModel, Schema, SocialGraph};
+use grm_graph::{Schema, SocialGraph};
 use parking_lot::Mutex;
 use std::time::Instant;
 
@@ -156,7 +160,7 @@ pub fn mine_parallel_with_opts(
         opts.threads
     };
 
-    let model = CompactModel::build(graph);
+    let ctx = MiningContext::build(graph, config.metric.needs_r_marginal());
     let schema = graph.schema();
     let edge_count = graph.edge_count() as u64;
 
@@ -173,12 +177,21 @@ pub fn mine_parallel_with_opts(
             for _ in 0..threads.min(task_count) {
                 scope.spawn(|_| {
                     let mut local: Vec<(Vec<ScoredGr>, MinerStats)> = Vec::new();
+                    // One reusable position buffer per worker, filled from
+                    // the shared context on the first task and *not*
+                    // refilled between tasks: root tasks only permute the
+                    // buffer, and the recursion is invariant under input
+                    // permutation (the sequential miner reuses its buffer
+                    // across root tasks on the same grounds).
+                    let mut data: Vec<u32> = Vec::new();
                     loop {
                         let task = { queue.lock().next() };
                         let Some(task) = task else { break };
+                        if data.is_empty() {
+                            ctx.fill_positions(&mut data);
+                        }
                         let task_start = Instant::now();
-                        let mut run = Run::new(&model, schema, dims, config, Some(Vec::new()));
-                        let mut data = model.all_positions();
+                        let mut run = Run::new(&ctx, schema, dims, config, Some(Vec::new()));
                         run.run_root(&mut data, task);
                         let mut s = std::mem::take(&mut run.stats);
                         s.elapsed = task_start.elapsed();
@@ -400,6 +413,41 @@ mod tests {
             },
         );
         assert_eq!(seq.top, par.top);
+    }
+
+    #[test]
+    fn oversubscribed_and_degenerate_pools_stay_identical() {
+        // threads > task_count (64), a single-thread pool, and both
+        // split settings must all return bit-identical `top` and — since
+        // the value-chunk filter runs before any counter increments —
+        // identical merged counters, under the shared context.
+        let g = sample(9, 40, 300);
+        let cfg = MinerConfig::nhp(2, 0.3, 15).without_dynamic_topk();
+        let seq = GrMiner::new(&g, cfg.clone()).mine();
+        let dims = Dims::all(g.schema());
+        let mut counters: Option<MinerStats> = None;
+        for threads in [1usize, 2, 64] {
+            for split_dominant in [false, true] {
+                let mut par = mine_parallel_with_opts(
+                    &g,
+                    &cfg,
+                    &dims,
+                    ParallelOptions {
+                        threads,
+                        split_dominant,
+                    },
+                );
+                assert_eq!(seq.top, par.top, "threads {threads} split {split_dominant}");
+                par.stats.elapsed = std::time::Duration::ZERO;
+                match &counters {
+                    None => counters = Some(par.stats),
+                    Some(c) => assert_eq!(
+                        c, &par.stats,
+                        "counters diverged at threads {threads} split {split_dominant}"
+                    ),
+                }
+            }
+        }
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub struct MinerStats {
     pub rejected_generality: u64,
     /// GRs accepted into the candidate pool (offered to the top-k heap).
     pub accepted: u64,
-    /// Homophily-effect support scans performed (β-memo misses).
+    /// Homophily-effect snapshot scans performed. One group-by pass fills
+    /// every β support of an `l ∧ w` node at once, so this counts at most
+    /// one scan per node reaching a non-empty β (on the wide-LHS fallback
+    /// path it counts per-β memo misses, as before).
     pub heff_scans: u64,
     /// Wall-clock time of the run.
     #[serde(with = "duration_serde")]
@@ -76,8 +79,13 @@ mod duration_serde {
         d.as_secs_f64().serialize(s)
     }
 
+    /// Stats JSON may come from untrusted files; a negative, NaN,
+    /// infinite, or overflowing `elapsed` must surface as a serde error,
+    /// not the panic `Duration::from_secs_f64` would raise.
     pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
-        Ok(Duration::from_secs_f64(f64::deserialize(d)?))
+        let secs = f64::deserialize(d)?;
+        Duration::try_from_secs_f64(secs)
+            .map_err(|e| serde::de::Error::custom(format!("invalid elapsed seconds {secs}: {e}")))
     }
 }
 
@@ -114,6 +122,9 @@ mod tests {
         };
         assert!(s.to_string().contains("grs=42"));
     }
+
+    // Corrupt-`elapsed` rejection (negative / NaN / overflow JSON) is
+    // covered by the integration regression tests in `tests/serde_io.rs`.
 
     #[test]
     fn serde_round_trip() {

@@ -18,16 +18,33 @@
 //! Mining operates on **EArray positions**: a pattern's edge set is a slice
 //! of positions, partitioned with counting sort on LHS / edge / RHS
 //! dimensions via the key functions below.
+//!
+//! ### Columnar key caches
+//!
+//! The key functions are the hottest loads of the mining recursion — every
+//! counting-sort pass calls one of them once per position — and resolving
+//! them through the structural columns costs two dependent indirections
+//! (`src_row`/`ptr` into the graph's row-major attribute table). The model
+//! therefore also materializes **columnar caches**: one flat
+//! `Vec<AttrValue>` per (side, attribute) pair, indexed directly by EArray
+//! position, so `l_key`/`w_key`/`r_key` are a single indexed load. This is
+//! a deliberate time/space trade *on top of* the §IV-A model: the caches
+//! occupy `|E|·(2·#AttrV + #AttrE)` u16 cells (the single-table shape), but
+//! the §IV-A win — building them in O(|E|) from the once-per-node storage
+//! instead of joining per edge — is unchanged, and [`CompactModel::cells`]
+//! keeps reporting the paper's formula for the structural model.
 
+use crate::error::{GraphError, Result};
 use crate::graph::SocialGraph;
 use crate::value::{AttrValue, EdgeAttrId, EdgeId, NodeAttrId, NodeId};
 
 /// The LArray/EArray/RArray view over a [`SocialGraph`].
 ///
-/// Borrow-based: attribute cells live in the graph; the model adds only the
-/// structural columns (`Out`, `Ind`, `Ptr`, row maps). Cell accounting in
-/// [`CompactModel::cells`] nevertheless reports the full §IV-A formula, i.e.
-/// what a standalone materialization would occupy.
+/// Borrow-based: attribute cells live in the graph; the model adds the
+/// structural columns (`Out`, `Ind`, `Ptr`, row maps) plus the columnar
+/// per-position key caches (module docs). Cell accounting in
+/// [`CompactModel::cells`] reports the full §IV-A formula, i.e. what a
+/// standalone materialization of the structural model would occupy.
 #[derive(Debug, Clone)]
 pub struct CompactModel<'g> {
     graph: &'g SocialGraph,
@@ -37,19 +54,38 @@ pub struct CompactModel<'g> {
     out: Vec<u32>,
     /// `Ind` column: first EArray position per LArray row.
     ind: Vec<u32>,
-    /// Per EArray position: index of the source's LArray row.
-    src_row: Vec<u32>,
     /// Per EArray position: the original edge id (edge-attribute lookup).
     eid: Vec<EdgeId>,
     /// `Ptr` column: per EArray position, the destination's RArray row.
     ptr: Vec<u32>,
     /// Node ids with in-degree > 0, in node-id order (RArray rows).
     rrows: Vec<NodeId>,
+    /// Per node attribute: source-side values by EArray position.
+    l_cols: Vec<Vec<AttrValue>>,
+    /// Per edge attribute: values by EArray position.
+    w_cols: Vec<Vec<AttrValue>>,
+    /// Per node attribute: destination-side values by EArray position.
+    r_cols: Vec<Vec<AttrValue>>,
 }
 
 impl<'g> CompactModel<'g> {
-    /// Build the model: O(|V| + |E|), one stable counting pass over edges.
+    /// Maximum number of edges the model can index: EArray positions are
+    /// `u32`, so a graph with more than `u32::MAX` edges cannot be
+    /// addressed (positions beyond the limit would silently wrap).
+    pub const MAX_EDGES: usize = u32::MAX as usize;
+
+    /// Build the model, panicking on graphs beyond [`Self::MAX_EDGES`]
+    /// (see [`Self::try_build`] for the fallible form): O(|V| + |E|), one
+    /// stable counting pass over edges plus one pass per cached column.
     pub fn build(graph: &'g SocialGraph) -> Self {
+        Self::try_build(graph).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build the model, rejecting graphs with more than
+    /// [`Self::MAX_EDGES`] edges with [`GraphError::TooManyEdges`] instead
+    /// of silently truncating position indices.
+    pub fn try_build(graph: &'g SocialGraph) -> Result<Self> {
+        check_edge_capacity(graph.edge_count())?;
         let n = graph.node_count();
         let m = graph.edge_count();
 
@@ -86,6 +122,8 @@ impl<'g> CompactModel<'g> {
         }
 
         // Scatter edges into EArray grouped by source row (stable).
+        // `src_row` is only needed to seed the columnar caches below; the
+        // cached columns replace it as the runtime lookup path.
         let mut cursor = ind.clone();
         let mut src_row = vec![0u32; m];
         let mut eid = vec![0 as EdgeId; m];
@@ -99,16 +137,38 @@ impl<'g> CompactModel<'g> {
             ptr[pos] = rrow_of[graph.dst(e) as usize];
         }
 
-        CompactModel {
+        // Columnar key caches: resolve the src_row/Ptr indirections once so
+        // every later key lookup is a single indexed load (module docs).
+        let na = graph.schema().node_attr_count();
+        let ea = graph.schema().edge_attr_count();
+        let mut l_cols = vec![vec![0 as AttrValue; m]; na];
+        let mut w_cols = vec![vec![0 as AttrValue; m]; ea];
+        let mut r_cols = vec![vec![0 as AttrValue; m]; na];
+        for p in 0..m {
+            let src = graph.node_row(lrows[src_row[p] as usize]);
+            let dst = graph.node_row(rrows[ptr[p] as usize]);
+            for a in 0..na {
+                l_cols[a][p] = src[a];
+                r_cols[a][p] = dst[a];
+            }
+            let edge = graph.edge_row(eid[p]);
+            for a in 0..ea {
+                w_cols[a][p] = edge[a];
+            }
+        }
+
+        Ok(CompactModel {
             graph,
             lrows,
             out,
             ind,
-            src_row,
             eid,
             ptr,
             rrows,
-        }
+            l_cols,
+            w_cols,
+            r_cols,
+        })
     }
 
     /// The underlying graph.
@@ -163,25 +223,46 @@ impl<'g> CompactModel<'g> {
         self.ptr[p as usize]
     }
 
-    /// LHS key function: node attribute `a` of the source of position `p`.
+    /// LHS key function: node attribute `a` of the source of position `p`
+    /// (one load from the columnar cache).
     #[inline]
     pub fn l_key(&self, p: u32, a: NodeAttrId) -> AttrValue {
-        self.graph
-            .node_attr(self.lrows[self.src_row[p as usize] as usize], a)
+        self.l_cols[a.index()][p as usize]
     }
 
-    /// Edge key function: edge attribute `a` of position `p`.
+    /// Edge key function: edge attribute `a` of position `p` (one load
+    /// from the columnar cache).
     #[inline]
     pub fn w_key(&self, p: u32, a: EdgeAttrId) -> AttrValue {
-        self.graph.edge_attr(self.eid[p as usize], a)
+        self.w_cols[a.index()][p as usize]
     }
 
-    /// RHS key function: node attribute `a` of the destination of `p`,
-    /// found through `Ptr` (one indirection into RArray).
+    /// RHS key function: node attribute `a` of the destination of `p` (one
+    /// load from the columnar cache; the `Ptr` indirection into RArray is
+    /// resolved at build time).
     #[inline]
     pub fn r_key(&self, p: u32, a: NodeAttrId) -> AttrValue {
-        self.graph
-            .node_attr(self.rrows[self.ptr[p as usize] as usize], a)
+        self.r_cols[a.index()][p as usize]
+    }
+
+    /// The full source-side column of node attribute `a`, indexed by
+    /// EArray position (whole-column scans: marginal tables, group-bys).
+    #[inline]
+    pub fn l_col(&self, a: NodeAttrId) -> &[AttrValue] {
+        &self.l_cols[a.index()]
+    }
+
+    /// The full edge-attribute column of `a`, indexed by EArray position.
+    #[inline]
+    pub fn w_col(&self, a: EdgeAttrId) -> &[AttrValue] {
+        &self.w_cols[a.index()]
+    }
+
+    /// The full destination-side column of node attribute `a`, indexed by
+    /// EArray position.
+    #[inline]
+    pub fn r_col(&self, a: NodeAttrId) -> &[AttrValue] {
+        &self.r_cols[a.index()]
     }
 
     /// All EArray positions, the root edge set of the mining recursion.
@@ -199,6 +280,16 @@ impl<'g> CompactModel<'g> {
         self.lrows.len() * (na + 2) + self.eid.len() * (ea + 1) + self.rrows.len() * na
     }
 
+    /// Cell count of the columnar key caches (module docs): one value per
+    /// (side, attribute, position), i.e. `|E|·(2·#AttrV + #AttrE)` — the
+    /// single-table shape, spent deliberately for single-load keys on top
+    /// of the [`Self::cells`] structural model.
+    pub fn cache_cells(&self) -> usize {
+        let na = self.graph.schema().node_attr_count();
+        let ea = self.graph.schema().edge_attr_count();
+        self.eid.len() * (2 * na + ea)
+    }
+
     /// Cell count using the paper's headline formula with the full `|V|`
     /// on both sides: `|V|·(#AttrV+2) + |E|·(#AttrE+1) + |V|·#AttrV`.
     pub fn cells_paper_formula(&self) -> usize {
@@ -207,6 +298,18 @@ impl<'g> CompactModel<'g> {
         let v = self.graph.node_count();
         v * (na + 2) + self.eid.len() * (ea + 1) + v * na
     }
+}
+
+/// Reject edge counts beyond [`CompactModel::MAX_EDGES`] — positions are
+/// `u32`, and an oversized graph would silently truncate them.
+fn check_edge_capacity(edges: usize) -> Result<()> {
+    if edges > CompactModel::MAX_EDGES {
+        return Err(GraphError::TooManyEdges {
+            edges,
+            max: CompactModel::MAX_EDGES,
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -297,6 +400,7 @@ mod tests {
         // |L|=3, |R|=3, |E|=4, na=2, ea=1.
         assert_eq!(cm.cells(), 3 * 4 + 4 * 2 + 3 * 2);
         assert_eq!(cm.cells_paper_formula(), 4 * 4 + 4 * 2 + 4 * 2);
+        assert_eq!(cm.cache_cells(), 4 * (2 * 2 + 1));
         let st = crate::SingleTable::build(&g);
         assert_eq!(st.cells(), 4 * (2 * 2 + 1));
     }
@@ -306,5 +410,36 @@ mod tests {
         let g = sample();
         let cm = CompactModel::build(&g);
         assert_eq!(cm.all_positions(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn columnar_caches_agree_with_structural_lookups() {
+        let g = sample();
+        let cm = CompactModel::build(&g);
+        for p in 0..cm.edge_count() as u32 {
+            let e = cm.edge_id(p);
+            for a in g.schema().node_attr_ids() {
+                assert_eq!(cm.l_key(p, a), g.src_attr(e, a), "l_key p={p} {a}");
+                assert_eq!(cm.r_key(p, a), g.dst_attr(e, a), "r_key p={p} {a}");
+                assert_eq!(cm.l_col(a)[p as usize], cm.l_key(p, a));
+                assert_eq!(cm.r_col(a)[p as usize], cm.r_key(p, a));
+            }
+            for a in g.schema().edge_attr_ids() {
+                assert_eq!(cm.w_key(p, a), g.edge_attr(e, a), "w_key p={p} {a}");
+                assert_eq!(cm.w_col(a)[p as usize], cm.w_key(p, a));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_capacity_guard() {
+        assert!(check_edge_capacity(0).is_ok());
+        assert!(check_edge_capacity(CompactModel::MAX_EDGES).is_ok());
+        let err = check_edge_capacity(CompactModel::MAX_EDGES + 1).unwrap_err();
+        assert!(matches!(err, GraphError::TooManyEdges { .. }));
+        assert!(err.to_string().contains("u32"));
+        // The fallible entry point accepts every constructible graph.
+        let g = sample();
+        assert!(CompactModel::try_build(&g).is_ok());
     }
 }

@@ -29,6 +29,9 @@ pub enum GraphError {
     },
     /// An edge endpoint references a node that does not exist.
     DanglingEndpoint { node: u32, nodes: u32 },
+    /// The graph has more edges than the compact model can index
+    /// (EArray positions are `u32`).
+    TooManyEdges { edges: usize, max: usize },
     /// A self-loop was supplied while the builder forbids them.
     SelfLoop { node: u32 },
     /// Unknown attribute or value name in a lookup.
@@ -73,6 +76,11 @@ impl fmt::Display for GraphError {
             GraphError::DanglingEndpoint { node, nodes } => {
                 write!(f, "edge endpoint {node} out of range (graph has {nodes} nodes)")
             }
+            GraphError::TooManyEdges { edges, max } => write!(
+                f,
+                "graph has {edges} edges, exceeding the compact model's capacity of {max} \
+                 (EArray positions are u32)"
+            ),
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} rejected by builder policy")
             }

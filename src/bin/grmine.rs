@@ -268,5 +268,9 @@ fn cmd_info(args: &[String]) -> i32 {
         st.cells(),
         st.cells() as f64 / cm.cells() as f64
     );
+    println!(
+        "columnar key caches: {} cells (runtime acceleration on top of the compact model)",
+        cm.cache_cells()
+    );
     0
 }

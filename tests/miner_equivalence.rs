@@ -153,6 +153,17 @@ fn alt_metrics_match_reference() {
                 keys(&oracle),
                 "metric {metric} seed {seed}"
             );
+            // The parallel miner shares one RHS marginal table across
+            // workers for the metrics that need supp(r); it must stay
+            // bit-identical too.
+            if metric.needs_r_marginal() {
+                let par = mine_parallel(&g, &cfg, 3);
+                assert_eq!(
+                    keys(&par.top),
+                    keys(&oracle),
+                    "parallel metric {metric} seed {seed}"
+                );
+            }
             for (a, b) in fast.top.iter().zip(&oracle) {
                 assert!(
                     (a.score - b.score).abs() < 1e-9

@@ -60,6 +60,42 @@ fn pokec_like_bit_identical() {
 }
 
 #[test]
+fn oversubscribed_and_degenerate_pools_on_pokec_like_workload() {
+    // Satellite coverage for the shared-context miner: a pool far larger
+    // than the task list (32), a single-thread pool, and both
+    // split_dominant settings must stay bit-identical to sequential and
+    // counters-identical to each other on the workload whose dominant
+    // `Region` dimension the splitter targets.
+    let g = generate(&pokec_config_scaled(0.01)).unwrap();
+    let cfg = MinerConfig::nhp(5, 0.5, 25).without_dynamic_topk();
+    let seq = GrMiner::new(&g, cfg.clone()).mine();
+    let dims = Dims::all(g.schema());
+    let mut counters: Option<social_ties::MinerStats> = None;
+    for threads in [1usize, 2, 32] {
+        for split_dominant in [false, true] {
+            let mut par = mine_parallel_with_opts(
+                &g,
+                &cfg,
+                &dims,
+                ParallelOptions {
+                    threads,
+                    split_dominant,
+                },
+            );
+            assert_eq!(seq.top, par.top, "threads {threads} split {split_dominant}");
+            par.stats.elapsed = std::time::Duration::ZERO;
+            match &counters {
+                None => counters = Some(par.stats),
+                Some(c) => assert_eq!(
+                    c, &par.stats,
+                    "counters diverged at threads {threads} split {split_dominant}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
 fn default_entry_point_splits_and_matches() {
     // `mine_parallel` (splitting on by default) equals sequential too.
     let g = generate(&pokec_config_scaled(0.01)).unwrap();

@@ -56,6 +56,34 @@ fn generator_config_round_trips() {
 }
 
 #[test]
+fn miner_stats_round_trip_preserves_elapsed() {
+    let g = social_ties::toy_network();
+    let result = GrMiner::new(&g, MinerConfig::nhp(1, 0.5, 5)).mine();
+    let json = serde_json::to_string(&result.stats).unwrap();
+    let back: social_ties::MinerStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.grs_examined, result.stats.grs_examined);
+    assert_eq!(back.heff_scans, result.stats.heff_scans);
+    assert!(
+        (back.elapsed.as_secs_f64() - result.stats.elapsed.as_secs_f64()).abs() < 1e-9,
+        "elapsed must survive the f64 round-trip"
+    );
+}
+
+#[test]
+fn corrupt_stats_elapsed_is_rejected_not_a_panic() {
+    // `elapsed` travels as f64 seconds; untrusted JSON can carry values
+    // `Duration::from_secs_f64` would panic on. They must surface as
+    // serde errors.
+    let good = serde_json::to_string(&social_ties::MinerStats::default()).unwrap();
+    let (prefix, _) = good.split_once("\"elapsed\"").unwrap();
+    for bad in ["-1.0", "-1e-9", "1e300"] {
+        let json = format!("{prefix}\"elapsed\":{bad}}}");
+        let r: Result<social_ties::MinerStats, _> = serde_json::from_str(&json);
+        assert!(r.is_err(), "elapsed={bad} must be rejected");
+    }
+}
+
+#[test]
 fn measures_serialize() {
     let g = social_ties::toy_network();
     let gr = GrBuilder::new(g.schema())

@@ -5,8 +5,10 @@
 //! `Throughput`, `black_box`, `criterion_group!`/`criterion_main!` — with a
 //! plain wall-clock sampler: each benchmark runs `sample_size` timed
 //! iterations (after one warm-up) and reports min/mean/max to stdout.
-//! Statistical analysis, HTML reports and regression baselines of the real
-//! crate are out of scope.
+//! Passing `--test` (as `cargo bench -- --test`, mirroring real
+//! criterion's smoke mode) runs every benchmark exactly once regardless
+//! of sample size. Statistical analysis, HTML reports and regression
+//! baselines of the real crate are out of scope.
 
 use std::time::{Duration, Instant};
 
@@ -107,17 +109,24 @@ fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
 /// The benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // Keep the offline harness cheap; raise per-group via
-        // `sample_size` or globally via CRITERION_SAMPLE_SIZE.
+        // `sample_size` or globally via CRITERION_SAMPLE_SIZE. `--test`
+        // (forwarded by `cargo bench -- --test`) overrides everything
+        // with a single-iteration smoke run.
         let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(10);
-        Criterion { sample_size }
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size,
+            test_mode,
+        }
     }
 }
 
@@ -127,10 +136,19 @@ impl Criterion {
         self
     }
 
+    fn iters(&self, sample_size: usize) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            sample_size
+        }
+    }
+
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
             throughput: None,
             _criterion: self,
         }
@@ -140,7 +158,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.into_text(), self.sample_size, None, f);
+        run_one(&id.into_text(), self.iters(self.sample_size), None, f);
         self
     }
 }
@@ -163,6 +181,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
 pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     throughput: Option<Throughput>,
     _criterion: &'c mut Criterion,
 }
@@ -171,6 +190,14 @@ impl<'c> BenchmarkGroup<'c> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
         self
+    }
+
+    fn iters(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size
+        }
     }
 
     pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
@@ -191,7 +218,7 @@ impl<'c> BenchmarkGroup<'c> {
         F: FnMut(&mut Bencher),
     {
         let name = format!("{}/{}", self.name, id.into_text());
-        run_one(&name, self.sample_size, self.throughput, f);
+        run_one(&name, self.iters(), self.throughput, f);
         self
     }
 
@@ -205,7 +232,7 @@ impl<'c> BenchmarkGroup<'c> {
         F: FnMut(&mut Bencher, &I),
     {
         let name = format!("{}/{}", self.name, id.text);
-        run_one(&name, self.sample_size, self.throughput, |b| f(b, input));
+        run_one(&name, self.iters(), self.throughput, |b| f(b, input));
         self
     }
 
@@ -246,6 +273,31 @@ mod tests {
         });
         // 1 warm-up + 3 samples.
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut c = Criterion {
+            sample_size: 5,
+            test_mode: true,
+        };
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // 1 warm-up + 1 sample, regardless of sample_size.
+        assert_eq!(runs, 2);
+        let mut group = c.benchmark_group("g");
+        let mut grouped = 0usize;
+        group.sample_size(7).bench_function("noop", |b| {
+            b.iter(|| {
+                grouped += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(grouped, 2, "--test overrides group sample_size");
     }
 
     #[test]
