@@ -33,6 +33,12 @@ fn bench(c: &mut Criterion) {
         let cfg = base.clone().without_dynamic_topk();
         b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
     });
+    group.bench_function("fused_partition_off", |b| {
+        // The fused two-level partition engine disabled: every RIGHT-chain
+        // first pass re-reads its slice to count. Results bit-identical.
+        let cfg = base.clone().without_fused_partitions();
+        b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
+    });
     group.bench_function("generality_off", |b| {
         let cfg = MinerConfig {
             generality_filter: false,

@@ -7,8 +7,135 @@ use grm_bench::{fixture, Dataset};
 use grm_core::beta::heff_table;
 use grm_core::{query, GrBuilder};
 use grm_datagen::{generate, pokec_config_scaled};
-use grm_graph::sort::{partition_in_place, SortScratch};
+use grm_graph::sort::{partition_in_place, PartitionArena};
 use grm_graph::{AttrValue, CompactModel, NodeAttrId, SingleTable};
+
+/// The pre-PR partition primitive, reimplemented for the before/after
+/// comparison: per call it allocates the offsets, cursor and scatter
+/// vectors plus the returned partition `Vec` (what `partition_in_place`
+/// did before the arena).
+fn legacy_partition(
+    data: &mut [u32],
+    bucket_count: usize,
+    counts: &mut Vec<u32>,
+    keybuf: &mut Vec<u32>,
+    col: &[AttrValue],
+) -> Vec<(AttrValue, std::ops::Range<usize>)> {
+    counts.clear();
+    counts.resize(bucket_count, 0);
+    keybuf.clear();
+    keybuf.reserve(data.len());
+    for &id in data.iter() {
+        let k = col[id as usize];
+        counts[k as usize] += 1;
+        keybuf.push(k as u32);
+    }
+    let mut offsets = Vec::with_capacity(bucket_count);
+    let mut acc = 0u32;
+    for &c in counts.iter() {
+        offsets.push(acc);
+        acc += c;
+    }
+    let mut cursor = offsets.clone();
+    let mut out = vec![0u32; data.len()];
+    for (i, &id) in data.iter().enumerate() {
+        let k = keybuf[i] as usize;
+        out[cursor[k] as usize] = id;
+        cursor[k] += 1;
+    }
+    data.copy_from_slice(&out);
+    let mut parts = Vec::new();
+    for (v, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            let start = offsets[v] as usize;
+            parts.push((v as AttrValue, start..start + c as usize));
+        }
+    }
+    parts
+}
+
+/// The tentpole's before/after cells: the allocating pre-PR primitive vs
+/// the arena pass (on the 188-value Pokec `Region` domain), and a
+/// two-level (parent + children) partition with and without the fused
+/// counting, on the narrow-parent shape the miner's cost model fuses
+/// (small parent domain, so children are large and the key-cache write
+/// streams are few — wide parents stay unfused, see
+/// `grm_core::miner::FUSE_COST_RATIO`).
+fn bench_partition_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    for n in [10_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        let col: Vec<AttrValue> = (0..n).map(|i| (i % 188 + 1) as u16).collect();
+        let narrow: Vec<AttrValue> = (0..n).map(|i| (i % 5 + 1) as u16).collect();
+        let next: Vec<AttrValue> = (0..n).map(|i| (i * 7 % 5) as u16).collect();
+        let base: Vec<u32> = (0..n as u32).map(|i| (i * 31) % n as u32).collect();
+
+        group.bench_with_input(BenchmarkId::new("alloc_per_call", n), &n, |b, _| {
+            let mut counts = Vec::new();
+            let mut keybuf = Vec::new();
+            let mut data = base.clone();
+            b.iter(|| {
+                data.copy_from_slice(&base);
+                legacy_partition(&mut data, 189, &mut counts, &mut keybuf, &col)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("arena", n), &n, |b, _| {
+            let mut arena = PartitionArena::new();
+            let mut data = base.clone();
+            b.iter(|| {
+                data.copy_from_slice(&base);
+                let frame = arena.partition_col(&mut data, 189, &col).unwrap();
+                let parts = frame.len();
+                arena.pop_frame(frame);
+                parts
+            });
+        });
+        // Two-level cells: partition by a narrow parent dimension, then
+        // every child partition by the next dimension — the RIGHT-chain
+        // shape the miner fuses.
+        group.bench_with_input(BenchmarkId::new("two_level_unfused", n), &n, |b, _| {
+            let mut arena = PartitionArena::new();
+            let mut data = base.clone();
+            b.iter(|| {
+                data.copy_from_slice(&base);
+                let frame = arena.partition_col(&mut data, 6, &narrow).unwrap();
+                let mut total = 0usize;
+                for idx in frame.indices() {
+                    let part = arena.record(idx);
+                    let sub = &mut data[part.range()];
+                    let child = arena.partition_col(sub, 5, &next).unwrap();
+                    total += child.len();
+                    arena.pop_frame(child);
+                }
+                arena.pop_frame(frame);
+                total
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("two_level_fused", n), &n, |b, _| {
+            let mut arena = PartitionArena::new();
+            let mut data = base.clone();
+            b.iter(|| {
+                data.copy_from_slice(&base);
+                let (frame, level) = arena
+                    .partition_col_fused(&mut data, 6, &narrow, &next, 5)
+                    .unwrap();
+                let mut total = 0usize;
+                for idx in frame.indices() {
+                    let part = arena.record(idx);
+                    let hist = arena.child_hist(level, part);
+                    let sub = &mut data[part.range()];
+                    let child = arena.partition_pre_counted(sub, 5, hist);
+                    total += child.len();
+                    arena.pop_frame(child);
+                }
+                arena.pop_frame(frame);
+                arena.pop_fused(level);
+                total
+            });
+        });
+    }
+    group.finish();
+}
 
 fn bench_counting_sort(c: &mut Criterion) {
     let mut group = c.benchmark_group("counting_sort");
@@ -17,7 +144,7 @@ fn bench_counting_sort(c: &mut Criterion) {
         // Partition by a 188-value key (the Pokec Region domain).
         group.bench_with_input(BenchmarkId::new("region_domain", n), &n, |b, &n| {
             let base: Vec<u32> = (0..n as u32).collect();
-            let mut scratch = SortScratch::new();
+            let mut scratch = PartitionArena::new();
             b.iter(|| {
                 let mut data = base.clone();
                 partition_in_place(&mut data, 189, &mut scratch, |i| (i % 188 + 1) as u16)
@@ -126,7 +253,7 @@ fn bench_heff_supports(c: &mut Criterion) {
         })
     });
     group.bench_function("group_by_table", |b| {
-        let mut scratch = SortScratch::new();
+        let mut scratch = PartitionArena::new();
         let mut snap = snapshot.clone();
         b.iter(|| {
             snap.copy_from_slice(&snapshot);
@@ -139,6 +266,7 @@ fn bench_heff_supports(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_partition_engine,
     bench_counting_sort,
     bench_model_builds,
     bench_query,

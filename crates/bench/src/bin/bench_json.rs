@@ -1,0 +1,212 @@
+//! `bench_json` — machine-readable micro numbers for the CI perf
+//! trajectory.
+//!
+//! Times the partition-engine cells (the tentpole's before/after
+//! comparison: allocating legacy primitive vs arena pass, two-level
+//! unfused vs fused) plus the β group-by, with plain `Instant` timing —
+//! no criterion, so the output shape is stable and trivially diffable
+//! across commits. Writes one JSON document:
+//!
+//! ```text
+//! bench_json [out.json]        # default BENCH_partition.json
+//! ```
+//!
+//! Schema (`grm-bench-partition/1`): `results[]` of
+//! `{group, bench, n, median_ns, ns_per_item}`, medians over
+//! [`SAMPLES`] timed repetitions after a warm-up. Consumers key on
+//! `(group, bench, n)` — append new cells, never repurpose old names.
+
+use grm_bench::Table;
+use grm_graph::sort::PartitionArena;
+use grm_graph::AttrValue;
+use std::time::Instant;
+
+/// Timed repetitions per cell (median reported).
+const SAMPLES: usize = 15;
+
+struct Cell {
+    group: &'static str,
+    bench: &'static str,
+    n: usize,
+    median_ns: u128,
+}
+
+fn median_ns(mut f: impl FnMut() -> u64) -> u128 {
+    // One warm-up (grows arenas, faults pages), then SAMPLES timed runs.
+    let mut sink = f();
+    let mut times: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            sink = sink.wrapping_add(f());
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    // Keep the checksum observable so the work cannot be optimized away.
+    if sink == u64::MAX {
+        eprintln!("checksum {sink}");
+    }
+    times[times.len() / 2]
+}
+
+/// The pre-PR partition primitive — the baseline the arena is measured
+/// against; mirrors the cell in `benches/micro.rs` and the old
+/// `partition_in_place` exactly: `counts`/`keybuf` are reused scratch
+/// (the old `SortScratch`), while offsets, cursor, the scatter buffer
+/// and the result Vec are allocated per call.
+fn legacy_partition(
+    data: &mut [u32],
+    bucket_count: usize,
+    counts: &mut Vec<u32>,
+    keybuf: &mut Vec<u32>,
+    col: &[AttrValue],
+) -> u64 {
+    counts.clear();
+    counts.resize(bucket_count, 0);
+    keybuf.clear();
+    keybuf.reserve(data.len());
+    for &id in data.iter() {
+        let k = col[id as usize];
+        counts[k as usize] += 1;
+        keybuf.push(k as u32);
+    }
+    let mut offsets = Vec::with_capacity(bucket_count);
+    let mut acc = 0u32;
+    for &c in counts.iter() {
+        offsets.push(acc);
+        acc += c;
+    }
+    let mut cursor = offsets.clone();
+    let mut out = vec![0u32; data.len()];
+    for (i, &id) in data.iter().enumerate() {
+        let k = keybuf[i] as usize;
+        out[cursor[k] as usize] = id;
+        cursor[k] += 1;
+    }
+    data.copy_from_slice(&out);
+    counts.iter().filter(|&&c| c > 0).count() as u64
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_partition.json".to_string());
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for n in [10_000usize, 100_000] {
+        let col: Vec<AttrValue> = (0..n).map(|i| (i % 188 + 1) as u16).collect();
+        let narrow: Vec<AttrValue> = (0..n).map(|i| (i % 5 + 1) as u16).collect();
+        let next: Vec<AttrValue> = (0..n).map(|i| (i * 7 % 5) as u16).collect();
+        let base: Vec<u32> = (0..n as u32).map(|i| (i * 31) % n as u32).collect();
+
+        let mut data = base.clone();
+        let mut counts = Vec::new();
+        let mut keybuf = Vec::new();
+        cells.push(Cell {
+            group: "partition",
+            bench: "alloc_per_call",
+            n,
+            median_ns: median_ns(|| {
+                data.copy_from_slice(&base);
+                legacy_partition(&mut data, 189, &mut counts, &mut keybuf, &col)
+            }),
+        });
+
+        let mut arena = PartitionArena::new();
+        let mut data = base.clone();
+        cells.push(Cell {
+            group: "partition",
+            bench: "arena",
+            n,
+            median_ns: median_ns(|| {
+                data.copy_from_slice(&base);
+                let frame = arena.partition_col(&mut data, 189, &col).unwrap();
+                let parts = frame.len() as u64;
+                arena.pop_frame(frame);
+                parts
+            }),
+        });
+
+        let mut arena = PartitionArena::new();
+        let mut data = base.clone();
+        cells.push(Cell {
+            group: "partition",
+            bench: "two_level_unfused",
+            n,
+            median_ns: median_ns(|| {
+                data.copy_from_slice(&base);
+                let frame = arena.partition_col(&mut data, 6, &narrow).unwrap();
+                let mut total = 0u64;
+                for idx in frame.indices() {
+                    let part = arena.record(idx);
+                    let sub = &mut data[part.range()];
+                    let child = arena.partition_col(sub, 5, &next).unwrap();
+                    total += child.len() as u64;
+                    arena.pop_frame(child);
+                }
+                arena.pop_frame(frame);
+                total
+            }),
+        });
+
+        let mut arena = PartitionArena::new();
+        let mut data = base.clone();
+        cells.push(Cell {
+            group: "partition",
+            bench: "two_level_fused",
+            n,
+            median_ns: median_ns(|| {
+                data.copy_from_slice(&base);
+                let (frame, level) = arena
+                    .partition_col_fused(&mut data, 6, &narrow, &next, 5)
+                    .unwrap();
+                let mut total = 0u64;
+                for idx in frame.indices() {
+                    let part = arena.record(idx);
+                    let hist = arena.child_hist(level, part);
+                    let sub = &mut data[part.range()];
+                    let child = arena.partition_pre_counted(sub, 5, hist);
+                    total += child.len() as u64;
+                    arena.pop_frame(child);
+                }
+                arena.pop_frame(frame);
+                arena.pop_fused(level);
+                total
+            }),
+        });
+    }
+
+    // JSON by hand: the shape is flat and the vendored serde stub would
+    // add nothing but indirection here.
+    let mut json = String::from("{\n  \"schema\": \"grm-bench-partition/1\",\n  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let per_item = c.median_ns as f64 / c.n as f64;
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"bench\": \"{}\", \"n\": {}, \"median_ns\": {}, \"ns_per_item\": {:.3}}}{}\n",
+            c.group,
+            c.bench,
+            c.n,
+            c.median_ns,
+            per_item,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+
+    // Human-readable echo for the CI log.
+    let mut table = Table::new(["group/bench", "n", "median_ns", "ns/item"]);
+    for c in &cells {
+        table.row([
+            format!("{}/{}", c.group, c.bench),
+            c.n.to_string(),
+            c.median_ns.to_string(),
+            format!("{:.3}", c.median_ns as f64 / c.n as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    eprintln!("wrote {out_path}");
+}

@@ -24,7 +24,7 @@ use crate::miner::MineResult;
 use crate::stats::MinerStats;
 use crate::tail::Dims;
 use crate::topk::TopK;
-use grm_graph::sort::{partition_in_place, SortScratch};
+use grm_graph::sort::{partition_in_place, PartitionArena};
 use grm_graph::{AttrValue, SingleTable, SocialGraph, NULL};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -294,7 +294,7 @@ fn buc_all_frequent<V: TableView>(
     if rows.is_empty() {
         return out;
     }
-    let mut scratch = SortScratch::new();
+    let mut scratch = PartitionArena::new();
     let mut pattern: Pattern = Vec::new();
     buc_rec(
         view,
@@ -318,7 +318,7 @@ fn buc_rec<V: TableView>(
     dim_start: usize,
     min_supp: u64,
     pattern: &mut Pattern,
-    scratch: &mut SortScratch,
+    scratch: &mut PartitionArena,
     out: &mut HashMap<Pattern, u64>,
     stats: &mut MinerStats,
 ) {

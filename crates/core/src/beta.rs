@@ -26,7 +26,7 @@
 //! for *every* β at once: `heff(β) = Σ_{mask ⊇ β} hist[mask]`.
 
 use crate::descriptor::NodeDescriptor;
-use grm_graph::sort::{partition_in_place, SortScratch};
+use grm_graph::sort::PartitionArena;
 use grm_graph::{AttrValue, NodeAttrId, Schema};
 
 /// Maximum number of node attributes supported by the bitmask
@@ -135,26 +135,44 @@ pub fn homophily_pairs(
 pub fn heff_table(
     snapshot: &mut [u32],
     pairs: &[(NodeAttrId, AttrValue)],
-    scratch: &mut SortScratch,
-    mut r_key: impl FnMut(u32, NodeAttrId) -> AttrValue,
+    arena: &mut PartitionArena,
+    r_key: impl FnMut(u32, NodeAttrId) -> AttrValue,
 ) -> Vec<u64> {
+    let mut table = Vec::new();
+    heff_table_into(snapshot, pairs, arena, &mut table, r_key);
+    table
+}
+
+/// [`heff_table`] into a caller-provided (pooled) buffer, so steady-state
+/// mining fills the β supports of an `l ∧ w` node without allocating.
+pub fn heff_table_into(
+    snapshot: &mut [u32],
+    pairs: &[(NodeAttrId, AttrValue)],
+    arena: &mut PartitionArena,
+    table: &mut Vec<u64>,
+    mut r_key: impl FnMut(u32, NodeAttrId) -> AttrValue,
+) {
     let k = pairs.len();
     assert!(
         k <= MAX_GROUPBY_ATTRS,
         "group-by over {k} homophily attributes exceeds {MAX_GROUPBY_ATTRS}"
     );
     let buckets = 1usize << k;
-    let parts = partition_in_place(snapshot, buckets, scratch, |p| {
-        let mut mask = 0u16;
-        for (i, &(a, v)) in pairs.iter().enumerate() {
-            mask |= u16::from(r_key(p, a) == v) << i;
-        }
-        mask
-    });
-    let mut table = vec![0u64; buckets];
-    for part in parts {
+    let frame = arena
+        .partition_with(snapshot, buckets, |p| {
+            let mut mask = 0u16;
+            for (i, &(a, v)) in pairs.iter().enumerate() {
+                mask |= u16::from(r_key(p, a) == v) << i;
+            }
+            mask
+        })
+        .expect("match masks lie below 2^|pairs| by construction");
+    table.clear();
+    table.resize(buckets, 0);
+    for part in arena.records(&frame) {
         table[part.value as usize] = part.len() as u64;
     }
+    arena.pop_frame(frame);
     // Superset sum: after sweeping bit i, table[m] counts positions whose
     // mask restricted to bits ≥ processed agrees with a superset of m.
     for i in 0..k {
@@ -165,7 +183,6 @@ pub fn heff_table(
             }
         }
     }
-    table
 }
 
 /// Compute β for the GR `l -w-> r` (Eqn. 4): homophily attributes
@@ -288,8 +305,8 @@ mod tests {
             _ => 0,
         };
         let mut snapshot: Vec<u32> = (0..12).collect();
-        let mut scratch = SortScratch::new();
-        let table = heff_table(&mut snapshot, &pairs, &mut scratch, r_key);
+        let mut arena = PartitionArena::new();
+        let table = heff_table(&mut snapshot, &pairs, &mut arena, r_key);
         assert_eq!(table.len(), 4);
         for (mask, &got) in table.iter().enumerate() {
             let expected = (0..12u32)

@@ -45,6 +45,11 @@ pub struct MinerConfig {
     /// most of Table IIb under Def. 5(2). Enumeration still visits
     /// empty-LHS subsets (Algorithm 1 line 3); only reporting is gated.
     pub allow_empty_lhs: bool,
+    /// Use the fused two-level partition passes (count a child's next
+    /// dimension while scattering its parent — `grm_graph::sort`). On by
+    /// default; outputs are bit-identical either way, so this knob exists
+    /// for the `fused_partition_off` ablation and debugging only.
+    pub fuse_partitions: bool,
 }
 
 impl Default for MinerConfig {
@@ -60,6 +65,7 @@ impl Default for MinerConfig {
             max_lhs: None,
             max_rhs: None,
             allow_empty_lhs: false,
+            fuse_partitions: true,
         }
     }
 }
@@ -116,6 +122,13 @@ impl MinerConfig {
         self
     }
 
+    /// Disable the fused two-level partition passes (the
+    /// `fused_partition_off` ablation; results are bit-identical).
+    pub fn without_fused_partitions(mut self) -> Self {
+        self.fuse_partitions = false;
+        self
+    }
+
     /// Switch the ranking metric, adjusting the trivial-GR policy to the
     /// metric's convention (suppressed only under nhp).
     pub fn with_metric(mut self, metric: RankMetric) -> Self {
@@ -136,6 +149,8 @@ mod tests {
         assert!(c.dynamic_topk);
         assert!(c.suppress_trivial);
         assert!(c.generality_filter);
+        assert!(c.fuse_partitions);
+        assert!(!c.without_fused_partitions().fuse_partitions);
     }
 
     #[test]

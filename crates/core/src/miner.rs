@@ -26,7 +26,7 @@
 //! gain the metric is anti-monotone unconditionally and pruning applies
 //! everywhere.
 
-use crate::beta::{beta, heff_table, homophily_pairs, BetaSet, MAX_GROUPBY_ATTRS, MAX_NODE_ATTRS};
+use crate::beta::{beta, heff_table_into, BetaSet, MAX_GROUPBY_ATTRS, MAX_NODE_ATTRS};
 use crate::config::MinerConfig;
 use crate::context::MiningContext;
 use crate::descriptor::{EdgeDescriptor, NodeDescriptor};
@@ -36,10 +36,36 @@ use crate::metrics::{MetricInputs, RankMetric};
 use crate::stats::MinerStats;
 use crate::tail::Dims;
 use crate::topk::TopK;
-use grm_graph::sort::{partition_in_place, SortScratch};
+use grm_graph::sort::{Frame, FusedHist, FusedLevel, PartitionArena};
 use grm_graph::{AttrValue, NodeAttrId, Schema, SocialGraph, NULL};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Cost model of the fused two-level passes (purely a heuristic — outputs
+/// are bit-identical regardless, and both inputs are deterministic across
+/// thread counts and task splitting).
+///
+/// A fused pass pays `buckets × next_buckets` histogram zeroing plus one
+/// extra columnar load and two stores per *parent* item; a child redeems
+/// that only if it survives `min_supp` pruning and actually runs its first
+/// pass. Two deterministic conditions gate fusion:
+///
+/// * the histogram must be small against the slice —
+///   `len × FUSE_COST_RATIO ≥ buckets × next_buckets`;
+/// * the *average* child (`len / buckets` items) must clear the support
+///   threshold — `len ≥ min_supp × buckets` — otherwise most of the
+///   pre-counts are thrown away with their pruned children (exactly what
+///   profiling showed on the high-pruning Pokec configs);
+/// * the parent must be narrow — `buckets ≤ FUSE_MAX_PARENT_BUCKETS` —
+///   because the fused scatter interleaves one extra write stream per
+///   parent partition (the scattered-order key cache): measured on the
+///   two-level micro, a 6-bucket parent fuses 14–29 % faster while a
+///   189-bucket parent (Pokec's `Region`) fuses ~40 % slower, so
+///   wide-domain passes stay unfused.
+const FUSE_COST_RATIO: usize = 4;
+
+/// Widest parent pass that fuses (see [`FUSE_COST_RATIO`] docs).
+const FUSE_MAX_PARENT_BUCKETS: usize = 64;
 
 /// Outcome of a mining run: the top-k GRs (best first) and instrumentation.
 #[derive(Debug, Clone)]
@@ -181,6 +207,27 @@ impl RootTask {
     }
 }
 
+/// All reusable mutable scratch of a mining run, movable between [`Run`]s
+/// so a parallel worker carries it across its tasks: the counting-sort
+/// [`PartitionArena`] plus pools for the per-`l∧w`-node buffers (edge-set
+/// snapshot, homophily pairs, β support table). Once warm, recursion
+/// nodes draw everything from here and allocate nothing.
+#[derive(Debug, Default)]
+pub(crate) struct MinerScratch {
+    arena: PartitionArena,
+    snapshots: Vec<Vec<u32>>,
+    pairs_bufs: Vec<Vec<(NodeAttrId, AttrValue)>>,
+    heff_tables: Vec<Vec<u64>>,
+}
+
+/// A pre-counted first-pass histogram handed to a child RIGHT chain by its
+/// parent's fused pass, tagged with the dimension it counted.
+#[derive(Clone, Copy)]
+struct PreCount {
+    hist: FusedHist,
+    dim: NodeAttrId,
+}
+
 /// Mutable state of one mining run (one root task in parallel mode).
 /// Everything immutable — the compact model, the canonical position set,
 /// the RHS marginal table — lives in the shared [`MiningContext`].
@@ -189,7 +236,7 @@ pub(crate) struct Run<'a, 'g> {
     schema: &'a Schema,
     dims: &'a Dims,
     cfg: &'a MinerConfig,
-    scratch: SortScratch,
+    scratch: MinerScratch,
     pub(crate) topk: TopK,
     generality: GeneralityIndex,
     pub(crate) stats: MinerStats,
@@ -214,7 +261,7 @@ impl<'a, 'g> Run<'a, 'g> {
             schema,
             dims,
             cfg,
-            scratch: SortScratch::new(),
+            scratch: MinerScratch::default(),
             topk: TopK::new(cfg.k),
             generality: GeneralityIndex::new(),
             stats: MinerStats::default(),
@@ -223,9 +270,18 @@ impl<'a, 'g> Run<'a, 'g> {
         }
     }
 
-    /// Recover the collected candidates (collect-mode runs).
-    pub(crate) fn into_collected(self) -> Vec<ScoredGr> {
-        self.collector.unwrap_or_default()
+    /// Adopt an already-warm [`MinerScratch`] (parallel workers reuse one
+    /// across all their tasks so only the first task pays the warm-up
+    /// allocations).
+    pub(crate) fn with_scratch(mut self, scratch: MinerScratch) -> Self {
+        self.scratch = scratch;
+        self
+    }
+
+    /// Recover the collected candidates and the warm scratch
+    /// (collect-mode runs).
+    pub(crate) fn into_collected_and_scratch(self) -> (Vec<ScoredGr>, MinerScratch) {
+        (self.collector.unwrap_or_default(), self.scratch)
     }
 
     /// Execute one top-level task over `data` (the full position set).
@@ -233,11 +289,18 @@ impl<'a, 'g> Run<'a, 'g> {
         let l0 = NodeDescriptor::empty();
         let w0 = EdgeDescriptor::empty();
         match task {
-            RootTask::Right => self.right_root(data, &l0, &w0),
+            RootTask::Right => self.right_root(data, &l0, &w0, None),
             RootTask::Edge(i) => self.edge_range(data, i..i + 1, &l0, &w0),
             RootTask::Left(i) => self.left_range(data, i..i + 1, &l0),
             RootTask::LeftValues { dim, lo, hi } => self.left_values_root(data, dim, lo, hi),
         }
+        // Record the arena high-water mark. A worker's arena persists
+        // across its tasks, so the value is monotone per worker; the
+        // cross-task merge takes the max either way.
+        self.stats.scratch_bytes_peak = self
+            .stats
+            .scratch_bytes_peak
+            .max(self.scratch.arena.peak_bytes() as u64);
     }
 
     /// Execute the partitions of top-level LHS dimension `i` whose value
@@ -270,6 +333,12 @@ impl<'a, 'g> Run<'a, 'g> {
 /// reachable β a subset of those attributes, so β ≠ ∅ implies a snapshot
 /// exists; [`Run::heff`] degrades to an empty support (debug-asserting)
 /// rather than panicking if that invariant is ever violated.
+///
+/// The owned buffers (`pairs`, `edges`, `table`) are drawn from the
+/// [`MinerScratch`] pools by [`Run::right_root`] and returned there when
+/// the chain finishes, so steady-state `l ∧ w` nodes allocate nothing
+/// (the `memo` map is used — and allocates — only on the wide-LHS
+/// fallback path).
 struct LwContext {
     /// The LHS homophily conditions `H_l` — group-by dimensions for heff.
     pairs: Vec<(NodeAttrId, AttrValue)>,
@@ -282,18 +351,6 @@ struct LwContext {
     /// Per-β memo for the wide-LHS fallback path
     /// (`pairs.len() > MAX_GROUPBY_ATTRS`).
     memo: HashMap<u64, u64>,
-}
-
-impl LwContext {
-    fn new(data: &[u32], pairs: Vec<(NodeAttrId, AttrValue)>) -> Self {
-        LwContext {
-            edges: (!pairs.is_empty()).then(|| data.to_vec()),
-            supp_lw: data.len() as u64,
-            table: None,
-            memo: HashMap::new(),
-            pairs,
-        }
-    }
 }
 
 impl<'a, 'g> Run<'a, 'g> {
@@ -328,8 +385,16 @@ impl<'a, 'g> Run<'a, 'g> {
         let model = self.ctx.model();
         let d = self.dims.l[i];
         let buckets = self.schema.node_attr(d).bucket_count();
-        let parts = partition_in_place(data, buckets, &mut self.scratch, |p| model.l_key(p, d));
-        for part in parts {
+        let col = model.l_col(d);
+        // Every child's first pass partitions the same dimension — the
+        // first dynamic RHS dimension for the child's LHS mask, which
+        // does not depend on the partition value — so fuse its counting
+        // into this scatter.
+        let child_mask = l.attrs().fold(0u64, |m, a| m | (1u64 << a.0)) | (1u64 << d.0);
+        let fuse = self.right_fuse_target(child_mask, data.len(), buckets);
+        let (frame, level) = self.partition_pass(data, buckets, col, None, fuse);
+        for idx in frame.indices() {
+            let part = self.scratch.arena.record(idx);
             if part.value == NULL {
                 continue;
             }
@@ -342,11 +407,19 @@ impl<'a, 'g> Run<'a, 'g> {
                 continue;
             }
             let l2 = l.with(d, part.value);
-            let sub = &mut data[part.range.clone()];
-            self.right_root(sub, &l2, &EdgeDescriptor::empty());
+            let pre = level.map(|(lvl, nd)| PreCount {
+                hist: self.scratch.arena.child_hist(lvl, part),
+                dim: nd,
+            });
+            let sub = &mut data[part.range()];
+            self.right_root(sub, &l2, &EdgeDescriptor::empty(), pre);
             self.edge(sub, self.dims.w.len(), &l2, &EdgeDescriptor::empty());
             self.left(sub, i, &l2);
         }
+        if let Some((lvl, _)) = level {
+            self.scratch.arena.pop_fused(lvl);
+        }
+        self.scratch.arena.pop_frame(frame);
     }
 
     /// `EDGE(data, Tail)`: partition on each edge dimension in the tail;
@@ -369,11 +442,17 @@ impl<'a, 'g> Run<'a, 'g> {
         w: &EdgeDescriptor,
     ) {
         let model = self.ctx.model();
+        let l_mask = l.attrs().fold(0u64, |m, a| m | (1u64 << a.0));
         for i in range {
             let d = self.dims.w[i];
             let buckets = self.schema.edge_attr(d).bucket_count();
-            let parts = partition_in_place(data, buckets, &mut self.scratch, |p| model.w_key(p, d));
-            for part in parts {
+            let col = model.w_col(d);
+            // Children keep this LHS, so each enters its RIGHT chain on
+            // the same first dynamic dimension: fuse its counting here.
+            let fuse = self.right_fuse_target(l_mask, data.len(), buckets);
+            let (frame, level) = self.partition_pass(data, buckets, col, None, fuse);
+            for idx in frame.indices() {
+                let part = self.scratch.arena.record(idx);
                 if part.value == NULL {
                     continue;
                 }
@@ -383,31 +462,162 @@ impl<'a, 'g> Run<'a, 'g> {
                     continue;
                 }
                 let w2 = w.with(d, part.value);
-                let sub = &mut data[part.range.clone()];
-                self.right_root(sub, l, &w2);
+                let pre = level.map(|(lvl, nd)| PreCount {
+                    hist: self.scratch.arena.child_hist(lvl, part),
+                    dim: nd,
+                });
+                let sub = &mut data[part.range()];
+                self.right_root(sub, l, &w2, pre);
                 self.edge(sub, i, l, &w2);
             }
+            if let Some((lvl, _)) = level {
+                self.scratch.arena.pop_fused(lvl);
+            }
+            self.scratch.arena.pop_frame(frame);
         }
     }
 
     /// Entry into a RIGHT chain for a fixed `l ∧ w`: snapshot the edge set
     /// for homophily-effect counting, fix the dynamic RHS order (Eqn. 8)
-    /// for the whole subtree, and recurse.
-    fn right_root(&mut self, data: &mut [u32], l: &NodeDescriptor, w: &EdgeDescriptor) {
+    /// for the whole subtree, and recurse. All per-node buffers come from
+    /// the [`MinerScratch`] pools (and the RHS order lives on the stack),
+    /// so a steady-state `l ∧ w` node allocates nothing here.
+    fn right_root(
+        &mut self,
+        data: &mut [u32],
+        l: &NodeDescriptor,
+        w: &EdgeDescriptor,
+        pre: Option<PreCount>,
+    ) {
         let l_mask = l.attrs().fold(0u64, |m, a| m | (1u64 << a.0));
-        let pairs = homophily_pairs(l, |a| self.dims.is_homophily(a));
-        let mut ctx = LwContext::new(data, pairs);
-        let r_order = self.dims.r_order(l_mask);
-        let len = r_order.len();
+        // Pooled H_l buffer — the homophily conditions of the LHS.
+        let mut pairs = self.scratch.pairs_bufs.pop().unwrap_or_default();
+        pairs.clear();
+        pairs.extend(
+            l.pairs()
+                .iter()
+                .copied()
+                .filter(|&(a, _)| self.dims.is_homophily(a)),
+        );
+        // Pooled l∧w snapshot, taken exactly when H_l is non-empty (the
+        // LwContext construction invariant).
+        let edges = if pairs.is_empty() {
+            None
+        } else {
+            let mut snap = self.scratch.snapshots.pop().unwrap_or_default();
+            snap.clear();
+            snap.extend_from_slice(data);
+            Some(snap)
+        };
+        let mut ctx = LwContext {
+            supp_lw: data.len() as u64,
+            table: None,
+            memo: HashMap::new(),
+            pairs,
+            edges,
+        };
+        let mut r_buf = [NodeAttrId(0); MAX_NODE_ATTRS];
+        let len = self.dims.r_order_into(l_mask, &mut r_buf);
         self.right(
             &mut ctx,
             data,
-            &r_order,
+            &r_buf[..len],
             len,
             l,
             w,
             &NodeDescriptor::empty(),
+            pre,
         );
+        // Return the pooled buffers for the next l∧w node.
+        let LwContext {
+            pairs,
+            edges,
+            table,
+            ..
+        } = ctx;
+        self.scratch.pairs_bufs.push(pairs);
+        if let Some(snap) = edges {
+            self.scratch.snapshots.push(snap);
+        }
+        if let Some(t) = table {
+            self.scratch.heff_tables.push(t);
+        }
+    }
+
+    /// The fused-pass target for children entering a RIGHT chain with LHS
+    /// mask `child_mask`: the first dynamic RHS dimension (Eqn. 8), when
+    /// fusion is on, the children may recurse at all, and the slice is
+    /// large enough for the fused histogram to pay for itself.
+    fn right_fuse_target(
+        &self,
+        child_mask: u64,
+        len: usize,
+        buckets: usize,
+    ) -> Option<(NodeAttrId, usize)> {
+        if self.cfg.max_rhs == Some(0) {
+            return None;
+        }
+        let d = self.dims.r_order_first(child_mask)?;
+        self.fuse_with(d, len, buckets)
+    }
+
+    /// Apply the fused-pass cost model ([`FUSE_COST_RATIO`]) to next
+    /// dimension `d` for a pass over `len` items with `buckets` buckets.
+    fn fuse_with(&self, d: NodeAttrId, len: usize, buckets: usize) -> Option<(NodeAttrId, usize)> {
+        if !self.cfg.fuse_partitions || buckets > FUSE_MAX_PARENT_BUCKETS {
+            return None;
+        }
+        // Average child must survive min_supp, or the pre-counts die with
+        // their pruned children (see FUSE_COST_RATIO docs).
+        if (len as u64) < self.cfg.min_supp.saturating_mul(buckets as u64) {
+            return None;
+        }
+        let nb = self.schema.node_attr(d).bucket_count();
+        (len * FUSE_COST_RATIO >= buckets * nb).then_some((d, nb))
+    }
+
+    /// One counting-sort pass of the mining recursion through the arena:
+    /// pre-counted when the parent fused this dimension, fused when
+    /// `fuse` names the children's next dimension, plain otherwise.
+    /// Returns the record frame and the produced fused level (if any);
+    /// the caller pops both after its partition loop.
+    fn partition_pass(
+        &mut self,
+        data: &mut [u32],
+        buckets: usize,
+        col: &[AttrValue],
+        pre: Option<PreCount>,
+        fuse: Option<(NodeAttrId, usize)>,
+    ) -> (Frame, Option<(FusedLevel, NodeAttrId)>) {
+        self.stats.partition_passes += 1;
+        if let Some(p) = pre {
+            debug_assert!(fuse.is_none(), "a first pass has no child tail to fuse");
+            self.stats.fused_passes += 1;
+            let frame = self
+                .scratch
+                .arena
+                .partition_pre_counted(data, buckets, p.hist);
+            return (frame, None);
+        }
+        match fuse {
+            Some((nd, nb)) => {
+                let next_col = self.ctx.model().r_col(nd);
+                let (frame, level) = self
+                    .scratch
+                    .arena
+                    .partition_col_fused(data, buckets, col, next_col, nb)
+                    .expect("schema-validated keys fit their bucket counts");
+                (frame, Some((level, nd)))
+            }
+            None => {
+                let frame = self
+                    .scratch
+                    .arena
+                    .partition_col(data, buckets, col)
+                    .expect("schema-validated keys fit their bucket counts");
+                (frame, None)
+            }
+        }
     }
 
     /// `RIGHT(data, Tail)` (lines 22–29): partition on each RHS dimension,
@@ -422,6 +632,7 @@ impl<'a, 'g> Run<'a, 'g> {
         l: &NodeDescriptor,
         w: &EdgeDescriptor,
         r: &NodeDescriptor,
+        mut pre: Option<PreCount>,
     ) {
         if self.cfg.max_rhs.is_some_and(|m| r.len() >= m) {
             return;
@@ -430,8 +641,23 @@ impl<'a, 'g> Run<'a, 'g> {
         for i in 0..r_tail_len {
             let d = r_order[i];
             let buckets = self.schema.node_attr(d).bucket_count();
-            let parts = partition_in_place(data, buckets, &mut self.scratch, |p| model.r_key(p, d));
-            for part in parts {
+            let col = model.r_col(d);
+            // The parent pre-counted exactly our first pass (i = 0);
+            // children of iteration i partition `r_order[0]` first (their
+            // tail is the prefix `0..i`), so fuse that dimension when a
+            // child can exist (i ≥ 1) and may recurse under `max_rhs`.
+            let pass_pre = if i == 0 { pre.take() } else { None };
+            if let Some(p) = &pass_pre {
+                debug_assert_eq!(p.dim, d, "pre-counted histogram dimension mismatch");
+            }
+            let fuse = if i >= 1 && self.cfg.max_rhs.is_none_or(|m| r.len() + 1 < m) {
+                self.fuse_with(r_order[0], data.len(), buckets)
+            } else {
+                None
+            };
+            let (frame, level) = self.partition_pass(data, buckets, col, pass_pre, fuse);
+            for idx in frame.indices() {
+                let part = self.scratch.arena.record(idx);
                 if part.value == NULL {
                     continue;
                 }
@@ -522,9 +748,17 @@ impl<'a, 'g> Run<'a, 'g> {
                     }
                 }
 
-                let sub = &mut data[part.range.clone()];
-                self.right(ctx, sub, r_order, i, l, w, &r2);
+                let child_pre = level.map(|(lvl, nd)| PreCount {
+                    hist: self.scratch.arena.child_hist(lvl, part),
+                    dim: nd,
+                });
+                let sub = &mut data[part.range()];
+                self.right(ctx, sub, r_order, i, l, w, &r2, child_pre);
             }
+            if let Some((lvl, _)) = level {
+                self.scratch.arena.pop_fused(lvl);
+            }
+            self.scratch.arena.pop_frame(frame);
         }
     }
 
@@ -540,7 +774,7 @@ impl<'a, 'g> Run<'a, 'g> {
         }
         if ctx.table.is_none() {
             let Some(edges) = ctx.edges.as_mut() else {
-                // LwContext::new snapshots exactly when the LHS constrains
+                // `right_root` snapshots exactly when the LHS constrains
                 // a homophily attribute, and Eqn. 4 keeps every β inside
                 // that set — so this is unreachable from the enumeration.
                 // Degrade to an empty homophily effect over panicking.
@@ -548,10 +782,17 @@ impl<'a, 'g> Run<'a, 'g> {
                 return 0;
             };
             self.stats.heff_scans += 1;
+            self.stats.partition_passes += 1;
             let model = self.ctx.model();
-            ctx.table = Some(heff_table(edges, &ctx.pairs, &mut self.scratch, |p, a| {
-                model.r_key(p, a)
-            }));
+            let mut table = self.scratch.heff_tables.pop().unwrap_or_default();
+            heff_table_into(
+                edges,
+                &ctx.pairs,
+                &mut self.scratch.arena,
+                &mut table,
+                |p, a| model.r_key(p, a),
+            );
+            ctx.table = Some(table);
         }
         let table = ctx.table.as_ref().expect("filled above");
         match b.local_mask(&ctx.pairs) {

@@ -32,6 +32,22 @@ pub struct MinerStats {
     /// one scan per node reaching a non-empty β (on the wide-LHS fallback
     /// path it counts per-β memo misses, as before).
     pub heff_scans: u64,
+    /// Counting-sort partition passes over an edge-position slice
+    /// (LEFT/EDGE/RIGHT dimensions plus β group-by passes). A *work*
+    /// counter, not a semantic one: the parallel miner's value-chunk
+    /// splitting legitimately repeats top-level passes, so this varies
+    /// with threading while [`MinerStats::semantic`] stays fixed.
+    pub partition_passes: u64,
+    /// Partition passes that consumed a histogram pre-counted by their
+    /// parent's fused two-level pass, skipping their own counting phase
+    /// (one memory pass over the slice instead of two). Always ≤
+    /// `partition_passes`; zero with `MinerConfig::fuse_partitions` off.
+    pub fused_passes: u64,
+    /// High-water mark, in bytes, of the partition arena's owned scratch
+    /// (`grm_graph::sort::PartitionArena::peak_bytes`). Stable across
+    /// repeated identical runs — the zero-allocation guarantee made
+    /// observable. Merged with `max`.
+    pub scratch_bytes_peak: u64,
     /// Wall-clock time of the run.
     #[serde(with = "duration_serde")]
     pub elapsed: Duration,
@@ -49,7 +65,25 @@ impl MinerStats {
         self.rejected_generality += other.rejected_generality;
         self.accepted += other.accepted;
         self.heff_scans += other.heff_scans;
+        self.partition_passes += other.partition_passes;
+        self.fused_passes += other.fused_passes;
+        self.scratch_bytes_peak = self.scratch_bytes_peak.max(other.scratch_bytes_peak);
         self.elapsed = self.elapsed.max(other.elapsed);
+    }
+
+    /// Copy with the machine-level instrumentation cleared (`elapsed`,
+    /// `partition_passes`, `fused_passes`, `scratch_bytes_peak`), leaving
+    /// only the *semantic* counters — the ones that must be bit-identical
+    /// across execution strategies (thread counts, dominant-task
+    /// splitting, fused vs unfused passes) for the same enumeration.
+    pub fn semantic(&self) -> MinerStats {
+        MinerStats {
+            partition_passes: 0,
+            fused_passes: 0,
+            scratch_bytes_peak: 0,
+            elapsed: Duration::ZERO,
+            ..self.clone()
+        }
     }
 }
 
@@ -57,7 +91,7 @@ impl std::fmt::Display for MinerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "partitions={} grs={} pruned_supp={} pruned_score={} trivial={} general={} accepted={} heff_scans={} elapsed={:?}",
+            "partitions={} grs={} pruned_supp={} pruned_score={} trivial={} general={} accepted={} heff_scans={} passes={} fused={} scratch_peak={} elapsed={:?}",
             self.partitions_examined,
             self.grs_examined,
             self.pruned_by_supp,
@@ -66,6 +100,9 @@ impl std::fmt::Display for MinerStats {
             self.rejected_generality,
             self.accepted,
             self.heff_scans,
+            self.partition_passes,
+            self.fused_passes,
+            self.scratch_bytes_peak,
             self.elapsed
         )
     }
@@ -112,6 +149,46 @@ mod tests {
         assert_eq!(a.grs_examined, 3);
         assert_eq!(a.pruned_by_supp, 2);
         assert_eq!(a.elapsed, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn merge_adds_passes_and_maxes_peak() {
+        let mut a = MinerStats {
+            partition_passes: 10,
+            fused_passes: 4,
+            scratch_bytes_peak: 1000,
+            ..Default::default()
+        };
+        let b = MinerStats {
+            partition_passes: 5,
+            fused_passes: 1,
+            scratch_bytes_peak: 800,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.partition_passes, 15);
+        assert_eq!(a.fused_passes, 5);
+        assert_eq!(a.scratch_bytes_peak, 1000, "peak merges with max");
+    }
+
+    #[test]
+    fn semantic_clears_only_instrumentation() {
+        let s = MinerStats {
+            grs_examined: 7,
+            accepted: 3,
+            partition_passes: 99,
+            fused_passes: 12,
+            scratch_bytes_peak: 4096,
+            elapsed: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let sem = s.semantic();
+        assert_eq!(sem.grs_examined, 7);
+        assert_eq!(sem.accepted, 3);
+        assert_eq!(sem.partition_passes, 0);
+        assert_eq!(sem.fused_passes, 0);
+        assert_eq!(sem.scratch_bytes_peak, 0);
+        assert_eq!(sem.elapsed, Duration::ZERO);
     }
 
     #[test]

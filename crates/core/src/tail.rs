@@ -100,21 +100,55 @@ impl Dims {
     /// LHS) is placed *last* so that — children receiving prefix tails —
     /// its values are the first added to any RHS within the subtree.
     pub fn r_order(&self, l_mask: u64) -> Vec<NodeAttrId> {
-        let mut nh = Vec::new();
-        let mut h1 = Vec::new();
-        let mut h2 = Vec::new();
+        let mut buf = [NodeAttrId(0); crate::beta::MAX_NODE_ATTRS];
+        let n = self.r_order_into(l_mask, &mut buf);
+        buf[..n].to_vec()
+    }
+
+    /// [`Dims::r_order`] into a caller-provided buffer (at least
+    /// `r_static.len()` long — [`crate::beta::MAX_NODE_ATTRS`] always
+    /// suffices), returning the order's length. The miner uses this with a
+    /// stack array so entering a RIGHT chain allocates nothing.
+    pub fn r_order_into(&self, l_mask: u64, out: &mut [NodeAttrId]) -> usize {
+        let mut n = 0;
         for &a in &self.r_static {
             if !self.is_homophily(a) {
-                nh.push(a);
-            } else if l_mask & (1u64 << a.0) != 0 {
-                h2.push(a);
-            } else {
-                h1.push(a);
+                out[n] = a;
+                n += 1;
             }
         }
-        nh.extend(h1);
-        nh.extend(h2);
-        nh
+        for &a in &self.r_static {
+            if self.is_homophily(a) && l_mask & (1u64 << a.0) == 0 {
+                out[n] = a;
+                n += 1;
+            }
+        }
+        for &a in &self.r_static {
+            if self.is_homophily(a) && l_mask & (1u64 << a.0) != 0 {
+                out[n] = a;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// First dimension of [`Dims::r_order`] without materializing the
+    /// order — the dimension a child RIGHT chain will partition first,
+    /// i.e. the target of the miner's fused two-level passes.
+    pub fn r_order_first(&self, l_mask: u64) -> Option<NodeAttrId> {
+        let mut h1 = None;
+        let mut h2 = None;
+        for &a in &self.r_static {
+            if !self.is_homophily(a) {
+                return Some(a);
+            }
+            if l_mask & (1u64 << a.0) == 0 {
+                h1 = h1.or(Some(a));
+            } else {
+                h2 = h2.or(Some(a));
+            }
+        }
+        h1.or(h2)
     }
 }
 
@@ -178,6 +212,31 @@ mod tests {
             d.r_order(mask),
             vec![NodeAttrId(2), NodeAttrId(1), NodeAttrId(0)]
         );
+    }
+
+    #[test]
+    fn r_order_first_agrees_with_r_order() {
+        let d = Dims::all(&schema());
+        for mask in 0u64..8 {
+            assert_eq!(
+                d.r_order_first(mask),
+                d.r_order(mask).first().copied(),
+                "mask {mask:#b}"
+            );
+        }
+        // Homophily-only dimension set: the H1/H2 fallback chain.
+        let s = SchemaBuilder::new()
+            .node_attr("A", 3, true)
+            .node_attr("B", 3, true)
+            .build()
+            .unwrap();
+        let d = Dims::all(&s);
+        for mask in 0u64..4 {
+            assert_eq!(d.r_order_first(mask), d.r_order(mask).first().copied());
+        }
+        // Empty dimension set.
+        let empty = Dims::subset(&s, &[], &[]);
+        assert_eq!(empty.r_order_first(0), None);
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub enum GraphError {
     TooManyEdges { edges: usize, max: usize },
     /// A self-loop was supplied while the builder forbids them.
     SelfLoop { node: u32 },
+    /// A partition pass saw a key at or beyond its declared bucket count
+    /// (see [`crate::sort::PartitionArena`]). Checked in release builds:
+    /// an unchecked oversized key would silently corrupt the histogram.
+    KeyOutOfRange { key: u16, bucket_count: usize },
     /// Unknown attribute or value name in a lookup.
     UnknownName { name: String },
     /// Malformed input while parsing a serialized graph.
@@ -84,6 +88,10 @@ impl fmt::Display for GraphError {
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} rejected by builder policy")
             }
+            GraphError::KeyOutOfRange { key, bucket_count } => write!(
+                f,
+                "partition key {key} out of range for {bucket_count} buckets"
+            ),
             GraphError::UnknownName { name } => {
                 write!(f, "unknown attribute or value name `{name}`")
             }

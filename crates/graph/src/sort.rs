@@ -1,21 +1,60 @@
-//! Counting-sort partitioning.
+//! Counting-sort partitioning — the zero-allocation fused engine.
 //!
 //! GRMiner (§V) "adopts a linear sorting method, Counting Sort, to sort and
 //! get the aggregate of each partition. It sorts in O(N) time without any
-//! key comparisons." This module provides exactly that primitive: given a
-//! slice of item ids and a key function mapping each id to an attribute
-//! value in `0..=domain_size`, it reorders the slice so that items with
-//! equal keys are contiguous and returns the `(value, range)` partitions.
+//! key comparisons." This module provides that primitive as a
+//! [`PartitionArena`]: one object owning **all** scratch of the mining
+//! recursion — the bucket histogram, the per-item key cache, the scatter
+//! buffer, a partition-record stack with [`Frame`]-based windows, and a
+//! stack of *fused* child histograms — so that once the arena has warmed up
+//! to the workload's sizes, a partition pass performs **zero heap
+//! allocations**, however deep the recursion (`arena_alloc.rs` asserts this
+//! with a counting allocator).
 //!
-//! The sort is **stable** (scatter in scan order), which keeps partition
+//! Every pass is **stable** (scatter in scan order), which keeps partition
 //! contents deterministic across runs — important because the paper's rank
 //! (Def. 5) breaks ties alphabetically and our tests pin exact outputs.
+//!
+//! ### Frames
+//!
+//! Partition records are pushed onto an internal stack and addressed by a
+//! [`Frame`] of plain indices, so a recursive caller can copy one
+//! [`PartRec`] out ([`PartitionArena::record`] — records are `Copy`),
+//! recurse into its sub-slice (the recursion pushes and pops its own
+//! frames above), and finally release the level with
+//! [`PartitionArena::pop_frame`]. Nothing borrows the arena across the
+//! recursion, and no `Vec<Partition>` is returned on the hot path.
+//!
+//! ### Fused two-level passes
+//!
+//! The mining recursion almost always knows which dimension a child will
+//! partition next (the first dynamic RHS dimension — Eqn. 8). A *fused*
+//! pass ([`PartitionArena::partition_col_fused`]) therefore, while
+//! scattering the parent's partitions, (1) builds the histogram of the
+//! **next** dimension for every child at once and (2) caches each item's
+//! next-dimension key *in scattered order*. The child consumes both with
+//! [`PartitionArena::partition_pre_counted`]: no counting phase and **no
+//! column gathers at all** — its keys stream sequentially out of the
+//! parent's cache — one memory pass over the child data instead of two,
+//! with the random column loads paid once instead of twice. Outputs are
+//! bit-identical to the unfused pass: a histogram is order-independent,
+//! and the scatter order is unchanged.
+//!
+//! ### Errors
+//!
+//! A key at or beyond `bucket_count` is a **checked error in release
+//! builds** ([`GraphError::KeyOutOfRange`]) — not a `debug_assert!` — since
+//! an oversized key would otherwise corrupt the histogram (or, with the
+//! legacy [`partition_in_place`] wrapper, panic). On error the arena rolls
+//! its state back and stays usable.
 
+use crate::error::{GraphError, Result};
 use crate::value::AttrValue;
 use std::ops::Range;
 
-/// One partition produced by [`partition_in_place`]: all items whose key is
-/// `value` occupy `range` within the reordered slice.
+/// One partition produced by the legacy [`partition_in_place`] wrapper:
+/// all items whose key is `value` occupy `range` within the reordered
+/// slice. Hot paths use the arena's [`PartRec`] records instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     /// The shared key value of the partition.
@@ -37,83 +76,542 @@ impl Partition {
     }
 }
 
-/// Reusable scratch space for [`partition_in_place`], so the mining
-/// recursion performs no per-call allocations beyond its first use at each
-/// size (the "workhorse collection" idiom).
-#[derive(Debug, Default, Clone)]
-pub struct SortScratch {
-    counts: Vec<u32>,
-    buffer: Vec<u32>,
+/// One partition record on the arena's stack: items whose key is `value`
+/// occupy `start..end` of the partitioned slice. `Copy`, so recursive
+/// callers lift it out of the arena before descending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartRec {
+    /// The shared key value of the partition.
+    pub value: AttrValue,
+    start: u32,
+    end: u32,
 }
 
-impl SortScratch {
-    /// Fresh, empty scratch space.
-    pub fn new() -> Self {
-        Self::default()
+impl PartRec {
+    /// The index range within the partitioned slice.
+    pub fn range(&self) -> Range<usize> {
+        self.start as usize..self.end as usize
+    }
+
+    /// Number of items in the partition (never zero as emitted).
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the partition is empty (never true as emitted).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
     }
 }
 
-/// Stable counting sort of `data` by `key`, in place, using `scratch`.
+/// A window of partition records on the arena's stack, produced by one
+/// pass. Plain indices — nothing borrows the arena — so the holder can
+/// recurse freely and must release the window with
+/// [`PartitionArena::pop_frame`] when the level is done.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    start: u32,
+    end: u32,
+}
+
+impl Frame {
+    /// Record indices of this frame, for [`PartitionArena::record`].
+    pub fn indices(&self) -> Range<u32> {
+        self.start..self.end
+    }
+
+    /// Number of (non-empty) partitions the pass produced.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the pass produced no partitions (empty input).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Handle to one level of fused child histograms plus the scattered-order
+/// next-key cache, returned by [`PartitionArena::partition_col_fused`].
+/// Addresses `parent_buckets × next_buckets` counters and `len` cached
+/// keys on the arena's fused stacks; release with
+/// [`PartitionArena::pop_fused`] after the partition loop.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedLevel {
+    base: usize,
+    keys_base: usize,
+    len: usize,
+    parent_buckets: u32,
+    next_buckets: u32,
+}
+
+/// One child partition's pre-counted histogram and key-cache window,
+/// carved out of a [`FusedLevel`] by [`PartitionArena::child_hist`].
+/// Consumed (destroyed) by [`PartitionArena::partition_pre_counted`].
+#[derive(Debug, Clone, Copy)]
+pub struct FusedHist {
+    offset: usize,
+    keys_at: usize,
+    buckets: usize,
+}
+
+impl FusedHist {
+    /// Bucket count the histogram was counted for — the consuming pass
+    /// must use the same.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+}
+
+/// All scratch of the counting-sort partition layer (module docs): bucket
+/// histogram, key cache, scatter buffer, partition-record stack, fused
+/// child-histogram stack. Buffers only ever grow; steady-state passes
+/// allocate nothing. [`PartitionArena::peak_bytes`] reports the high-water
+/// mark (the `scratch_bytes_peak` miner counter).
+///
+/// Internal invariant: `counts` is all-zeros between passes — each pass
+/// re-zeroes exactly the buckets it touched while emitting records, so a
+/// pass costs `O(n + bucket_count)` without a full clear of the largest
+/// histogram ever seen.
+#[derive(Debug, Default, Clone)]
+pub struct PartitionArena {
+    /// Bucket histogram, then (in place) prefix offsets, then cursors.
+    counts: Vec<u32>,
+    /// Per-item key cache: each key function / column load runs once.
+    keys: Vec<AttrValue>,
+    /// Scatter buffer (copied back into the caller's slice — stable).
+    scatter: Vec<u32>,
+    /// The partition-record stack, windowed by [`Frame`]s.
+    records: Vec<PartRec>,
+    /// The fused child-histogram stack, windowed by [`FusedLevel`]s.
+    fused: Vec<u32>,
+    fused_top: usize,
+    /// Scattered-order next-key cache per fused level (same discipline).
+    fused_keys: Vec<AttrValue>,
+    fused_keys_top: usize,
+    peak: usize,
+}
+
+impl PartitionArena {
+    /// Fresh, empty arena (no allocations until the first pass).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stable counting-sort pass keyed by a closure. Used where the key is
+    /// computed (the β group-by match mask); columnar passes should prefer
+    /// [`PartitionArena::partition_col`].
+    pub fn partition_with<K>(
+        &mut self,
+        data: &mut [u32],
+        bucket_count: usize,
+        mut key: K,
+    ) -> Result<Frame>
+    where
+        K: FnMut(u32) -> AttrValue,
+    {
+        self.prepare(data.len(), bucket_count);
+        let counts = &mut self.counts[..bucket_count];
+        for (i, &id) in data.iter().enumerate() {
+            let k = key(id);
+            if (k as usize) >= bucket_count {
+                return Err(self.count_failed(k, bucket_count));
+            }
+            counts[k as usize] += 1;
+            self.keys[i] = k;
+        }
+        let frame = self.scatter_and_emit(data, bucket_count);
+        self.note_peak();
+        Ok(frame)
+    }
+
+    /// Stable counting-sort pass over a contiguous key column: item `id`'s
+    /// key is `col[id]` (one indexed load — the miner's columnar caches).
+    /// The counting loop is chunked so the eight gather loads of a chunk
+    /// issue independently of the histogram increments.
+    pub fn partition_col(
+        &mut self,
+        data: &mut [u32],
+        bucket_count: usize,
+        col: &[AttrValue],
+    ) -> Result<Frame> {
+        self.prepare(data.len(), bucket_count);
+        self.count_col(data, bucket_count, col)?;
+        let frame = self.scatter_and_emit(data, bucket_count);
+        self.note_peak();
+        Ok(frame)
+    }
+
+    /// Fused two-level pass (module docs): partition `data` by `col` and,
+    /// while scattering, count each child partition's histogram over
+    /// `next_col` **and** cache each item's next key in scattered order,
+    /// into a fresh [`FusedLevel`]. Children consume both via
+    /// [`PartitionArena::child_hist`] +
+    /// [`PartitionArena::partition_pre_counted`]; the caller pops the
+    /// level with [`PartitionArena::pop_fused`] after its partition loop.
+    pub fn partition_col_fused(
+        &mut self,
+        data: &mut [u32],
+        bucket_count: usize,
+        col: &[AttrValue],
+        next_col: &[AttrValue],
+        next_buckets: usize,
+    ) -> Result<(Frame, FusedLevel)> {
+        if next_buckets == 0 && !data.is_empty() {
+            return Err(GraphError::KeyOutOfRange {
+                key: next_col.get(data[0] as usize).copied().unwrap_or(0),
+                bucket_count: 0,
+            });
+        }
+        self.prepare(data.len(), bucket_count);
+        self.count_col(data, bucket_count, col)?;
+        let n = data.len();
+        // Push a zeroed histogram level and an (uninitialized — every
+        // slot is written exactly once) next-key level.
+        let base = self.fused_top;
+        let size = bucket_count * next_buckets;
+        if self.fused.len() < base + size {
+            self.fused.resize(base + size, 0);
+        }
+        self.fused[base..base + size].fill(0);
+        self.fused_top = base + size;
+        let keys_base = self.fused_keys_top;
+        if self.fused_keys.len() < keys_base + n {
+            self.fused_keys.resize(keys_base + n, 0);
+        }
+        self.fused_keys_top = keys_base + n;
+        // Prefix offsets, then scatter while counting and caching the
+        // next dimension. Slice-local views keep the hot loop's bounds
+        // arithmetic simple; the key-range check is branchless (clamp +
+        // sticky flag) so it never breaks the loop's pipelining — the
+        // cold rollback below discards anything a clamped key touched.
+        self.prefix(bucket_count);
+        let mut bad = false;
+        {
+            let counts = &mut self.counts[..bucket_count];
+            let keys = &self.keys[..n];
+            let scatter = &mut self.scatter[..n];
+            let fused = &mut self.fused[base..base + size];
+            let fused_keys = &mut self.fused_keys[keys_base..keys_base + n];
+            let clamp = next_buckets.saturating_sub(1);
+            for i in 0..n {
+                let id = data[i];
+                let k = keys[i] as usize;
+                let dst = counts[k] as usize;
+                counts[k] += 1;
+                scatter[dst] = id;
+                let nk = next_col[id as usize] as usize;
+                bad |= nk > clamp;
+                let nk = nk.min(clamp);
+                fused[k * next_buckets + nk] += 1;
+                fused_keys[dst] = nk as AttrValue;
+            }
+        }
+        if bad {
+            // Roll back: cursors are dirty and the level is garbage.
+            let key = data
+                .iter()
+                .map(|&id| next_col[id as usize])
+                .find(|&nk| nk as usize >= next_buckets)
+                .expect("a key beyond the clamp set the flag");
+            self.counts.iter_mut().for_each(|c| *c = 0);
+            self.fused_top = base;
+            self.fused_keys_top = keys_base;
+            return Err(GraphError::KeyOutOfRange {
+                key,
+                bucket_count: next_buckets,
+            });
+        }
+        data.copy_from_slice(&self.scatter[..n]);
+        let frame = self.emit_records(bucket_count);
+        self.note_peak();
+        Ok((
+            frame,
+            FusedLevel {
+                base,
+                keys_base,
+                len: n,
+                parent_buckets: bucket_count as u32,
+                next_buckets: next_buckets as u32,
+            },
+        ))
+    }
+
+    /// The pre-counted histogram and key-cache window of one child
+    /// partition (`part`, a record of the pass that produced `level`).
+    pub fn child_hist(&self, level: FusedLevel, part: PartRec) -> FusedHist {
+        debug_assert!((part.value as u32) < level.parent_buckets);
+        debug_assert!(part.end as usize <= level.len, "record outside level");
+        FusedHist {
+            offset: level.base + part.value as usize * level.next_buckets as usize,
+            keys_at: level.keys_base + part.start as usize,
+            buckets: level.next_buckets as usize,
+        }
+    }
+
+    /// Stable counting-sort pass that consumes a child histogram and key
+    /// cache produced by the parent's fused pass: no counting phase and no
+    /// key-column loads — the keys stream sequentially out of the cache
+    /// (which is why no column argument exists). The histogram is
+    /// destroyed; each [`FusedHist`] may be consumed once, on exactly the
+    /// sub-slice its [`PartRec`] described.
+    pub fn partition_pre_counted(
+        &mut self,
+        data: &mut [u32],
+        bucket_count: usize,
+        hist: FusedHist,
+    ) -> Frame {
+        debug_assert_eq!(hist.buckets, bucket_count, "histogram/bucket mismatch");
+        debug_assert_eq!(
+            self.fused[hist.offset..hist.offset + bucket_count]
+                .iter()
+                .map(|&c| c as usize)
+                .sum::<usize>(),
+            data.len(),
+            "pre-counted histogram does not cover the slice"
+        );
+        self.prepare(data.len(), bucket_count);
+        // Prefix offsets in place within the fused slice, then scatter by
+        // the cached keys (validated < bucket_count by the producer; a
+        // misused handle still lands on the slice bounds checks below).
+        let mut acc = 0u32;
+        for c in &mut self.fused[hist.offset..hist.offset + bucket_count] {
+            let v = *c;
+            *c = acc;
+            acc += v;
+        }
+        let n = data.len();
+        for (i, &id) in data.iter().enumerate() {
+            let k = self.fused_keys[hist.keys_at + i] as usize;
+            let cursor = &mut self.fused[hist.offset + k];
+            self.scatter[*cursor as usize] = id;
+            *cursor += 1;
+        }
+        data.copy_from_slice(&self.scatter[..n]);
+        // Emit records from the fused cursors (now partition ends).
+        let start = self.records.len() as u32;
+        let mut prev = 0u32;
+        for v in 0..bucket_count {
+            let end = self.fused[hist.offset + v];
+            if end > prev {
+                self.records.push(PartRec {
+                    value: v as AttrValue,
+                    start: prev,
+                    end,
+                });
+            }
+            prev = end;
+        }
+        self.note_peak();
+        Frame {
+            start,
+            end: self.records.len() as u32,
+        }
+    }
+
+    /// Copy one partition record out of a frame.
+    pub fn record(&self, index: u32) -> PartRec {
+        self.records[index as usize]
+    }
+
+    /// Borrow a frame's records for non-recursive iteration.
+    pub fn records(&self, frame: &Frame) -> &[PartRec] {
+        &self.records[frame.start as usize..frame.end as usize]
+    }
+
+    /// Release a frame, truncating the record stack back to its start.
+    /// Frames must be popped in LIFO order (innermost recursion first).
+    pub fn pop_frame(&mut self, frame: Frame) {
+        debug_assert_eq!(self.records.len() as u32, frame.end, "non-LIFO pop");
+        self.records.truncate(frame.start as usize);
+    }
+
+    /// Release a fused level. LIFO, after the producing partition loop.
+    pub fn pop_fused(&mut self, level: FusedLevel) {
+        debug_assert_eq!(
+            self.fused_top,
+            level.base + level.parent_buckets as usize * level.next_buckets as usize,
+            "non-LIFO fused pop"
+        );
+        debug_assert_eq!(self.fused_keys_top, level.keys_base + level.len);
+        self.fused_top = level.base;
+        self.fused_keys_top = level.keys_base;
+    }
+
+    /// High-water mark of the arena's owned scratch, in bytes. Stable
+    /// across repeated runs of the same workload — the arena-reuse /
+    /// zero-allocation guarantee made measurable.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak
+    }
+
+    /// Grow the per-pass buffers; `counts` keeps its all-zeros invariant
+    /// (`resize` only appends zeros).
+    fn prepare(&mut self, n: usize, bucket_count: usize) {
+        assert!(
+            n <= u32::MAX as usize,
+            "partition slices are indexed by u32 ({n} items)"
+        );
+        if self.counts.len() < bucket_count {
+            self.counts.resize(bucket_count, 0);
+        }
+        if self.keys.len() < n {
+            self.keys.resize(n, 0);
+        }
+        if self.scatter.len() < n {
+            self.scatter.resize(n, 0);
+        }
+    }
+
+    /// Chunked counting loop over a contiguous key column: gathers for a
+    /// whole chunk issue before the (serially dependent) increments.
+    fn count_col(&mut self, data: &[u32], bucket_count: usize, col: &[AttrValue]) -> Result<()> {
+        let counts = &mut self.counts[..bucket_count];
+        let keys = &mut self.keys[..data.len()];
+        let mut bad: Option<AttrValue> = None;
+        let mut i = 0usize;
+        let chunks = data.chunks_exact(8);
+        let rem = chunks.remainder();
+        'count: {
+            for ch in chunks {
+                let ks: [AttrValue; 8] = [
+                    col[ch[0] as usize],
+                    col[ch[1] as usize],
+                    col[ch[2] as usize],
+                    col[ch[3] as usize],
+                    col[ch[4] as usize],
+                    col[ch[5] as usize],
+                    col[ch[6] as usize],
+                    col[ch[7] as usize],
+                ];
+                for (j, &k) in ks.iter().enumerate() {
+                    if (k as usize) >= bucket_count {
+                        bad = Some(k);
+                        break 'count;
+                    }
+                    counts[k as usize] += 1;
+                    keys[i + j] = k;
+                }
+                i += 8;
+            }
+            for &id in rem {
+                let k = col[id as usize];
+                if (k as usize) >= bucket_count {
+                    bad = Some(k);
+                    break 'count;
+                }
+                counts[k as usize] += 1;
+                keys[i] = k;
+                i += 1;
+            }
+        }
+        match bad {
+            Some(k) => Err(self.count_failed(k, bucket_count)),
+            None => Ok(()),
+        }
+    }
+
+    /// Restore the all-zeros `counts` invariant after a failed counting
+    /// phase and build the error (cold path).
+    fn count_failed(&mut self, key: AttrValue, bucket_count: usize) -> GraphError {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        GraphError::KeyOutOfRange { key, bucket_count }
+    }
+
+    /// Exclusive prefix sums in place: `counts[v]` becomes the start
+    /// offset of value `v`'s partition.
+    fn prefix(&mut self, bucket_count: usize) {
+        let mut acc = 0u32;
+        for c in &mut self.counts[..bucket_count] {
+            let v = *c;
+            *c = acc;
+            acc += v;
+        }
+    }
+
+    /// Prefix, stable scatter via the key cache, copy back, emit records.
+    fn scatter_and_emit(&mut self, data: &mut [u32], bucket_count: usize) -> Frame {
+        self.prefix(bucket_count);
+        let n = data.len();
+        for (i, &id) in data.iter().enumerate() {
+            let k = self.keys[i] as usize;
+            let cursor = &mut self.counts[k];
+            self.scatter[*cursor as usize] = id;
+            *cursor += 1;
+        }
+        data.copy_from_slice(&self.scatter[..n]);
+        self.emit_records(bucket_count)
+    }
+
+    /// Emit non-empty partitions in increasing key order from the
+    /// post-scatter cursors (`counts[v]` = end offset of `v`'s partition),
+    /// re-zeroing each touched bucket to restore the invariant.
+    fn emit_records(&mut self, bucket_count: usize) -> Frame {
+        let start = self.records.len() as u32;
+        let mut prev = 0u32;
+        for v in 0..bucket_count {
+            let end = self.counts[v];
+            self.counts[v] = 0;
+            if end > prev {
+                self.records.push(PartRec {
+                    value: v as AttrValue,
+                    start: prev,
+                    end,
+                });
+            }
+            prev = end;
+        }
+        Frame {
+            start,
+            end: self.records.len() as u32,
+        }
+    }
+
+    /// Update the high-water mark after a pass (capacities are monotone).
+    fn note_peak(&mut self) {
+        let bytes = self.counts.capacity() * std::mem::size_of::<u32>()
+            + self.keys.capacity() * std::mem::size_of::<AttrValue>()
+            + self.scatter.capacity() * std::mem::size_of::<u32>()
+            + self.records.capacity() * std::mem::size_of::<PartRec>()
+            + self.fused.capacity() * std::mem::size_of::<u32>()
+            + self.fused_keys.capacity() * std::mem::size_of::<AttrValue>();
+        self.peak = self.peak.max(bytes);
+    }
+}
+
+/// Stable counting sort of `data` by `key`, in place, using `arena`.
 ///
 /// `bucket_count` must be strictly greater than every key (i.e.
-/// `domain_size + 1` — see [`crate::AttrDef::bucket_count`]).
-/// Returns the non-empty partitions in increasing key order; runs in
-/// `O(data.len() + bucket_count)` with no key comparisons.
+/// `domain_size + 1` — see [`crate::AttrDef::bucket_count`]); an
+/// out-of-range key **panics** (the arena API returns
+/// [`GraphError::KeyOutOfRange`] instead — use it where keys are not
+/// schema-validated). Returns the non-empty partitions in increasing key
+/// order in `O(data.len() + bucket_count)` with no key comparisons.
+///
+/// This is the convenience wrapper for cold paths (baselines, tests): it
+/// allocates the returned `Vec<Partition>` on every call. Hot paths use
+/// the arena's frame API, which allocates nothing in steady state.
 pub fn partition_in_place<K>(
     data: &mut [u32],
     bucket_count: usize,
-    scratch: &mut SortScratch,
-    mut key: K,
+    arena: &mut PartitionArena,
+    key: K,
 ) -> Vec<Partition>
 where
     K: FnMut(u32) -> AttrValue,
 {
-    if data.is_empty() {
-        return Vec::new();
-    }
-    // Count occurrences per value.
-    scratch.counts.clear();
-    scratch.counts.resize(bucket_count, 0);
-    // Cache keys while counting so `key` runs once per item: key lookups
-    // chase node pointers and dominate the pass cost.
-    scratch.buffer.clear();
-    scratch.buffer.reserve(data.len());
-    for &id in data.iter() {
-        let k = key(id);
-        debug_assert!(
-            (k as usize) < bucket_count,
-            "key {k} out of bucket range {bucket_count}"
-        );
-        scratch.counts[k as usize] += 1;
-        scratch.buffer.push(k as u32);
-    }
-    // Exclusive prefix sums -> starting offset of each value's partition.
-    let mut offsets = Vec::with_capacity(bucket_count);
-    let mut acc = 0u32;
-    for &c in &scratch.counts {
-        offsets.push(acc);
-        acc += c;
-    }
-    // Scatter into a temporary, then copy back (stable).
-    let mut cursor = offsets.clone();
-    let mut out = vec![0u32; data.len()];
-    for (i, &id) in data.iter().enumerate() {
-        let k = scratch.buffer[i] as usize;
-        out[cursor[k] as usize] = id;
-        cursor[k] += 1;
-    }
-    data.copy_from_slice(&out);
-    // Emit non-empty partitions.
-    let mut parts = Vec::new();
-    for (v, &c) in scratch.counts.iter().enumerate() {
-        if c > 0 {
-            let start = offsets[v] as usize;
-            parts.push(Partition {
-                value: v as AttrValue,
-                range: start..start + c as usize,
-            });
-        }
-    }
+    let frame = arena
+        .partition_with(data, bucket_count, key)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let parts = arena
+        .records(&frame)
+        .iter()
+        .map(|r| Partition {
+            value: r.value,
+            range: r.range(),
+        })
+        .collect();
+    arena.pop_frame(frame);
     parts
 }
 
@@ -122,8 +620,8 @@ pub fn partition_by<K>(data: &mut [u32], bucket_count: usize, key: K) -> Vec<Par
 where
     K: FnMut(u32) -> AttrValue,
 {
-    let mut scratch = SortScratch::new();
-    partition_in_place(data, bucket_count, &mut scratch, key)
+    let mut arena = PartitionArena::new();
+    partition_in_place(data, bucket_count, &mut arena, key)
 }
 
 #[cfg(test)]
@@ -178,14 +676,18 @@ mod tests {
     }
 
     #[test]
-    fn scratch_reuse_across_sizes() {
-        let mut scratch = SortScratch::new();
+    fn arena_reuse_across_sizes() {
+        let mut arena = PartitionArena::new();
         let mut a: Vec<u32> = (0..10).collect();
-        partition_in_place(&mut a, 3, &mut scratch, |i| (i % 3) as u16);
+        partition_in_place(&mut a, 3, &mut arena, |i| (i % 3) as u16);
         let mut b: Vec<u32> = (0..1000).collect();
-        let parts = partition_in_place(&mut b, 11, &mut scratch, |i| (i % 11) as u16);
+        let parts = partition_in_place(&mut b, 11, &mut arena, |i| (i % 11) as u16);
         assert_eq!(parts.len(), 11);
         assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 1000);
+        // Going back to a smaller bucket count must not see stale counts.
+        let mut c: Vec<u32> = (0..20).collect();
+        let parts = partition_in_place(&mut c, 2, &mut arena, |i| (i % 2) as u16);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 20);
     }
 
     #[test]
@@ -198,5 +700,188 @@ mod tests {
             next = p.range.end;
         }
         assert_eq!(next, 57);
+    }
+
+    #[test]
+    fn out_of_range_key_is_an_error_and_arena_survives() {
+        let mut arena = PartitionArena::new();
+        let mut data: Vec<u32> = (0..10).collect();
+        let err = arena
+            .partition_with(&mut data, 3, |i| if i == 7 { 9 } else { 1 })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::KeyOutOfRange {
+                key: 9,
+                bucket_count: 3
+            }
+        );
+        assert!(err.to_string().contains("9") && err.to_string().contains("3 buckets"));
+        // Columnar variant too.
+        let col: Vec<u16> = (0..10).map(|i| if i == 4 { 3 } else { 0 }).collect();
+        let err = arena.partition_col(&mut data, 3, &col).unwrap_err();
+        assert!(matches!(err, GraphError::KeyOutOfRange { key: 3, .. }));
+        // The failed passes rolled back: a good pass still works.
+        let frame = arena
+            .partition_with(&mut data, 3, |i| (i % 3) as u16)
+            .unwrap();
+        assert_eq!(
+            arena.records(&frame).iter().map(|r| r.len()).sum::<usize>(),
+            10
+        );
+        arena.pop_frame(frame);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn legacy_wrapper_panics_on_out_of_range_key() {
+        let mut data = vec![0u32, 1];
+        partition_by(&mut data, 2, |_| 5);
+    }
+
+    #[test]
+    fn frames_nest_like_a_recursion() {
+        // Two-level manual recursion exercising the frame stack: partition
+        // by i % 3, then each partition by i % 2, checking LIFO pops.
+        let mut arena = PartitionArena::new();
+        let mut data: Vec<u32> = (0..30).collect();
+        let outer = arena
+            .partition_with(&mut data, 3, |i| (i % 3) as u16)
+            .unwrap();
+        assert_eq!(outer.len(), 3);
+        for idx in outer.indices() {
+            let part = arena.record(idx);
+            let sub = &mut data[part.range()];
+            let inner = arena.partition_with(sub, 2, |i| (i % 2) as u16).unwrap();
+            for j in inner.indices() {
+                let p = arena.record(j);
+                for &id in &sub[p.range()] {
+                    assert_eq!((id % 2) as u16, p.value);
+                }
+            }
+            arena.pop_frame(inner);
+            for &id in sub.iter() {
+                assert_eq!((id % 3) as u16, part.value);
+            }
+        }
+        arena.pop_frame(outer);
+    }
+
+    /// Reference: the fused and pre-counted pair must equal two plain
+    /// passes bit for bit (same data order, same records).
+    #[test]
+    fn fused_pair_matches_unfused_passes() {
+        let n = 257u32;
+        let col: Vec<u16> = (0..n).map(|i| (i * 7 % 5) as u16).collect();
+        let next: Vec<u16> = (0..n).map(|i| (i * 13 % 4) as u16).collect();
+        let base: Vec<u32> = (0..n).map(|i| (i * 31) % n).collect();
+
+        // Unfused reference.
+        let mut ref_arena = PartitionArena::new();
+        let mut ref_data = base.clone();
+        let ref_outer = ref_arena.partition_col(&mut ref_data, 5, &col).unwrap();
+        let ref_parts: Vec<PartRec> = ref_arena.records(&ref_outer).to_vec();
+        ref_arena.pop_frame(ref_outer);
+        let mut ref_children: Vec<(Vec<u32>, Vec<PartRec>)> = Vec::new();
+        for part in &ref_parts {
+            let sub = &mut ref_data[part.range()];
+            let f = ref_arena.partition_col(sub, 4, &next).unwrap();
+            ref_children.push((sub.to_vec(), ref_arena.records(&f).to_vec()));
+            ref_arena.pop_frame(f);
+        }
+
+        // Fused.
+        let mut arena = PartitionArena::new();
+        let mut data = base.clone();
+        let (outer, level) = arena
+            .partition_col_fused(&mut data, 5, &col, &next, 4)
+            .unwrap();
+        let parts: Vec<PartRec> = arena.records(&outer).to_vec();
+        assert_eq!(parts, ref_parts);
+        for (i, part) in parts.iter().enumerate() {
+            let hist = arena.child_hist(level, *part);
+            assert_eq!(hist.buckets(), 4);
+            let sub = &mut data[part.range()];
+            let f = arena.partition_pre_counted(sub, 4, hist);
+            assert_eq!(sub.to_vec(), ref_children[i].0, "child {i} data");
+            assert_eq!(
+                arena.records(&f),
+                &ref_children[i].1[..],
+                "child {i} records"
+            );
+            arena.pop_frame(f);
+        }
+        arena.pop_frame(outer);
+        arena.pop_fused(level);
+        assert_eq!(data, ref_data);
+    }
+
+    #[test]
+    fn fused_rejects_out_of_range_next_key() {
+        let mut arena = PartitionArena::new();
+        let mut data: Vec<u32> = (0..10).collect();
+        let col: Vec<u16> = vec![1; 10];
+        let next: Vec<u16> = (0..10).map(|i| if i == 6 { 7 } else { 0 }).collect();
+        let err = arena
+            .partition_col_fused(&mut data, 3, &col, &next, 2)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::KeyOutOfRange { key: 7, .. }));
+        // Arena rolled back and works again (counts invariant intact).
+        let mut data2: Vec<u32> = (0..10).collect();
+        let (f, lvl) = arena
+            .partition_col_fused(&mut data2, 3, &col, &col, 3)
+            .unwrap();
+        assert_eq!(f.len(), 1);
+        arena.pop_frame(f);
+        arena.pop_fused(lvl);
+    }
+
+    #[test]
+    fn fused_zero_next_buckets_is_an_error_not_a_panic() {
+        // Degenerate public-API call: non-empty data, zero next buckets,
+        // empty next column. Must be the checked error, not an index
+        // panic inside the error construction.
+        let mut arena = PartitionArena::new();
+        let mut data = vec![0u32];
+        let err = arena
+            .partition_col_fused(&mut data, 1, &[0u16], &[], 0)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::KeyOutOfRange {
+                bucket_count: 0,
+                ..
+            }
+        ));
+        // Empty data with zero next buckets is a valid empty level.
+        let mut empty: Vec<u32> = vec![];
+        let (f, lvl) = arena
+            .partition_col_fused(&mut empty, 1, &[], &[], 0)
+            .unwrap();
+        assert!(f.is_empty());
+        arena.pop_frame(f);
+        arena.pop_fused(lvl);
+    }
+
+    #[test]
+    fn peak_bytes_is_stable_across_repeated_workloads() {
+        let mut arena = PartitionArena::new();
+        let col: Vec<u16> = (0..5000).map(|i| (i % 189) as u16).collect();
+        let run = |arena: &mut PartitionArena| {
+            let mut data: Vec<u32> = (0..5000).collect();
+            let f = arena.partition_col(&mut data, 189, &col).unwrap();
+            arena.pop_frame(f);
+        };
+        run(&mut arena);
+        let after_first = arena.peak_bytes();
+        assert!(after_first > 0);
+        for _ in 0..10 {
+            run(&mut arena);
+        }
+        assert_eq!(
+            arena.peak_bytes(),
+            after_first,
+            "steady-state passes must not grow the arena"
+        );
     }
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! grmine mine  <graph.grm> [--min-supp N] [--min-score F] [--k N]
 //!              [--metric nhp|conf|laplace|gain|ps|conviction|lift]
-//!              [--no-dynamic] [--parallel N] [--json]
+//!              [--no-dynamic] [--no-fuse] [--parallel N] [--json]
+//!              [--stats-json]
 //! grmine query <graph.grm> "<GR>"            # e.g. "(SEX:F) -> (EDU:Grad)"
 //! grmine gen   <pokec|dblp> <out.grm> [--scale F] [--seed N]
 //! grmine info  <graph.grm>
@@ -120,8 +121,17 @@ fn cmd_mine(args: &[String]) -> i32 {
     if has_flag(args, "--no-dynamic") {
         cfg.dynamic_topk = false;
     }
+    if has_flag(args, "--no-fuse") {
+        cfg.fuse_partitions = false;
+    }
     if has_flag(args, "--allow-empty-lhs") {
         cfg.allow_empty_lhs = true;
+    }
+    let stats_json = has_flag(args, "--stats-json");
+    if stats_json && has_flag(args, "--json") {
+        // Each mode promises stdout to exactly one JSON document.
+        eprintln!("--stats-json and --json are mutually exclusive");
+        return 2;
     }
 
     let result = if let Some(threads) = parallel {
@@ -134,7 +144,16 @@ fn cmd_mine(args: &[String]) -> i32 {
         GrMiner::new(&graph, cfg.clone()).mine()
     };
 
-    if has_flag(args, "--json") {
+    if stats_json {
+        // One JSON object on stdout: the run's MinerStats (including the
+        // partition-engine counters). The ranked report goes to stderr so
+        // stdout stays machine-readable.
+        println!(
+            "{}",
+            serde_json::to_string(&result.stats).expect("stats serialize")
+        );
+        eprint!("{}", result.report(graph.schema()));
+    } else if has_flag(args, "--json") {
         println!(
             "{}",
             serde_json::to_string_pretty(&result.top).expect("results serialize")

@@ -116,6 +116,111 @@ fn cli_mine_json_is_parseable() {
 }
 
 #[test]
+fn cli_stats_json_pins_the_counter_schema() {
+    let path = tmp("stats.grm");
+    assert!(grmine()
+        .args(["gen", "dblp", path.to_str().unwrap(), "--scale", "0.03"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = grmine()
+        .args([
+            "mine",
+            path.to_str().unwrap(),
+            "--k",
+            "5",
+            "--min-supp",
+            "3",
+            "--stats-json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // Stdout is exactly one flat JSON object with the pinned key set.
+    // (All values are numbers, so every quoted token followed by `:` is a
+    // key — the vendored serde_json has no raw-Value parse.)
+    let text = String::from_utf8(out.stdout.clone()).unwrap();
+    assert!(text.trim_start().starts_with('{') && text.trim_end().ends_with('}'));
+    let mut keys: Vec<String> = Vec::new();
+    let mut rest = text.as_str();
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('"') else { break };
+        let tail = &after[end + 1..];
+        if tail.trim_start().starts_with(':') {
+            keys.push(after[..end].to_string());
+        }
+        rest = tail;
+    }
+    keys.sort_unstable();
+    assert_eq!(
+        keys,
+        vec![
+            "accepted",
+            "elapsed",
+            "fused_passes",
+            "grs_examined",
+            "heff_scans",
+            "partition_passes",
+            "partitions_examined",
+            "pruned_by_score",
+            "pruned_by_supp",
+            "rejected_generality",
+            "rejected_trivial",
+            "scratch_bytes_peak",
+        ],
+        "MinerStats JSON schema changed — update consumers and this pin"
+    );
+    // The partition-engine counters are live, and it round-trips.
+    let stats: social_ties::MinerStats = serde_json::from_slice(&out.stdout).unwrap();
+    assert!(stats.partition_passes > 0);
+    assert!(stats.scratch_bytes_peak > 0);
+    assert!(stats.fused_passes <= stats.partition_passes);
+    // The human report still arrives, on stderr.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("score="));
+
+    // --stats-json refuses to share stdout with --json.
+    let out = grmine()
+        .args([
+            "mine",
+            path.to_str().unwrap(),
+            "--min-supp",
+            "3",
+            "--stats-json",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(!out.stderr.is_empty());
+
+    // --no-fuse (the ablation toggle) zeroes fused_passes but must not
+    // change the mined results.
+    let run = |extra: &[&str]| {
+        let mut a = vec![
+            "mine",
+            path.to_str().unwrap(),
+            "--k",
+            "5",
+            "--min-supp",
+            "3",
+            "--stats-json",
+        ];
+        a.extend_from_slice(extra);
+        let out = grmine().args(&a).output().unwrap();
+        assert!(out.status.success());
+        let stats: social_ties::MinerStats = serde_json::from_slice(&out.stdout).unwrap();
+        (stats, String::from_utf8_lossy(&out.stderr).to_string())
+    };
+    let (fused, fused_report) = run(&[]);
+    let (unfused, unfused_report) = run(&["--no-fuse"]);
+    assert_eq!(unfused.fused_passes, 0);
+    assert_eq!(fused.semantic(), unfused.semantic());
+    assert_eq!(fused_report, unfused_report);
+}
+
+#[test]
 fn cli_rejects_bad_input() {
     assert!(!grmine()
         .args(["mine", "/nonexistent.grm"])

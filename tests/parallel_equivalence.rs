@@ -64,8 +64,10 @@ fn oversubscribed_and_degenerate_pools_on_pokec_like_workload() {
     // Satellite coverage for the shared-context miner: a pool far larger
     // than the task list (32), a single-thread pool, and both
     // split_dominant settings must stay bit-identical to sequential and
-    // counters-identical to each other on the workload whose dominant
-    // `Region` dimension the splitter targets.
+    // semantic-counters-identical to each other on the workload whose
+    // dominant `Region` dimension the splitter targets. (The work
+    // counters — partition passes, scratch peak, elapsed — legitimately
+    // vary: each value chunk repeats the top-level counting-sort pass.)
     let g = generate(&pokec_config_scaled(0.01)).unwrap();
     let cfg = MinerConfig::nhp(5, 0.5, 25).without_dynamic_topk();
     let seq = GrMiner::new(&g, cfg.clone()).mine();
@@ -73,7 +75,7 @@ fn oversubscribed_and_degenerate_pools_on_pokec_like_workload() {
     let mut counters: Option<social_ties::MinerStats> = None;
     for threads in [1usize, 2, 32] {
         for split_dominant in [false, true] {
-            let mut par = mine_parallel_with_opts(
+            let par = mine_parallel_with_opts(
                 &g,
                 &cfg,
                 &dims,
@@ -83,16 +85,87 @@ fn oversubscribed_and_degenerate_pools_on_pokec_like_workload() {
                 },
             );
             assert_eq!(seq.top, par.top, "threads {threads} split {split_dominant}");
-            par.stats.elapsed = std::time::Duration::ZERO;
+            let sem = par.stats.semantic();
             match &counters {
-                None => counters = Some(par.stats),
+                None => counters = Some(sem),
                 Some(c) => assert_eq!(
-                    c, &par.stats,
+                    c, &sem,
                     "counters diverged at threads {threads} split {split_dominant}"
                 ),
             }
         }
     }
+}
+
+/// The fused partition engine on all three fixture families: sequential
+/// fused vs unfused must be bit-identical in `top` AND in every counter
+/// except `fused_passes` itself, and the parallel miner at 1/2/4 threads
+/// must reproduce the sequential `top` with thread-invariant semantic
+/// counters. Pins the tentpole guarantee end to end.
+#[test]
+fn fused_engine_bit_identical_on_toy_pokec_dblp() {
+    use social_ties::datagen::dblp_config_scaled;
+    let workloads: Vec<(&str, SocialGraph, MinerConfig)> = vec![
+        (
+            "toy",
+            toy_network(),
+            MinerConfig::nhp(1, 0.0, 100).without_dynamic_topk(),
+        ),
+        (
+            "pokec",
+            generate(&pokec_config_scaled(0.02)).unwrap(),
+            MinerConfig::nhp(5, 0.5, 50).without_dynamic_topk(),
+        ),
+        (
+            "dblp",
+            generate(&dblp_config_scaled(0.05)).unwrap(),
+            MinerConfig::nhp(3, 0.5, 50).without_dynamic_topk(),
+        ),
+    ];
+    let mut fused_somewhere = 0u64;
+    for (label, g, cfg) in &workloads {
+        let fused = GrMiner::new(g, cfg.clone()).mine();
+        let unfused = GrMiner::new(g, cfg.clone().without_fused_partitions()).mine();
+        assert_eq!(fused.top, unfused.top, "{label}: fusion changed results");
+        assert_eq!(
+            fused.stats.semantic(),
+            unfused.stats.semantic(),
+            "{label}: fusion changed semantic counters"
+        );
+        // Fusion rearranges work; it never adds or removes passes.
+        assert_eq!(
+            fused.stats.partition_passes, unfused.stats.partition_passes,
+            "{label}: fusion changed the pass count"
+        );
+        assert_eq!(unfused.stats.fused_passes, 0);
+        assert!(fused.stats.partition_passes > 0);
+        assert!(fused.stats.scratch_bytes_peak > 0);
+        fused_somewhere += fused.stats.fused_passes;
+
+        let dims = Dims::all(g.schema());
+        let mut par_counters: Option<social_ties::MinerStats> = None;
+        for threads in [1usize, 2, 4] {
+            let par = mine_parallel_with_opts(
+                g,
+                cfg,
+                &dims,
+                ParallelOptions {
+                    threads,
+                    split_dominant: true,
+                },
+            );
+            assert_eq!(fused.top, par.top, "{label}: parallel {threads} diverged");
+            let sem = par.stats.semantic();
+            match &par_counters {
+                None => par_counters = Some(sem),
+                Some(c) => assert_eq!(c, &sem, "{label}: counters vary with threads"),
+            }
+        }
+    }
+    assert!(
+        fused_somewhere > 0,
+        "at least one workload must exercise the fused passes"
+    );
 }
 
 #[test]

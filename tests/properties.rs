@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use social_ties::core::reference::mine_reference;
 use social_ties::graph::io;
-use social_ties::graph::sort::partition_by;
+use social_ties::graph::sort::{partition_by, PartitionArena};
 use social_ties::{Gr, GrMiner, MinerConfig, SchemaBuilder, SocialGraph};
 
 /// An arbitrary small attributed graph: up to 3 node attrs (random
@@ -158,6 +158,87 @@ proptest! {
                 prop_assert!(present || outranked);
             }
         }
+    }
+
+    /// The fused two-level engine against a naive stable `sort_by_key`
+    /// oracle, across random domains and key columns (value 0 plays the
+    /// NULL role — the engine treats it like any other bucket; the miner
+    /// skips it later). Three things must agree with the oracle: the
+    /// final slice order (stability included), the parent partition
+    /// records, and every pre-counted child partitioning. The unfused
+    /// columnar pass must match bit for bit as well.
+    #[test]
+    fn fused_partition_engine_matches_sort_by_key_oracle(
+        domain1 in 1u16..=9,
+        domain2 in 1u16..=6,
+        seed in any::<u64>(),
+        n in 0usize..300,
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let col1: Vec<u16> = (0..n).map(|_| (next() % domain1 as u64) as u16).collect();
+        let col2: Vec<u16> = (0..n).map(|_| (next() % domain2 as u64) as u16).collect();
+        let (b1, b2) = (domain1 as usize, domain2 as usize);
+
+        // Oracle: a stable comparison sort by the composite key.
+        let mut oracle: Vec<u32> = (0..n as u32).collect();
+        oracle.sort_by_key(|&id| (col1[id as usize], col2[id as usize]));
+
+        // Fused engine: parent pass on col1, pre-counted children on col2.
+        let mut arena = PartitionArena::new();
+        let mut data: Vec<u32> = (0..n as u32).collect();
+        let (frame, level) = arena
+            .partition_col_fused(&mut data, b1, &col1, &col2, b2)
+            .expect("keys lie below their domains");
+        let parts: Vec<_> = arena.records(&frame).to_vec();
+        // Parent records match the oracle's value grouping.
+        let mut at = 0usize;
+        for part in &parts {
+            prop_assert_eq!(part.range().start, at);
+            for &id in &data[part.range()] {
+                prop_assert_eq!(col1[id as usize], part.value);
+            }
+            at = part.range().end;
+        }
+        prop_assert_eq!(at, n, "partitions tile the slice");
+        for part in &parts {
+            let hist = arena.child_hist(level, *part);
+            let sub = &mut data[part.range()];
+            let child = arena.partition_pre_counted(sub, b2, hist);
+            let mut cat = 0usize;
+            for c in arena.records(&child) {
+                prop_assert_eq!(c.range().start, cat);
+                for &id in &sub[c.range()] {
+                    prop_assert_eq!(col2[id as usize], c.value);
+                }
+                cat = c.range().end;
+            }
+            prop_assert_eq!(cat, sub.len());
+            arena.pop_frame(child);
+        }
+        arena.pop_frame(frame);
+        arena.pop_fused(level);
+        // Content + stability: the two-level result IS the stable
+        // composite sort.
+        prop_assert_eq!(&data, &oracle, "fused engine diverged from sort_by_key");
+
+        // The unfused columnar passes produce the identical result.
+        let mut plain: Vec<u32> = (0..n as u32).collect();
+        let f1 = arena.partition_col(&mut plain, b1, &col1).unwrap();
+        let plain_parts: Vec<_> = arena.records(&f1).to_vec();
+        prop_assert_eq!(&plain_parts, &parts, "fusion changed the parent records");
+        for part in &plain_parts {
+            let sub = &mut plain[part.range()];
+            let f2 = arena.partition_col(sub, b2, &col2).unwrap();
+            arena.pop_frame(f2);
+        }
+        arena.pop_frame(f1);
+        prop_assert_eq!(&plain, &oracle, "unfused engine diverged from sort_by_key");
     }
 
     /// Counting sort: output is a permutation, partitions tile the slice
