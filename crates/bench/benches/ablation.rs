@@ -78,7 +78,7 @@ fn bench(c: &mut Criterion) {
                     &dims,
                     ParallelOptions {
                         threads: t,
-                        split_dominant: true,
+                        ..ParallelOptions::default()
                     },
                 )
             })
@@ -109,6 +109,7 @@ fn bench(c: &mut Criterion) {
                         ParallelOptions {
                             threads: t,
                             split_dominant,
+                            ..ParallelOptions::default()
                         },
                     )
                 })

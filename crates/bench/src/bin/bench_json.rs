@@ -1,28 +1,43 @@
-//! `bench_json` — machine-readable micro numbers for the CI perf
-//! trajectory.
+//! `bench_json` — machine-readable perf numbers for the CI trajectory.
 //!
-//! Times the partition-engine cells (the tentpole's before/after
-//! comparison: allocating legacy primitive vs arena pass, two-level
-//! unfused vs fused) plus the β group-by, with plain `Instant` timing —
-//! no criterion, so the output shape is stable and trivially diffable
-//! across commits. Writes one JSON document:
+//! Two cell groups, selected with `--group` (plain `Instant` timing — no
+//! criterion, so the output shape is stable and trivially diffable
+//! across commits):
+//!
+//! * `partition` (default) — the partition-engine micro cells
+//!   (allocating legacy primitive vs arena pass, two-level unfused vs
+//!   fused);
+//! * `parallel` — end-to-end thread scaling of the work-stealing miner
+//!   on full-dims Pokec: sequential GRMiner(k), the work-stealing engine
+//!   at 1/2/4 threads, and the static-queue 4-thread engine it replaced.
 //!
 //! ```text
-//! bench_json [out.json]        # default BENCH_partition.json
+//! bench_json [--group partition|parallel] [out.json]
+//! # defaults: --group partition → BENCH_partition.json
+//! #           --group parallel  → BENCH_parallel.json
 //! ```
 //!
-//! Schema (`grm-bench-partition/1`): `results[]` of
-//! `{group, bench, n, median_ns, ns_per_item}`, medians over
-//! [`SAMPLES`] timed repetitions after a warm-up. Consumers key on
-//! `(group, bench, n)` — append new cells, never repurpose old names.
+//! Schema (`grm-bench-<group>/1`): `results[]` of
+//! `{group, bench, n, median_ns, ns_per_item}`, medians over a handful
+//! of timed repetitions after a warm-up (`n` is the input size the cell
+//! works over — items for micro cells, edges for mining cells).
+//! Consumers key on `(group, bench, n)` — append new cells, never
+//! repurpose old names.
 
-use grm_bench::Table;
+use grm_bench::{fixture, Dataset, Table};
+use grm_core::parallel::{mine_parallel_with_opts, ParallelOptions};
+use grm_core::{Dims, GrMiner, MinerConfig};
 use grm_graph::sort::PartitionArena;
 use grm_graph::AttrValue;
 use std::time::Instant;
 
-/// Timed repetitions per cell (median reported).
+/// Timed repetitions per micro cell (median reported).
 const SAMPLES: usize = 15;
+
+/// Timed repetitions per end-to-end mining cell — each run is a full
+/// mine over the Pokec fixture, so fewer samples suffice for a stable
+/// median.
+const MINE_SAMPLES: usize = 9;
 
 struct Cell {
     group: &'static str,
@@ -31,10 +46,11 @@ struct Cell {
     median_ns: u128,
 }
 
-fn median_ns(mut f: impl FnMut() -> u64) -> u128 {
-    // One warm-up (grows arenas, faults pages), then SAMPLES timed runs.
+fn median_ns_over(samples: usize, mut f: impl FnMut() -> u64) -> u128 {
+    // One warm-up (grows arenas, faults pages), then `samples` timed
+    // runs.
     let mut sink = f();
-    let mut times: Vec<u128> = (0..SAMPLES)
+    let mut times: Vec<u128> = (0..samples)
         .map(|_| {
             let t = Instant::now();
             sink = sink.wrapping_add(f());
@@ -47,6 +63,10 @@ fn median_ns(mut f: impl FnMut() -> u64) -> u128 {
         eprintln!("checksum {sink}");
     }
     times[times.len() / 2]
+}
+
+fn median_ns(f: impl FnMut() -> u64) -> u128 {
+    median_ns_over(SAMPLES, f)
 }
 
 /// The pre-PR partition primitive — the baseline the arena is measured
@@ -87,10 +107,7 @@ fn legacy_partition(
     counts.iter().filter(|&&c| c > 0).count() as u64
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_partition.json".to_string());
+fn partition_cells() -> Vec<Cell> {
     let mut cells: Vec<Cell> = Vec::new();
 
     for n in [10_000usize, 100_000] {
@@ -175,10 +192,139 @@ fn main() {
             }),
         });
     }
+    cells
+}
+
+/// End-to-end thread scaling on full-dims Pokec (minSupp 30, k 100, nhp
+/// — the ablation bench's configuration): the sequential miners, the
+/// work-stealing engine at 1/2/4 threads, and the static-queue engine it
+/// replaced (stealing and subtree splitting off, static threshold — the
+/// PR 3 behavior) at 4 threads. `n` is the edge count.
+fn parallel_cells() -> Vec<Cell> {
+    let graph = fixture(Dataset::Pokec, 0.05);
+    let dims = Dims::all(graph.schema());
+    let base = MinerConfig::nhp(30, 0.5, 100);
+    let n = graph.edge_count() as usize;
+    let mut cells: Vec<Cell> = Vec::new();
+
+    let mine_cell = |bench: &'static str, cfg: MinerConfig, opts: Option<ParallelOptions>| Cell {
+        group: "parallel",
+        bench,
+        n,
+        median_ns: median_ns_over(MINE_SAMPLES, || {
+            let r = match opts {
+                Some(o) => mine_parallel_with_opts(&graph, &cfg, &dims, o),
+                None => GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine(),
+            };
+            r.top.len() as u64 + r.stats.grs_examined
+        }),
+    };
+
+    cells.push(mine_cell("seq_dynamic", base.clone(), None));
+    cells.push(mine_cell(
+        "seq_static",
+        base.clone().without_dynamic_topk(),
+        None,
+    ));
+    for (bench, threads) in [
+        ("steal_threads_1", 1usize),
+        ("steal_threads_2", 2),
+        ("steal_threads_4", 4),
+    ] {
+        cells.push(mine_cell(
+            bench,
+            base.clone(),
+            Some(ParallelOptions {
+                threads,
+                ..ParallelOptions::default()
+            }),
+        ));
+    }
+    cells.push(mine_cell(
+        "static_queue_threads_4",
+        base.clone().without_dynamic_topk(),
+        Some(ParallelOptions {
+            threads: 4,
+            steal: false,
+            split_depth: 0,
+            ..ParallelOptions::default()
+        }),
+    ));
+    // Low-threshold cells (minNhp 0.2): here the user threshold prunes
+    // little and the restored dynamic bound carries the run — the
+    // end-to-end delta between these two cells is the collect-mode
+    // GRMiner(k) win the static-queue engine gave up.
+    let low = MinerConfig::nhp(30, 0.2, 100);
+    cells.push(mine_cell(
+        "steal_threads_4_minnhp02",
+        low.clone(),
+        Some(ParallelOptions {
+            threads: 4,
+            ..ParallelOptions::default()
+        }),
+    ));
+    cells.push(mine_cell(
+        "static_queue_threads_4_minnhp02",
+        low.without_dynamic_topk(),
+        Some(ParallelOptions {
+            threads: 4,
+            steal: false,
+            split_depth: 0,
+            ..ParallelOptions::default()
+        }),
+    ));
+    cells
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().filter(|a| *a == "--group").count() > 1 {
+        eprintln!("--group given more than once");
+        std::process::exit(2);
+    }
+    let group = match args.iter().position(|a| a == "--group") {
+        Some(i) => match args.get(i + 1) {
+            Some(g) => g.clone(),
+            None => {
+                eprintln!("--group is missing its value (partition|parallel)");
+                std::process::exit(2);
+            }
+        },
+        None => "partition".to_string(),
+    };
+    let positional: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| a != "--group" && !(i > 0 && args[i - 1] == "--group"))
+        .map(|(_, a)| a)
+        .collect();
+    // A mistyped flag must fail, not become the output filename.
+    if let Some(flagish) = positional.iter().find(|a| a.starts_with('-')) {
+        eprintln!(
+            "unknown flag `{flagish}` (usage: bench_json [--group partition|parallel] [out.json])"
+        );
+        std::process::exit(2);
+    }
+    if positional.len() > 1 {
+        eprintln!("at most one output path expected, got {positional:?}");
+        std::process::exit(2);
+    }
+    let out_path = positional
+        .first()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|| format!("BENCH_{group}.json"));
+    let cells = match group.as_str() {
+        "partition" => partition_cells(),
+        "parallel" => parallel_cells(),
+        other => {
+            eprintln!("unknown --group `{other}` (expected partition|parallel)");
+            std::process::exit(2);
+        }
+    };
 
     // JSON by hand: the shape is flat and the vendored serde stub would
     // add nothing but indirection here.
-    let mut json = String::from("{\n  \"schema\": \"grm-bench-partition/1\",\n  \"results\": [\n");
+    let mut json = format!("{{\n  \"schema\": \"grm-bench-{group}/1\",\n  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let per_item = c.median_ns as f64 / c.n as f64;
         json.push_str(&format!(

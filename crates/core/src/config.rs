@@ -23,7 +23,11 @@ pub struct MinerConfig {
     /// GRMiner(k) vs GRMiner (§VI-D): when `true`, `min_score` is
     /// dynamically upgraded to the k-th best score found so far, greatly
     /// tightening pruning; when `false` only the user threshold prunes.
-    /// See DESIGN.md for the Definition-5 nuance of the dynamic variant.
+    /// See DESIGN.md for the Definition-5 nuance of the sequential
+    /// dynamic variant. The parallel engine honors this flag through a
+    /// cross-worker shared bound plus an exactness-verified post-pass
+    /// (`grm_core::parallel`), so its dynamic results are additionally
+    /// guaranteed bit-identical to the static semantics.
     pub dynamic_topk: bool,
     /// Suppress trivial GRs from results. Defaults to `true`; Table II's
     /// confidence column is produced with `false` (the paper reports the

@@ -92,6 +92,29 @@ macro_rules! descriptor_impl {
                 Self { pairs }
             }
 
+            /// [`Self::with`], drawing the backing buffer from `pool`
+            /// instead of allocating (the caller pushes the result back
+            /// once done with it). This is what keeps the miner's descend
+            /// path — one descriptor extension per examined partition —
+            /// allocation-free in steady state.
+            pub fn with_pooled(&self, attr: $attr, value: AttrValue, pool: &mut Vec<Self>) -> Self {
+                debug_assert!(!self.constrains(attr), "attribute already constrained");
+                debug_assert_ne!(value, NULL, "null value in descriptor");
+                let mut pairs = match pool.pop() {
+                    Some(recycled) => {
+                        let mut p = recycled.pairs;
+                        p.clear();
+                        p
+                    }
+                    None => Vec::with_capacity(self.pairs.len() + 1),
+                };
+                let pos = self.pairs.partition_point(|&(a, _)| a < attr);
+                pairs.extend_from_slice(&self.pairs[..pos]);
+                pairs.push((attr, value));
+                pairs.extend_from_slice(&self.pairs[pos..]);
+                Self { pairs }
+            }
+
             /// Subset test: every condition of `self` appears in `other`
             /// (same attribute *and* same value). This is the `⊆` of the
             /// generality relation in Def. 5.
@@ -194,6 +217,23 @@ mod tests {
     fn with_inserts_in_order() {
         let d = nd(&[(3, 1)]).with(NodeAttrId(1), 9);
         assert_eq!(d.pairs(), &[(NodeAttrId(1), 9), (NodeAttrId(3), 1)]);
+    }
+
+    #[test]
+    fn with_pooled_matches_with_and_reuses_buffers() {
+        let base = nd(&[(0, 2), (3, 1)]);
+        let mut pool: Vec<NodeDescriptor> = Vec::new();
+        // Empty pool: allocates, result identical to `with`.
+        let a = base.with_pooled(NodeAttrId(1), 9, &mut pool);
+        assert_eq!(a, base.with(NodeAttrId(1), 9));
+        // Recycled buffer: stale contents must not leak through.
+        pool.push(nd(&[(5, 7), (6, 8), (7, 9)]));
+        let b = base.with_pooled(NodeAttrId(4), 3, &mut pool);
+        assert_eq!(b, base.with(NodeAttrId(4), 3));
+        assert!(pool.is_empty(), "the pooled buffer was consumed");
+        // Append at the front and at the back both keep sorted order.
+        let c = base.with_pooled(NodeAttrId(9), 1, &mut pool);
+        assert_eq!(c.pairs().last(), Some(&(NodeAttrId(9), 1)));
     }
 
     #[test]

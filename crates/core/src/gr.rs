@@ -33,13 +33,18 @@ impl Gr {
     /// homophily attribute and `r ⊆ l`. A trivial GR merely restates the
     /// homophily principle and is never reported (under the nhp metric).
     pub fn is_trivial(&self, schema: &Schema) -> bool {
-        !self.r.is_empty()
-            && self
-                .r
-                .pairs()
+        Self::parts_are_trivial(schema, &self.l, &self.r)
+    }
+
+    /// [`Gr::is_trivial`] on loose descriptor parts — lets the miner test
+    /// triviality for every examined partition without assembling (and
+    /// allocating) a `Gr` it will usually throw away.
+    pub fn parts_are_trivial(schema: &Schema, l: &NodeDescriptor, r: &NodeDescriptor) -> bool {
+        !r.is_empty()
+            && r.pairs()
                 .iter()
                 .all(|&(a, _)| schema.node_attr(a).is_homophily())
-            && self.r.is_subset_of(&self.l)
+            && r.is_subset_of(l)
     }
 
     /// Generality test (Def. 5): `self` is more general than `other` when

@@ -35,7 +35,7 @@ use crate::gr::{Gr, ScoredGr};
 use crate::metrics::{MetricInputs, RankMetric};
 use crate::stats::MinerStats;
 use crate::tail::Dims;
-use crate::topk::TopK;
+use crate::topk::{SharedBound, TopK};
 use grm_graph::sort::{Frame, FusedHist, FusedLevel, PartitionArena};
 use grm_graph::{AttrValue, NodeAttrId, Schema, SocialGraph, NULL};
 use std::collections::HashMap;
@@ -209,15 +209,63 @@ impl RootTask {
 
 /// All reusable mutable scratch of a mining run, movable between [`Run`]s
 /// so a parallel worker carries it across its tasks: the counting-sort
-/// [`PartitionArena`] plus pools for the per-`l∧w`-node buffers (edge-set
-/// snapshot, homophily pairs, β support table). Once warm, recursion
-/// nodes draw everything from here and allocate nothing.
+/// [`PartitionArena`], pools for the per-`l∧w`-node buffers (edge-set
+/// snapshot, homophily pairs, β support table), and pools for the
+/// per-partition descriptor extensions (`l.with(...)` / `r.with(...)` on
+/// the descend path). Once warm, recursion nodes draw everything from
+/// here and allocate nothing.
 #[derive(Debug, Default)]
 pub(crate) struct MinerScratch {
     arena: PartitionArena,
     snapshots: Vec<Vec<u32>>,
     pairs_bufs: Vec<Vec<(NodeAttrId, AttrValue)>>,
     heff_tables: Vec<Vec<u64>>,
+    node_descs: Vec<NodeDescriptor>,
+    edge_descs: Vec<EdgeDescriptor>,
+}
+
+/// A recursion subtree detached by a worker for other workers to steal:
+/// the subtree root's descriptors plus an owned copy of its edge
+/// positions (the recursion is invariant under input permutation, so the
+/// copy's order — a snapshot of the live slice mid-recursion — does not
+/// matter). Executing it via [`Run::run_subtree`] performs exactly the
+/// recursive calls the spawning worker skipped, so the collect-mode
+/// merge (and every semantic counter) is independent of where and when
+/// the subtree runs.
+pub(crate) struct SubtreeTask {
+    pub(crate) data: Vec<u32>,
+    pub(crate) l: NodeDescriptor,
+    pub(crate) w: EdgeDescriptor,
+    pub(crate) kind: SubtreeKind,
+}
+
+/// Which recursion frame a [`SubtreeTask`] resumes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SubtreeKind {
+    /// The body of `left_partitions`' partition loop: RIGHT, EDGE over
+    /// the full edge tail, LEFT over the prefix tail `0..l_tail`.
+    Left {
+        /// LHS tail length of the subtree root (the partitioned
+        /// dimension's index in `dims.l`).
+        l_tail: usize,
+    },
+    /// The body of `edge_range`'s partition loop: RIGHT, EDGE over the
+    /// prefix tail `0..w_tail`.
+    Edge {
+        /// Edge tail length of the subtree root.
+        w_tail: usize,
+    },
+}
+
+/// When a partition's subtree is worth detaching into a [`SubtreeTask`]:
+/// only near the root (`|l| + |w|` of the subtree root at most
+/// `max_frame` — deep frames are small and numerous) and only when the
+/// partition is big enough (`min_len`) that the position copy and the
+/// lost parent fusion are noise against the subtree's own work.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SplitPolicy {
+    pub(crate) max_frame: usize,
+    pub(crate) min_len: usize,
 }
 
 /// A pre-counted first-pass histogram handed to a child RIGHT chain by its
@@ -242,10 +290,26 @@ pub(crate) struct Run<'a, 'g> {
     pub(crate) stats: MinerStats,
     pub(crate) edges_total: u64,
     /// When set, threshold-passing candidates are appended here instead of
-    /// going through the generality index and top-k heap, and the dynamic
-    /// top-k bound is disabled. Used by the parallel miner's collect
-    /// phase, whose generality/top-k pass runs after the merge.
+    /// going through the generality index and top-k heap, and the local
+    /// dynamic top-k bound is disabled. Used by the parallel miner's
+    /// collect phase, whose generality/top-k pass runs after the merge
+    /// (score pruning then comes from `shared_bound`, if any).
     collector: Option<Vec<ScoredGr>>,
+    /// Work-stealing hook: the split policy plus the worker's spawner
+    /// callback. When a partition qualifies, its subtree is handed out as
+    /// a [`SubtreeTask`] instead of being descended inline.
+    spawner: Option<(SplitPolicy, &'a dyn Fn(SubtreeTask))>,
+    /// The cross-worker dynamic top-k bound (collect mode only; the
+    /// sequential miner uses its own `topk` heap). Consulted in the score
+    /// pruning check and fed with guaranteed-survivor candidates.
+    shared_bound: Option<&'a SharedBound>,
+    /// The `l ∧ w` descriptors of RIGHT chains in which the shared bound
+    /// cut a subtree at a score that still passed the *user* threshold —
+    /// the only places a Def. 5(2) suppressor can have been lost.
+    /// Deduplicated per chain (depth-first order makes a chain's prune
+    /// events consecutive); drained by the parallel engine for the
+    /// exactness-verified post-pass.
+    pub(crate) pruned_lw: Vec<(NodeDescriptor, EdgeDescriptor)>,
 }
 
 impl<'a, 'g> Run<'a, 'g> {
@@ -267,6 +331,9 @@ impl<'a, 'g> Run<'a, 'g> {
             stats: MinerStats::default(),
             edges_total: ctx.edges_total(),
             collector,
+            spawner: None,
+            shared_bound: None,
+            pruned_lw: Vec::new(),
         }
     }
 
@@ -275,6 +342,24 @@ impl<'a, 'g> Run<'a, 'g> {
     /// allocations).
     pub(crate) fn with_scratch(mut self, scratch: MinerScratch) -> Self {
         self.scratch = scratch;
+        self
+    }
+
+    /// Enable depth-adaptive subtree splitting: partitions that satisfy
+    /// `policy` are detached through `spawn` instead of descended inline.
+    pub(crate) fn with_spawner(
+        mut self,
+        policy: SplitPolicy,
+        spawn: &'a dyn Fn(SubtreeTask),
+    ) -> Self {
+        self.spawner = Some((policy, spawn));
+        self
+    }
+
+    /// Consult (and feed) the cross-worker dynamic top-k bound. Only
+    /// meaningful in collect mode.
+    pub(crate) fn with_shared_bound(mut self, bound: &'a SharedBound) -> Self {
+        self.shared_bound = Some(bound);
         self
     }
 
@@ -294,13 +379,81 @@ impl<'a, 'g> Run<'a, 'g> {
             RootTask::Left(i) => self.left_range(data, i..i + 1, &l0),
             RootTask::LeftValues { dim, lo, hi } => self.left_values_root(data, dim, lo, hi),
         }
-        // Record the arena high-water mark. A worker's arena persists
-        // across its tasks, so the value is monotone per worker; the
-        // cross-task merge takes the max either way.
+        self.record_scratch_peak();
+    }
+
+    /// Execute a detached recursion subtree (see [`SubtreeTask`]): the
+    /// exact recursive calls the spawning worker's partition loop would
+    /// have made inline, minus the parent's fused pre-count (the
+    /// histogram lives in the spawner's arena, so the first RIGHT pass
+    /// here re-counts — a work difference only).
+    pub(crate) fn run_subtree(
+        &mut self,
+        data: &mut [u32],
+        l: &NodeDescriptor,
+        w: &EdgeDescriptor,
+        kind: SubtreeKind,
+    ) {
+        match kind {
+            SubtreeKind::Left { l_tail } => {
+                debug_assert!(w.is_empty(), "LEFT partitions precede all EDGE dimensions");
+                self.right_root(data, l, w, None);
+                self.edge(data, self.dims.w.len(), l, w);
+                self.left(data, l_tail, l);
+            }
+            SubtreeKind::Edge { w_tail } => {
+                self.right_root(data, l, w, None);
+                self.edge(data, w_tail, l, w);
+            }
+        }
+        self.record_scratch_peak();
+    }
+
+    /// Record the arena high-water mark. A worker's arena persists
+    /// across its tasks, so the value is monotone per worker; the
+    /// cross-task merge takes the max either way.
+    fn record_scratch_peak(&mut self) {
         self.stats.scratch_bytes_peak = self
             .stats
             .scratch_bytes_peak
             .max(self.scratch.arena.peak_bytes() as u64);
+    }
+
+    /// If the split policy admits this partition (subtree-root frame size
+    /// `frame`, `part_len` positions), detach it through the spawner and
+    /// return `true`; the caller then skips the inline descent.
+    fn spawn_subtree(
+        &mut self,
+        part_len: usize,
+        frame: usize,
+        make: impl FnOnce() -> SubtreeTask,
+    ) -> bool {
+        let Some((policy, spawn)) = self.spawner else {
+            return false;
+        };
+        if frame > policy.max_frame || part_len < policy.min_len {
+            return false;
+        }
+        self.stats.subtree_splits += 1;
+        spawn(make());
+        true
+    }
+
+    /// Whether a collected candidate `l -w-> r` is **guaranteed** to
+    /// survive the sequential post-pass and may therefore feed the
+    /// [`SharedBound`]. With the generality filter off, every collected
+    /// candidate survives. With it on, survival is certain only when
+    /// every strictly more general form of the candidate is excluded
+    /// from collection *by construction*: the edge descriptor is empty
+    /// and the LHS already has the minimum reportable width — 1
+    /// condition normally (the only generalization, the empty LHS, is
+    /// gated out by `allow_empty_lhs = false`), or 0 when empty LHSes
+    /// are reportable (nothing generalizes the empty descriptor pair).
+    /// Feeding only such candidates keeps every published bound a true
+    /// lower bound on the final k-th score (see [`SharedBound`]).
+    fn feeds_shared_bound(&self, l: &NodeDescriptor, w: &EdgeDescriptor) -> bool {
+        !self.cfg.generality_filter
+            || (w.is_empty() && l.len() == usize::from(!self.cfg.allow_empty_lhs))
     }
 
     /// Execute the partitions of top-level LHS dimension `i` whose value
@@ -406,7 +559,16 @@ impl<'a, 'g> Run<'a, 'g> {
                 self.stats.pruned_by_supp += 1;
                 continue;
             }
-            let l2 = l.with(d, part.value);
+            let l2 = l.with_pooled(d, part.value, &mut self.scratch.node_descs);
+            if self.spawn_subtree(part.len(), l2.len(), || SubtreeTask {
+                data: data[part.range()].to_vec(),
+                l: l2.clone(),
+                w: EdgeDescriptor::empty(),
+                kind: SubtreeKind::Left { l_tail: i },
+            }) {
+                self.scratch.node_descs.push(l2);
+                continue;
+            }
             let pre = level.map(|(lvl, nd)| PreCount {
                 hist: self.scratch.arena.child_hist(lvl, part),
                 dim: nd,
@@ -415,6 +577,7 @@ impl<'a, 'g> Run<'a, 'g> {
             self.right_root(sub, &l2, &EdgeDescriptor::empty(), pre);
             self.edge(sub, self.dims.w.len(), &l2, &EdgeDescriptor::empty());
             self.left(sub, i, &l2);
+            self.scratch.node_descs.push(l2);
         }
         if let Some((lvl, _)) = level {
             self.scratch.arena.pop_fused(lvl);
@@ -461,7 +624,16 @@ impl<'a, 'g> Run<'a, 'g> {
                     self.stats.pruned_by_supp += 1;
                     continue;
                 }
-                let w2 = w.with(d, part.value);
+                let w2 = w.with_pooled(d, part.value, &mut self.scratch.edge_descs);
+                if self.spawn_subtree(part.len(), l.len() + w2.len(), || SubtreeTask {
+                    data: data[part.range()].to_vec(),
+                    l: l.clone(),
+                    w: w2.clone(),
+                    kind: SubtreeKind::Edge { w_tail: i },
+                }) {
+                    self.scratch.edge_descs.push(w2);
+                    continue;
+                }
                 let pre = level.map(|(lvl, nd)| PreCount {
                     hist: self.scratch.arena.child_hist(lvl, part),
                     dim: nd,
@@ -469,6 +641,7 @@ impl<'a, 'g> Run<'a, 'g> {
                 let sub = &mut data[part.range()];
                 self.right_root(sub, l, &w2, pre);
                 self.edge(sub, i, l, &w2);
+                self.scratch.edge_descs.push(w2);
             }
             if let Some((lvl, _)) = level {
                 self.scratch.arena.pop_fused(lvl);
@@ -668,7 +841,7 @@ impl<'a, 'g> Run<'a, 'g> {
                     self.stats.pruned_by_supp += 1;
                     continue;
                 }
-                let r2 = r.with(d, part.value);
+                let r2 = r.with_pooled(d, part.value, &mut self.scratch.node_descs);
 
                 // Score the GR l -w-> r2.
                 let b = beta(self.schema, l, &r2);
@@ -686,8 +859,10 @@ impl<'a, 'g> Run<'a, 'g> {
                     edges: self.edges_total,
                 });
 
-                let gr = Gr::new(l.clone(), w.clone(), r2.clone());
-                let trivial = gr.is_trivial(self.schema);
+                // Triviality is decided on the loose parts; the `Gr`
+                // itself (three descriptor clones) is assembled only for
+                // candidates that are actually recorded.
+                let trivial = Gr::parts_are_trivial(self.schema, l, &r2);
 
                 // Record if it satisfies Def. 5 conditions (1) and (2)
                 // and describes a real LHS group (see
@@ -697,32 +872,39 @@ impl<'a, 'g> Run<'a, 'g> {
                         self.stats.rejected_trivial += 1;
                     } else if self.collector.is_some() {
                         // Collect phase: generality and top-k run after
-                        // the cross-task merge.
+                        // the cross-task merge; guaranteed survivors feed
+                        // the shared dynamic bound on the way through.
                         self.stats.accepted += 1;
-                        self.collector
-                            .as_mut()
-                            .expect("just checked")
-                            .push(ScoredGr {
+                        let scored = ScoredGr {
+                            gr: Gr::new(l.clone(), w.clone(), r2.clone()),
+                            supp,
+                            supp_lw: ctx.supp_lw,
+                            heff,
+                            score,
+                        };
+                        if let Some(sb) = self.shared_bound {
+                            if self.feeds_shared_bound(l, w) && sb.offer(&scored) {
+                                self.stats.bound_tightenings += 1;
+                            }
+                        }
+                        self.collector.as_mut().expect("just checked").push(scored);
+                    } else {
+                        let gr = Gr::new(l.clone(), w.clone(), r2.clone());
+                        if self.cfg.generality_filter && self.generality.has_more_general(&gr) {
+                            self.stats.rejected_generality += 1;
+                        } else {
+                            if self.cfg.generality_filter {
+                                self.generality.record(&gr);
+                            }
+                            self.stats.accepted += 1;
+                            self.topk.offer(ScoredGr {
                                 gr,
                                 supp,
                                 supp_lw: ctx.supp_lw,
                                 heff,
                                 score,
                             });
-                    } else if self.cfg.generality_filter && self.generality.has_more_general(&gr) {
-                        self.stats.rejected_generality += 1;
-                    } else {
-                        if self.cfg.generality_filter {
-                            self.generality.record(&gr);
                         }
-                        self.stats.accepted += 1;
-                        self.topk.offer(ScoredGr {
-                            gr,
-                            supp,
-                            supp_lw: ctx.supp_lw,
-                            heff,
-                            score,
-                        });
                     }
                 }
 
@@ -731,29 +913,55 @@ impl<'a, 'g> Run<'a, 'g> {
                 // (Theorem 3's precondition; see module docs).
                 let score_prunable = self.cfg.metric.anti_monotone()
                     && !(trivial && matches!(self.cfg.metric, RankMetric::Nhp));
+                let mut descend = true;
                 if score_prunable {
                     // Both cuts are strict `<`: a candidate equal to the
                     // user threshold satisfies Def. 5(1), and one equal to
                     // the k-th best may still win the supp/alphabetical
                     // tie-break, so neither may be cut at equality.
                     let mut bound = self.cfg.min_score;
-                    if self.cfg.dynamic_topk && self.collector.is_none() {
-                        if let Some(dyn_bound) = self.topk.dynamic_bound() {
-                            bound = bound.max(dyn_bound);
+                    if self.cfg.dynamic_topk {
+                        if self.collector.is_none() {
+                            if let Some(dyn_bound) = self.topk.dynamic_bound() {
+                                bound = bound.max(dyn_bound);
+                            }
+                        } else if let Some(sb) = self.shared_bound {
+                            if let Some(dyn_bound) = sb.get() {
+                                bound = bound.max(dyn_bound);
+                            }
                         }
                     }
                     if score < bound {
                         self.stats.pruned_by_score += 1;
-                        continue;
+                        descend = false;
+                        // A collect-mode cut above the user threshold can
+                        // only come from the shared bound, and the lost
+                        // descendants may include threshold-passing
+                        // suppressors: remember this chain's l∧w for the
+                        // verified post-pass. Chains prune depth-first,
+                        // so consecutive dedup is exact per chain.
+                        if self.collector.is_some()
+                            && self.cfg.generality_filter
+                            && score >= self.cfg.min_score
+                            && self
+                                .pruned_lw
+                                .last()
+                                .is_none_or(|(pl, pw)| pl != l || pw != w)
+                        {
+                            self.pruned_lw.push((l.clone(), w.clone()));
+                        }
                     }
                 }
 
-                let child_pre = level.map(|(lvl, nd)| PreCount {
-                    hist: self.scratch.arena.child_hist(lvl, part),
-                    dim: nd,
-                });
-                let sub = &mut data[part.range()];
-                self.right(ctx, sub, r_order, i, l, w, &r2, child_pre);
+                if descend {
+                    let child_pre = level.map(|(lvl, nd)| PreCount {
+                        hist: self.scratch.arena.child_hist(lvl, part),
+                        dim: nd,
+                    });
+                    let sub = &mut data[part.range()];
+                    self.right(ctx, sub, r_order, i, l, w, &r2, child_pre);
+                }
+                self.scratch.node_descs.push(r2);
             }
             if let Some((lvl, _)) = level {
                 self.scratch.arena.pop_fused(lvl);

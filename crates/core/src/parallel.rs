@@ -1,65 +1,126 @@
-//! Parallel GRMiner — a multi-core extension beyond the paper.
+//! Parallel GRMiner — a work-stealing, depth-adaptive multi-core engine.
 //!
-//! The SFDF enumeration tree decomposes naturally at the root: Algorithm
-//! 1's Main loop issues one `RIGHT` task plus one task per top-level edge
-//! and LHS dimension, and the subtrees are disjoint (every attribute
-//! subset lives under exactly one root task). The parallel miner
-//! distributes these root tasks (`RootTask`, crate-internal) over a
-//! crossbeam scoped thread pool. All read-only run state — the compact
-//! model, the canonical position set, the RHS marginal table — lives in
-//! one shared [`MiningContext`]; each worker owns only a reusable
-//! edge-position buffer (filled from the context once, then permuted in
-//! place by its tasks) and a private [`crate::stats::MinerStats`].
+//! The SFDF enumeration tree decomposes at the root: Algorithm 1's Main
+//! loop issues one `RIGHT` task plus one task per top-level edge and LHS
+//! dimension, and the subtrees are disjoint. Those root tasks seed a
+//! shared [`Injector`]; each worker then runs a classic work-stealing
+//! loop over per-worker deques — pop local work LIFO (depth-first, cache
+//! warm), refill from the injector, and *steal half* of a sibling's
+//! deque when idle ([`Stealer::steal_batch_and_pop`]). All read-only run
+//! state — the compact model, the canonical position set, the RHS
+//! marginal table — lives in one shared [`MiningContext`]; each worker
+//! owns a reusable edge-position buffer and a warm
+//! [`crate::miner::MinerScratch`] carried across its tasks.
 //!
-//! **Determinism over dynamic pruning.** The generality constraint
-//! (Def. 5(2)) is order-sensitive across subtrees — a suppressor found in
-//! one subtree must silence specializations in another — so workers run in
-//! *collect* mode (thresholds and trivial filtering only) and a sequential
-//! post-pass applies generality (most-general-first) and the top-k rank.
-//! The result is bit-identical to the static-threshold `GrMiner`
-//! (and therefore exact w.r.t. Definition 5); what is given up is the
-//! dynamic top-k bound of GRMiner(k), whose benefit shrinks as workers
-//! would race to tighten it. The `ablation` bench quantifies the trade.
+//! **Depth-adaptive splitting.** Static root tasks bound speedup by the
+//! largest subtree, so workers *detach oversized recursion frames* as
+//! they descend: a LEFT or EDGE partition whose subtree root is shallow
+//! (`|l| + |w| ≤ split_depth`) and whose edge set is large
+//! (`≥ split_min`) becomes a stealable [`SubtreeTask`] — an owned copy
+//! of the partition's positions plus the descriptors — instead of being
+//! descended inline. The detached subtree performs exactly the recursive
+//! calls the spawner skipped (the recursion is invariant under input
+//! permutation), so the collect-mode merge and every semantic counter
+//! are independent of where the subtree runs. The historical *static*
+//! split of the dominant LHS dimension by partition value
+//! ([`RootTask::LeftValues`], [`ParallelOptions::split_dominant`]) is
+//! kept for fast start-up: it seeds the pool with balanced chunks before
+//! the first dynamic split can happen.
 //!
-//! **Granularity.** Naïve root-task distribution is bounded by the
-//! largest root task: on workloads dominated by one high-cardinality LHS
-//! dimension (Pokec's `Region`), that task's subtree holds most of the
-//! work and extra threads idle once the small tasks drain. The miner
-//! therefore *splits the dominant root task by LHS partition value*
-//! (`RootTask::LeftValues`, enabled by default via
-//! [`ParallelOptions::split_dominant`]): the LHS dimension with the
-//! largest domain becomes one task per chunk of non-null values — at
-//! most `2 × threads` chunks — each repeating the top-level
-//! counting-sort pass and descending only into its own partitions. The
-//! split subtrees are exactly the unsplit task's partition-loop
-//! iterations, so the collect-mode merge — and with it the bit-identical
-//! guarantee above — is unchanged; what splitting costs is one
-//! duplicated `O(|E|)` counting-sort pass per extra chunk, which is why
-//! the chunk count is bounded and a single-threaded pool never splits.
+//! **The shared dynamic top-k bound.** Workers run in *collect* mode
+//! (generality is order-sensitive across subtrees, so Def. 5(2) and the
+//! top-k rank run in a sequential post-pass), which historically meant
+//! giving up GRMiner(k)'s dynamic threshold upgrade (line 28). The
+//! engine restores it with a [`SharedBound`]: an `AtomicU64`-published,
+//! monotonically tightening lower bound on the final k-th score, fed
+//! only with candidates *guaranteed to survive* the post-pass (every
+//! collected candidate when the generality filter is off; otherwise
+//! exactly the candidates whose strictly more general forms are excluded
+//! from collection by construction — empty edge descriptor, minimal
+//! reportable LHS width). Those candidates are a subset of the static
+//! run's survivor stream, and a k-th best score over a subset never
+//! exceeds the k-th best over the whole, so the published bound `B`
+//! satisfies `B ≤ F`, the k-th score of the static result. Combined with
+//! anti-monotonicity (a pruned subtree's candidates all score below the
+//! candidate that was cut, hence below `B ≤ F`) this gives the exactness
+//! backbone: **no candidate scoring ≥ F is ever lost**, at any timing.
+//!
+//! **Exact generality under pruning.** What bound pruning *can* lose are
+//! below-bound candidates that Def. 5(2) would have used as suppressors
+//! — the documented nuance that makes the *sequential* GRMiner(k)
+//! deviate from the static GRMiner on adversarial inputs, and which
+//! would additionally be timing-dependent here. The engine closes that
+//! hole instead of inheriting it. Workers record the `l ∧ w` chains in
+//! which the bound cut a subtree at a threshold-passing score — the only
+//! places a suppressor can have been lost (LEFT/EDGE descent is never
+//! score-pruned, and losses below `min_supp`/`min_score` cannot hide a
+//! valid suppressor). When the bound activated, the post-pass then
+//! verifies each would-be top-k member's generality **exactly**: a
+//! collected strict generalization suppresses outright (the classic
+//! merge), and an uncollected one is a suppressor only if its `l ∧ w`
+//! sits on a recorded pruned frontier *and* a direct graph evaluation
+//! ([`query::evaluate`], memoized) passes the thresholds. Verification
+//! touches only the ranked prefix of the survivors against the
+//! (typically near-empty) frontier set, so the exactness repair costs a
+//! vanishing post-pass supplement while every mined subtree still
+//! benefits from the bound. The result: parallel dynamic mode is
+//! **bit-identical to the static Definition-5 semantics** — stronger
+//! than the sequential dynamic miner — and deterministic across runs,
+//! thread counts, stealing, and splitting.
 
 use crate::config::MinerConfig;
 use crate::context::MiningContext;
+use crate::descriptor::{EdgeDescriptor, NodeDescriptor};
 use crate::generality::GeneralityIndex;
-use crate::gr::ScoredGr;
-use crate::miner::{MineResult, MinerScratch, RootTask, Run};
+use crate::gr::{Gr, ScoredGr};
+use crate::metrics::MetricInputs;
+use crate::miner::{MineResult, MinerScratch, RootTask, Run, SplitPolicy, SubtreeTask};
+use crate::query;
 use crate::stats::MinerStats;
 use crate::tail::Dims;
-use crate::topk::TopK;
+use crate::topk::{SharedBound, TopK};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use grm_graph::{Schema, SocialGraph};
 use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Default [`ParallelOptions::split_depth`]: subtrees rooted at most this
+/// many descriptor conditions deep may be detached. Depth 2 covers the
+/// skew observed in practice (a dominant LHS partition, optionally
+/// refined once) while keeping the number of position copies small.
+pub const DEFAULT_SPLIT_DEPTH: usize = 2;
+
+/// Floor of the automatic [`ParallelOptions::split_min`] heuristic: below
+/// this many positions a subtree is cheaper to mine than to copy and
+/// schedule.
+const SPLIT_MIN_FLOOR: usize = 4096;
 
 /// Tuning knobs for [`mine_parallel_with_opts`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelOptions {
-    /// Worker count (0 = available parallelism).
+    /// Worker count (0 = available parallelism, with a warning-and-one
+    /// fallback when detection fails).
     pub threads: usize,
-    /// Split the dominant root task — the LHS dimension with the largest
-    /// domain — into one task per partition value, lifting the
-    /// largest-subtree bound on speedup at the cost of one duplicated
-    /// top-level counting-sort pass per extra task. Results are
-    /// bit-identical either way.
+    /// Statically split the dominant root task — the LHS dimension with
+    /// the largest domain — into one task per chunk of partition values,
+    /// seeding the pool with balanced work before dynamic splitting can
+    /// kick in. Costs one duplicated top-level counting-sort pass per
+    /// extra chunk. Results are bit-identical either way.
     pub split_dominant: bool,
+    /// Work stealing between workers. Off, the engine degrades to
+    /// injector-only distribution (the pre-steal static queue) and never
+    /// splits subtrees. Results are bit-identical either way.
+    pub steal: bool,
+    /// Maximum descriptor size (`|l| + |w|`) of a recursion subtree that
+    /// may be detached as a stealable task; 0 disables dynamic
+    /// splitting. Results are bit-identical at any value.
+    pub split_depth: usize,
+    /// Minimum edge-position count for a subtree to be worth detaching;
+    /// 0 picks a heuristic from `|E|` and the thread count. (Tests pin
+    /// this to 1 to force splitting on small fixtures.)
+    pub split_min: usize,
 }
 
 impl Default for ParallelOptions {
@@ -67,17 +128,20 @@ impl Default for ParallelOptions {
         ParallelOptions {
             threads: 0,
             split_dominant: true,
+            steal: true,
+            split_depth: DEFAULT_SPLIT_DEPTH,
+            split_min: 0,
         }
     }
 }
 
 /// Parallel top-k GR mining with `threads` workers (0 = available
-/// parallelism) and dominant-task splitting on.
+/// parallelism) and default stealing/splitting.
 pub fn mine_parallel(graph: &SocialGraph, config: &MinerConfig, threads: usize) -> MineResult {
     mine_parallel_with_dims(graph, config, &Dims::all(graph.schema()), threads)
 }
 
-/// Parallel mining over a restricted dimension set (splitting on).
+/// Parallel mining over a restricted dimension set (default options).
 pub fn mine_parallel_with_dims(
     graph: &SocialGraph,
     config: &MinerConfig,
@@ -93,6 +157,35 @@ pub fn mine_parallel_with_dims(
             ..ParallelOptions::default()
         },
     )
+}
+
+/// Resolve the worker count: `requested` when non-zero, otherwise the
+/// detected available parallelism — degrading to **one worker with a
+/// warning** (never an abort) when detection fails, since a mining run
+/// on a restricted platform should fall back to the sequential plan.
+fn resolve_threads(requested: usize) -> usize {
+    resolve_threads_from(
+        requested,
+        std::thread::available_parallelism().map(|n| n.get()),
+    )
+    .0
+}
+
+/// Testable core of [`resolve_threads`]; returns `(threads, warned)`.
+fn resolve_threads_from(requested: usize, detected: std::io::Result<usize>) -> (usize, bool) {
+    if requested != 0 {
+        return (requested, false);
+    }
+    match detected {
+        Ok(n) => (n.max(1), false),
+        Err(e) => {
+            eprintln!(
+                "grm_core::parallel: cannot detect available parallelism ({e}); \
+                 falling back to 1 worker"
+            );
+            (1, true)
+        }
+    }
 }
 
 /// The root task list, with the dominant LHS task optionally split into
@@ -146,6 +239,63 @@ fn root_tasks(dims: &Dims, schema: &Schema, split_dominant: bool, threads: usize
         .collect()
 }
 
+/// One unit of pool work: a static root task or a dynamically detached
+/// recursion subtree.
+enum PoolTask {
+    Root(RootTask),
+    Subtree(SubtreeTask),
+}
+
+/// Take the next task: local deque first (LIFO), then the injector, then
+/// — when stealing is enabled — half of a sibling's deque. Counts
+/// successful sibling steals into `stolen`.
+fn next_task(
+    local: &Worker<PoolTask>,
+    injector: &Injector<PoolTask>,
+    stealers: &[Stealer<PoolTask>],
+    wid: usize,
+    steal_enabled: bool,
+    stolen: &mut u64,
+) -> Option<PoolTask> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    loop {
+        let mut retry = false;
+        let injected = if steal_enabled {
+            injector.steal_batch_and_pop(local)
+        } else {
+            // Without stealing, tasks taken from the injector can never
+            // be rebalanced, so take them one at a time — the static
+            // queue discipline of the pre-steal engine.
+            injector.steal()
+        };
+        match injected {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry => retry = true,
+            Steal::Empty => {}
+        }
+        if steal_enabled {
+            for (i, s) in stealers.iter().enumerate() {
+                if i == wid {
+                    continue;
+                }
+                match s.steal_batch_and_pop(local) {
+                    Steal::Success(t) => {
+                        *stolen += 1;
+                        return Some(t);
+                    }
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
 /// Parallel mining with explicit [`ParallelOptions`].
 pub fn mine_parallel_with_opts(
     graph: &SocialGraph,
@@ -153,12 +303,23 @@ pub fn mine_parallel_with_opts(
     dims: &Dims,
     opts: ParallelOptions,
 ) -> MineResult {
+    mine_parallel_traced(graph, config, dims, opts).0
+}
+
+/// [`mine_parallel_with_opts`] that also reports the final value of the
+/// shared dynamic bound (`None` when it never filled or `dynamic_topk`
+/// is off). Exists so tests can assert the bound-soundness invariant —
+/// the published bound never exceeds the true k-th score — from outside
+/// the crate; not part of the stable API.
+#[doc(hidden)]
+pub fn mine_parallel_traced(
+    graph: &SocialGraph,
+    config: &MinerConfig,
+    dims: &Dims,
+    opts: ParallelOptions,
+) -> (MineResult, Option<f64>) {
     let start = Instant::now();
-    let threads = if opts.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        opts.threads
-    };
+    let threads = resolve_threads(opts.threads);
 
     let ctx = MiningContext::build(graph, config.metric.needs_r_marginal());
     let schema = graph.schema();
@@ -166,45 +327,147 @@ pub fn mine_parallel_with_opts(
 
     let mut candidates: Vec<ScoredGr> = Vec::new();
     let mut stats = MinerStats::default();
+    let mut pruned_frontiers: HashSet<(NodeDescriptor, EdgeDescriptor)> = HashSet::new();
+    let shared_bound = SharedBound::new(config.k);
 
     if edge_count > 0 {
         let tasks = root_tasks(dims, schema, opts.split_dominant, threads);
         let task_count = tasks.len();
-        let queue = Mutex::new(tasks.into_iter());
+        let injector: Injector<PoolTask> = Injector::new();
+        let pending = AtomicUsize::new(task_count);
+        for t in tasks {
+            injector.push(PoolTask::Root(t));
+        }
+
+        let split_policy =
+            (opts.steal && threads > 1 && opts.split_depth > 0).then(|| SplitPolicy {
+                max_frame: opts.split_depth,
+                min_len: if opts.split_min > 0 {
+                    opts.split_min
+                } else {
+                    (edge_count as usize / (8 * threads)).max(SPLIT_MIN_FLOOR)
+                },
+            });
+        // Without dynamic splitting no new tasks ever appear, so workers
+        // beyond the root task count could only ever spin.
+        let spawned = if split_policy.is_some() {
+            threads
+        } else {
+            threads.min(task_count)
+        };
+
+        let deques: Vec<Worker<PoolTask>> = (0..spawned).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<PoolTask>> = deques.iter().map(|d| d.stealer()).collect();
         let results: Mutex<Vec<(Vec<ScoredGr>, MinerStats)>> = Mutex::new(Vec::new());
+        let frontiers: Mutex<Vec<(NodeDescriptor, EdgeDescriptor)>> = Mutex::new(Vec::new());
 
         crossbeam::thread::scope(|scope| {
-            for _ in 0..threads.min(task_count) {
-                scope.spawn(|_| {
-                    let mut local: Vec<(Vec<ScoredGr>, MinerStats)> = Vec::new();
-                    // One reusable position buffer per worker, filled from
-                    // the shared context on the first task and *not*
-                    // refilled between tasks: root tasks only permute the
-                    // buffer, and the recursion is invariant under input
-                    // permutation (the sequential miner reuses its buffer
-                    // across root tasks on the same grounds). The
-                    // partition arena and buffer pools likewise persist
-                    // across the worker's tasks, so only its first task
-                    // pays the scratch warm-up allocations.
+            for (wid, local) in deques.into_iter().enumerate() {
+                let stealers = &stealers;
+                let injector = &injector;
+                let pending = &pending;
+                let results = &results;
+                let frontiers = &frontiers;
+                let ctx = &ctx;
+                let shared = &shared_bound;
+                scope.spawn(move |_| {
+                    // One reusable position buffer per worker, filled
+                    // from the shared context on the first root task and
+                    // *not* refilled between tasks: root tasks only
+                    // permute the buffer, and the recursion is invariant
+                    // under input permutation. The scratch (arena,
+                    // buffer pools) likewise persists across the
+                    // worker's tasks.
                     let mut data: Vec<u32> = Vec::new();
                     let mut scratch = MinerScratch::default();
+                    let mut out: Vec<(Vec<ScoredGr>, MinerStats)> = Vec::new();
+                    let mut pruned_lw: Vec<(NodeDescriptor, EdgeDescriptor)> = Vec::new();
+                    let mut stolen = 0u64;
+                    // New tasks are registered with `pending` *before*
+                    // they are pushed, and a task's own registration
+                    // outlives everything it spawns, so `pending == 0`
+                    // is a stable "all work done" signal.
+                    let spawn_task = |t: SubtreeTask| {
+                        pending.fetch_add(1, Ordering::SeqCst);
+                        local.push(PoolTask::Subtree(t));
+                    };
+                    // Idle backoff: a few yields for the race-y case,
+                    // then short sleeps — a spinning thief on an
+                    // oversubscribed (or single-core) host would
+                    // otherwise steal cycles from the workers doing
+                    // real work.
+                    let mut idle_rounds = 0u32;
                     loop {
-                        let task = { queue.lock().next() };
-                        let Some(task) = task else { break };
-                        if data.is_empty() {
-                            ctx.fill_positions(&mut data);
-                        }
+                        let Some(task) =
+                            next_task(&local, injector, stealers, wid, opts.steal, &mut stolen)
+                        else {
+                            if pending.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            // Without a split policy no task is ever
+                            // spawned, so an empty sweep means every
+                            // remaining task is owned by the worker that
+                            // will run it — waiting could never yield
+                            // work.
+                            if split_policy.is_none() {
+                                break;
+                            }
+                            idle_rounds += 1;
+                            if idle_rounds < 16 {
+                                std::thread::yield_now();
+                            } else {
+                                std::thread::sleep(std::time::Duration::from_micros(100));
+                            }
+                            continue;
+                        };
+                        idle_rounds = 0;
                         let task_start = Instant::now();
-                        let mut run = Run::new(&ctx, schema, dims, config, Some(Vec::new()))
+                        let mut run = Run::new(ctx, schema, dims, config, Some(Vec::new()))
                             .with_scratch(std::mem::take(&mut scratch));
-                        run.run_root(&mut data, task);
+                        if let Some(policy) = split_policy {
+                            run = run.with_spawner(policy, &spawn_task);
+                        }
+                        if config.dynamic_topk {
+                            run = run.with_shared_bound(shared);
+                        }
+                        match task {
+                            PoolTask::Root(t) => {
+                                if data.is_empty() {
+                                    ctx.fill_positions(&mut data);
+                                }
+                                run.run_root(&mut data, t);
+                            }
+                            PoolTask::Subtree(st) => {
+                                let SubtreeTask {
+                                    data: mut sub,
+                                    l,
+                                    w,
+                                    kind,
+                                } = st;
+                                run.run_subtree(&mut sub, &l, &w, kind);
+                            }
+                        }
                         let mut s = std::mem::take(&mut run.stats);
                         s.elapsed = task_start.elapsed();
+                        pruned_lw.append(&mut run.pruned_lw);
                         let (collected, warm) = run.into_collected_and_scratch();
                         scratch = warm;
-                        local.push((collected, s));
+                        out.push((collected, s));
+                        pending.fetch_sub(1, Ordering::SeqCst);
                     }
-                    results.lock().append(&mut local);
+                    if stolen > 0 {
+                        out.push((
+                            Vec::new(),
+                            MinerStats {
+                                tasks_stolen: stolen,
+                                ..MinerStats::default()
+                            },
+                        ));
+                    }
+                    results.lock().append(&mut out);
+                    if !pruned_lw.is_empty() {
+                        frontiers.lock().append(&mut pruned_lw);
+                    }
                 });
             }
         })
@@ -214,32 +477,174 @@ pub fn mine_parallel_with_opts(
             stats.merge(&s);
             candidates.append(&mut grs);
         }
+        pruned_frontiers.extend(frontiers.into_inner());
     }
 
-    // Sequential post-pass: generality most-general-first, then top-k.
-    // A proper generalization has strictly fewer l∧w conditions, so size
-    // order suffices; the remaining ordering freedom cannot change the
-    // outcome (equal-size GRs never generalize one another).
-    candidates.sort_by_key(|c| c.gr.l.len() + c.gr.w.len());
-    let mut index = GeneralityIndex::new();
-    let mut topk = TopK::new(config.k);
-    for cand in candidates {
-        if config.generality_filter {
-            if index.has_more_general(&cand.gr) {
-                stats.rejected_generality += 1;
-                continue;
+    // Sequential post-pass. When the shared bound never published (or
+    // the generality filter is off, where pruning is trivially exact),
+    // the collected set is complete and the classic merge applies:
+    // generality most-general-first, then top-k. A proper generalization
+    // has strictly fewer l∧w conditions, so size order suffices; the
+    // remaining ordering freedom cannot change the outcome (equal-size
+    // GRs never generalize one another). When the bound *did* activate
+    // with generality on, below-bound suppressors may be missing from
+    // the collected set, so the top-k selection verifies generality
+    // exactly instead (see module docs).
+    let final_bound = shared_bound.get();
+    let top = if config.generality_filter && final_bound.is_some() {
+        select_topk_verified(graph, config, candidates, &pruned_frontiers, &mut stats)
+    } else {
+        candidates.sort_by_key(|c| c.gr.l.len() + c.gr.w.len());
+        let mut index = GeneralityIndex::new();
+        let mut topk = TopK::new(config.k);
+        for cand in candidates {
+            if config.generality_filter {
+                if index.has_more_general(&cand.gr) {
+                    stats.rejected_generality += 1;
+                    continue;
+                }
+                index.record(&cand.gr);
             }
-            index.record(&cand.gr);
+            topk.offer(cand);
         }
-        topk.offer(cand);
-    }
+        topk.into_sorted()
+    };
 
     stats.elapsed = start.elapsed();
-    MineResult {
-        top: topk.into_sorted(),
-        stats,
-        edge_count,
+    (
+        MineResult {
+            top,
+            stats,
+            edge_count,
+        },
+        final_bound,
+    )
+}
+
+/// Top-k selection with **exact** Def. 5(2) generality for runs whose
+/// collected candidate set may be missing below-bound suppressors.
+///
+/// Two stages. First the classic most-general-first merge over the
+/// collected candidates — its rejections are *sound* (a collected
+/// suppressor passed the thresholds at collection, so the complete run
+/// rejects too, and suppression is transitive), it just may fail to
+/// reject. Then the survivors are walked in rank order and each
+/// would-be top-k member is verified against the *complete* lattice: a
+/// stage-one survivor has no collected generalization at all (any
+/// collected one — recorded or transitively covered — would have
+/// rejected it), and an absent generalization can only have been *lost*
+/// (rather than failed) if the shared bound cut inside its `l ∧ w`
+/// chain at a threshold-passing score — the recorded `pruned_frontiers`
+/// — every LEFT/EDGE node itself being reached unconditionally (only
+/// `min_supp` prunes those, and an anti-monotone loss below `min_supp`
+/// cannot hide a threshold-passing suppressor). So only generalizations
+/// whose `l ∧ w` appears in the frontier set are evaluated against the
+/// graph (memoized); all other absent ones provably fail the
+/// thresholds. Equivalent to the classic merge over the complete
+/// candidate set: a candidate is suppressed there iff some
+/// threshold-passing strict generalization exists (take a minimal one —
+/// nothing suppresses it, so it is recorded first), which is precisely
+/// the predicate decided here.
+fn select_topk_verified(
+    graph: &SocialGraph,
+    config: &MinerConfig,
+    mut candidates: Vec<ScoredGr>,
+    pruned_frontiers: &HashSet<(NodeDescriptor, EdgeDescriptor)>,
+    stats: &mut MinerStats,
+) -> Vec<ScoredGr> {
+    // Stage 1: the classic merge, keeping every survivor.
+    candidates.sort_by_key(|c| c.gr.l.len() + c.gr.w.len());
+    let mut index = GeneralityIndex::new();
+    let mut survivors: Vec<ScoredGr> = Vec::with_capacity(candidates.len());
+    for cand in candidates {
+        if index.has_more_general(&cand.gr) {
+            stats.rejected_generality += 1;
+            continue;
+        }
+        index.record(&cand.gr);
+        survivors.push(cand);
     }
+    // Stage 2: exactness verification of the ranked prefix. Nothing to
+    // verify when no threshold-passing subtree was ever cut.
+    survivors.sort_by(|a, b| a.rank_cmp(b));
+    let mut memo: HashMap<Gr, bool> = HashMap::new();
+    let mut out: Vec<ScoredGr> = Vec::with_capacity(config.k);
+    for cand in survivors {
+        if out.len() == config.k {
+            break;
+        }
+        if !pruned_frontiers.is_empty()
+            && has_lost_passing_generalization(graph, config, &cand.gr, pruned_frontiers, &mut memo)
+        {
+            stats.rejected_generality += 1;
+            continue;
+        }
+        out.push(cand);
+    }
+    out
+}
+
+/// Does any strict generalization of `gr` (same RHS, `l' ⊆ l`, `w' ⊆ w`,
+/// `(l', w') ≠ (l, w)`) that may have been *lost to bound pruning* — its
+/// `l ∧ w` chain is in `pruned_frontiers` — satisfy the run's thresholds
+/// and reporting gates? Caller guarantees none of `gr`'s generalizations
+/// were collected (stage-one survivors), so frontier hits are evaluated
+/// against the graph, memoized across candidates. A chain absent from
+/// the frontier set was enumerated in full above the user threshold, so
+/// an uncollected candidate there failed the thresholds and cannot
+/// suppress — which is why scanning the (typically near-empty) frontier
+/// set suffices and the candidate's own generalization lattice is never
+/// enumerated.
+fn has_lost_passing_generalization(
+    graph: &SocialGraph,
+    config: &MinerConfig,
+    gr: &Gr,
+    pruned_frontiers: &HashSet<(NodeDescriptor, EdgeDescriptor)>,
+    memo: &mut HashMap<Gr, bool>,
+) -> bool {
+    for (l2, w2) in pruned_frontiers {
+        if l2.is_empty() && !config.allow_empty_lhs {
+            // Empty-LHS GRs are never reported, hence never suppress.
+            continue;
+        }
+        if !l2.is_subset_of(&gr.l) || !w2.is_subset_of(&gr.w) {
+            continue;
+        }
+        if l2.len() == gr.l.len() && w2.len() == gr.w.len() {
+            // Equal condition sets: gr itself, not a *strict*
+            // generalization (equal-size subsets are equal descriptors).
+            continue;
+        }
+        let g2 = Gr::new(l2.clone(), w2.clone(), gr.r.clone());
+        let passes = *memo
+            .entry(g2.clone())
+            .or_insert_with(|| generalization_passes(graph, config, &g2));
+        if passes {
+            return true;
+        }
+    }
+    false
+}
+
+/// Direct threshold evaluation of a candidate suppressor that was not
+/// collected (its score is below the final bound, but Def. 5(2) only
+/// requires it to pass the *user* thresholds).
+fn generalization_passes(graph: &SocialGraph, config: &MinerConfig, g: &Gr) -> bool {
+    if config.suppress_trivial && g.is_trivial(graph.schema()) {
+        return false;
+    }
+    let m = query::evaluate(graph, g);
+    if m.supp < config.min_supp {
+        return false;
+    }
+    let score = config.metric.evaluate(MetricInputs {
+        supp: m.supp,
+        supp_lw: m.supp_lw,
+        heff: m.heff,
+        supp_r: m.supp_r,
+        edges: m.edges,
+    });
+    score >= config.min_score
 }
 
 #[cfg(test)]
@@ -288,6 +693,17 @@ mod tests {
         r.top.iter().map(|s| (s.gr.clone(), s.supp)).collect()
     }
 
+    /// Options that force the dynamic-splitting path even on tiny test
+    /// graphs (`split_min: 1` — every surviving shallow partition is
+    /// detached).
+    fn forced_split(threads: usize) -> ParallelOptions {
+        ParallelOptions {
+            threads,
+            split_min: 1,
+            ..ParallelOptions::default()
+        }
+    }
+
     #[test]
     fn parallel_matches_sequential_static() {
         for seed in 0..4u32 {
@@ -309,6 +725,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn steal_and_split_matrix_is_bit_identical_with_invariant_counters() {
+        // The tentpole guarantee at unit scale: every engine
+        // configuration — stealing on/off, dynamic splitting off /
+        // default / forced-everywhere — returns bit-identical `top` and
+        // identical semantic counters under the static threshold.
+        for seed in [3u32, 8] {
+            let g = sample(seed, 40, 300);
+            let cfg = MinerConfig::nhp(2, 0.3, 20).without_dynamic_topk();
+            let seq = GrMiner::new(&g, cfg.clone()).mine();
+            let dims = Dims::all(g.schema());
+            let mut counters: Option<MinerStats> = None;
+            for threads in [1usize, 2, 4, 8] {
+                for steal in [false, true] {
+                    for (split_depth, split_min) in [(0, 0), (DEFAULT_SPLIT_DEPTH, 1)] {
+                        let par = mine_parallel_with_opts(
+                            &g,
+                            &cfg,
+                            &dims,
+                            ParallelOptions {
+                                threads,
+                                steal,
+                                split_depth,
+                                split_min,
+                                ..ParallelOptions::default()
+                            },
+                        );
+                        assert_eq!(
+                            seq.top, par.top,
+                            "seed {seed} threads {threads} steal {steal} depth {split_depth}"
+                        );
+                        let sem = par.stats.semantic();
+                        match &counters {
+                            None => counters = Some(sem),
+                            Some(c) => assert_eq!(
+                                c, &sem,
+                                "seed {seed} threads {threads} steal {steal} depth {split_depth}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_splitting_actually_detaches_subtrees() {
+        let g = sample(5, 40, 300);
+        let cfg = MinerConfig::nhp(1, 0.3, 20).without_dynamic_topk();
+        let par = mine_parallel_with_opts(&g, &cfg, &Dims::all(g.schema()), forced_split(4));
+        assert!(
+            par.stats.subtree_splits > 0,
+            "split_min = 1 must detach shallow subtrees"
+        );
+        let seq = GrMiner::new(&g, cfg).mine();
+        assert_eq!(seq.top, par.top);
     }
 
     #[test]
@@ -366,6 +840,7 @@ mod tests {
                         ParallelOptions {
                             threads,
                             split_dominant,
+                            ..ParallelOptions::default()
                         },
                     );
                     assert_eq!(
@@ -381,8 +856,8 @@ mod tests {
     fn split_does_not_change_counters() {
         // Each split task counts only its own partition, so the merged
         // *semantic* counters equal the unsplit run's. (The work counters
-        // — elapsed, partition passes, scratch peak — legitimately vary:
-        // every value chunk repeats the top-level counting-sort pass.)
+        // — elapsed, partition passes, scratch peak, steals, splits —
+        // legitimately vary with the execution strategy.)
         let g = sample(5, 40, 300);
         let cfg = MinerConfig::nhp(1, 0.4, 10).without_dynamic_topk();
         let dims = Dims::all(g.schema());
@@ -394,6 +869,7 @@ mod tests {
                 ParallelOptions {
                     threads: 4,
                     split_dominant,
+                    ..ParallelOptions::default()
                 },
             )
             .stats
@@ -420,7 +896,7 @@ mod tests {
             &Dims::all(g.schema()),
             ParallelOptions {
                 threads: 2,
-                split_dominant: true,
+                ..ParallelOptions::default()
             },
         );
         assert_eq!(seq.top, par.top);
@@ -447,6 +923,7 @@ mod tests {
                     ParallelOptions {
                         threads,
                         split_dominant,
+                        ..ParallelOptions::default()
                     },
                 );
                 assert_eq!(seq.top, par.top, "threads {threads} split {split_dominant}");
@@ -472,12 +949,93 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_topk_parallel_matches_static_results_here() {
+        // With `dynamic_topk` on, workers prune against the shared
+        // bound. Results must still equal the static-threshold output on
+        // these fixtures (the same empirical agreement the sequential
+        // dynamic miner asserts), under stealing and forced splitting.
+        for seed in [1u32, 6, 13] {
+            let g = sample(seed, 40, 300);
+            for k in [3usize, 10] {
+                let cfg = MinerConfig::nhp(2, 0.2, k);
+                let seq_static = GrMiner::new(&g, cfg.clone().without_dynamic_topk()).mine();
+                for threads in [2usize, 4] {
+                    let (par, bound) = mine_parallel_traced(
+                        &g,
+                        &cfg,
+                        &Dims::all(g.schema()),
+                        forced_split(threads),
+                    );
+                    assert_eq!(
+                        seq_static.top, par.top,
+                        "seed {seed} k {k} threads {threads}"
+                    );
+                    // Soundness: a published bound never exceeds the
+                    // true k-th score of the final result.
+                    if let Some(b) = bound {
+                        assert_eq!(par.top.len(), k, "bound implies a full top-k");
+                        assert!(
+                            b <= par.top.last().unwrap().score + 1e-12,
+                            "bound {b} exceeds final k-th {}",
+                            par.top.last().unwrap().score
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_bound_prunes_work_in_collect_mode() {
+        // The restored dynamic bound must actually cut work: with a tiny
+        // k, the dynamic parallel run examines no more GRs than the
+        // static one, and strictly fewer when the bound ever tightens.
+        let g = sample(4, 60, 600);
+        let dims = Dims::all(g.schema());
+        let run = |dynamic: bool| {
+            let cfg = MinerConfig::nhp(1, 0.0, 2);
+            let cfg = if dynamic {
+                cfg
+            } else {
+                cfg.without_dynamic_topk()
+            };
+            mine_parallel_with_opts(
+                &g,
+                &cfg,
+                &dims,
+                ParallelOptions {
+                    threads: 2,
+                    ..ParallelOptions::default()
+                },
+            )
+        };
+        let (dynamic, stat) = (run(true), run(false));
+        assert_eq!(dynamic.top, stat.top, "pruning must not change results");
+        assert!(dynamic.stats.grs_examined <= stat.stats.grs_examined);
+        if dynamic.stats.bound_tightenings > 0 {
+            assert!(dynamic.stats.pruned_by_score >= stat.stats.pruned_by_score);
+        }
+    }
+
+    #[test]
     fn zero_threads_means_available_parallelism() {
         let g = sample(3, 20, 100);
         let cfg = MinerConfig::nhp(1, 0.5, 5).without_dynamic_topk();
         let r = mine_parallel(&g, &cfg, 0);
         let seq = GrMiner::new(&g, cfg).mine();
         assert_eq!(keys(&r), keys(&seq));
+    }
+
+    #[test]
+    fn thread_resolution_falls_back_to_one_worker_on_detection_failure() {
+        // Satellite regression: `threads: 0` with an unavailable
+        // `available_parallelism` must degrade to 1 worker (warning),
+        // never panic or abort.
+        let err = || std::io::Error::new(std::io::ErrorKind::Unsupported, "no sysinfo");
+        assert_eq!(resolve_threads_from(0, Err(err())), (1, true));
+        assert_eq!(resolve_threads_from(0, Ok(8)), (8, false));
+        assert_eq!(resolve_threads_from(3, Err(err())), (3, false));
+        assert_eq!(resolve_threads_from(3, Ok(8)), (3, false));
     }
 
     #[test]

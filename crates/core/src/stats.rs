@@ -48,6 +48,21 @@ pub struct MinerStats {
     /// repeated identical runs — the zero-allocation guarantee made
     /// observable. Merged with `max`.
     pub scratch_bytes_peak: u64,
+    /// Successful cross-worker steal operations in the parallel engine
+    /// (each moves a steal-half batch from a sibling's deque). A *work*
+    /// counter: inherently timing-dependent, zero in sequential runs and
+    /// with `--no-steal`.
+    pub tasks_stolen: u64,
+    /// Oversized recursion subtrees the parallel miner detached into
+    /// stealable tasks (`SubtreeTask`). A *work* counter: depends on the
+    /// split policy and thread count, never on the mined data's
+    /// semantics.
+    pub subtree_splits: u64,
+    /// Times a worker tightened the shared dynamic top-k bound (the
+    /// collect-mode restoration of Algorithm 1 line 28). A *work*
+    /// counter: the tightening sequence depends on worker timing even
+    /// though the final results do not.
+    pub bound_tightenings: u64,
     /// Wall-clock time of the run.
     #[serde(with = "duration_serde")]
     pub elapsed: Duration,
@@ -68,19 +83,27 @@ impl MinerStats {
         self.partition_passes += other.partition_passes;
         self.fused_passes += other.fused_passes;
         self.scratch_bytes_peak = self.scratch_bytes_peak.max(other.scratch_bytes_peak);
+        self.tasks_stolen += other.tasks_stolen;
+        self.subtree_splits += other.subtree_splits;
+        self.bound_tightenings += other.bound_tightenings;
         self.elapsed = self.elapsed.max(other.elapsed);
     }
 
     /// Copy with the machine-level instrumentation cleared (`elapsed`,
-    /// `partition_passes`, `fused_passes`, `scratch_bytes_peak`), leaving
+    /// `partition_passes`, `fused_passes`, `scratch_bytes_peak`,
+    /// `tasks_stolen`, `subtree_splits`, `bound_tightenings`), leaving
     /// only the *semantic* counters — the ones that must be bit-identical
-    /// across execution strategies (thread counts, dominant-task
-    /// splitting, fused vs unfused passes) for the same enumeration.
+    /// across execution strategies (thread counts, work stealing,
+    /// dominant-task and subtree splitting, fused vs unfused passes) for
+    /// the same enumeration.
     pub fn semantic(&self) -> MinerStats {
         MinerStats {
             partition_passes: 0,
             fused_passes: 0,
             scratch_bytes_peak: 0,
+            tasks_stolen: 0,
+            subtree_splits: 0,
+            bound_tightenings: 0,
             elapsed: Duration::ZERO,
             ..self.clone()
         }
@@ -91,7 +114,7 @@ impl std::fmt::Display for MinerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "partitions={} grs={} pruned_supp={} pruned_score={} trivial={} general={} accepted={} heff_scans={} passes={} fused={} scratch_peak={} elapsed={:?}",
+            "partitions={} grs={} pruned_supp={} pruned_score={} trivial={} general={} accepted={} heff_scans={} passes={} fused={} scratch_peak={} stolen={} splits={} tightenings={} elapsed={:?}",
             self.partitions_examined,
             self.grs_examined,
             self.pruned_by_supp,
@@ -103,6 +126,9 @@ impl std::fmt::Display for MinerStats {
             self.partition_passes,
             self.fused_passes,
             self.scratch_bytes_peak,
+            self.tasks_stolen,
+            self.subtree_splits,
+            self.bound_tightenings,
             self.elapsed
         )
     }
@@ -179,6 +205,9 @@ mod tests {
             partition_passes: 99,
             fused_passes: 12,
             scratch_bytes_peak: 4096,
+            tasks_stolen: 6,
+            subtree_splits: 4,
+            bound_tightenings: 11,
             elapsed: Duration::from_millis(5),
             ..Default::default()
         };
@@ -188,7 +217,30 @@ mod tests {
         assert_eq!(sem.partition_passes, 0);
         assert_eq!(sem.fused_passes, 0);
         assert_eq!(sem.scratch_bytes_peak, 0);
+        assert_eq!(sem.tasks_stolen, 0);
+        assert_eq!(sem.subtree_splits, 0);
+        assert_eq!(sem.bound_tightenings, 0);
         assert_eq!(sem.elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_adds_engine_work_counters() {
+        let mut a = MinerStats {
+            tasks_stolen: 2,
+            subtree_splits: 1,
+            bound_tightenings: 3,
+            ..Default::default()
+        };
+        let b = MinerStats {
+            tasks_stolen: 5,
+            subtree_splits: 4,
+            bound_tightenings: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.tasks_stolen, 7);
+        assert_eq!(a.subtree_splits, 5);
+        assert_eq!(a.bound_tightenings, 4);
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Top-k accumulation with the rank of Def. 5(3) and the dynamic
-//! `minNhp` upgrade of GRMiner(k) (§V, line 28 of Algorithm 1).
+//! `minNhp` upgrade of GRMiner(k) (§V, line 28 of Algorithm 1), plus the
+//! cross-worker [`SharedBound`] the work-stealing parallel engine uses to
+//! restore that upgrade in collect mode.
 
 use crate::gr::ScoredGr;
+use parking_lot::Mutex;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Heap entry ordered so the binary max-heap keeps the *worst-ranked* GR on
 /// top, making eviction O(log k).
@@ -98,6 +102,79 @@ impl TopK {
     }
 }
 
+/// Sentinel for "no bound published yet": `f64::from_bits(u64::MAX)` is a
+/// NaN, which no metric score ever equals, so real bounds are never
+/// confused with it.
+const BOUND_UNSET: u64 = u64::MAX;
+
+/// The dynamic top-k bound shared by the parallel miner's workers: a
+/// monotonically tightening lower bound on the k-th best score of the
+/// *final merged* result, published through an `AtomicU64` so the
+/// hot-path read ([`SharedBound::get`]) is one relaxed load.
+///
+/// Soundness is the whole design: the bound is fed only candidates that
+/// are **guaranteed to survive the sequential post-pass** — when the
+/// generality filter is off, that is every collected candidate; when it
+/// is on, it is the candidates whose every strictly-more-general form is
+/// excluded from collection by construction (empty edge descriptor and
+/// the minimal reportable LHS width, see `Run::feeds_shared_bound`).
+/// The k-th best score over any subset of the final survivor stream is a
+/// lower bound on the k-th best score over all of it, and the heap only
+/// grows, so every value ever published stays valid forever — stale reads
+/// are merely conservative, which is why relaxed atomics suffice.
+#[derive(Debug)]
+pub struct SharedBound {
+    /// Bits of the current bound, `BOUND_UNSET` until the heap first
+    /// fills to k. Written only while `heap`'s lock is held.
+    bits: AtomicU64,
+    /// Top-k over the sure-survivor candidates offered so far.
+    heap: Mutex<TopK>,
+}
+
+impl SharedBound {
+    /// An unset bound for a run returning `k` GRs.
+    pub fn new(k: usize) -> Self {
+        SharedBound {
+            bits: AtomicU64::new(BOUND_UNSET),
+            heap: Mutex::new(TopK::new(k)),
+        }
+    }
+
+    /// The current published bound, if the heap has filled. Any returned
+    /// value is ≤ the final k-th best score (see type docs), so pruning
+    /// strictly below it never cuts a final top-k member.
+    pub fn get(&self) -> Option<f64> {
+        let bits = self.bits.load(AtomicOrdering::Relaxed);
+        (bits != BOUND_UNSET).then(|| f64::from_bits(bits))
+    }
+
+    /// Offer a candidate known to survive the final merge. Returns `true`
+    /// when the published bound tightened (including its first
+    /// publication). Cheap pre-check: a score at or below the current
+    /// bound can neither enter the heap's top-k scores nor raise the
+    /// k-th, so it skips the lock entirely.
+    pub fn offer(&self, cand: &ScoredGr) -> bool {
+        if let Some(b) = self.get() {
+            if cand.score <= b {
+                return false;
+            }
+        }
+        let mut heap = self.heap.lock();
+        heap.offer(cand.clone());
+        let Some(new_bound) = heap.dynamic_bound() else {
+            return false;
+        };
+        let prev = self.bits.load(AtomicOrdering::Relaxed);
+        if prev == BOUND_UNSET || new_bound > f64::from_bits(prev) {
+            self.bits
+                .store(new_bound.to_bits(), AtomicOrdering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +259,44 @@ mod tests {
     #[should_panic(expected = "k >= 1")]
     fn zero_k_rejected() {
         TopK::new(0);
+    }
+
+    #[test]
+    fn shared_bound_publishes_only_when_full_and_tightens_monotonically() {
+        let b = SharedBound::new(2);
+        assert_eq!(b.get(), None);
+        assert!(!b.offer(&scored(1, 5, 0.5)), "not full yet");
+        assert_eq!(b.get(), None);
+        assert!(b.offer(&scored(2, 5, 0.9)), "fills the heap: first bound");
+        assert_eq!(b.get(), Some(0.5));
+        assert!(!b.offer(&scored(3, 5, 0.4)), "below the bound: rejected");
+        assert_eq!(b.get(), Some(0.5));
+        assert!(b.offer(&scored(4, 5, 0.7)), "evicts the 0.5");
+        assert_eq!(b.get(), Some(0.7));
+        // Equal to the bound: cannot raise the k-th score, skipped.
+        assert!(!b.offer(&scored(5, 99, 0.7)));
+        assert_eq!(b.get(), Some(0.7));
+    }
+
+    #[test]
+    fn shared_bound_is_sound_under_concurrent_offers() {
+        // Whatever the interleaving, the published bound equals the k-th
+        // best of all offered scores (here: 16 distinct scores, k = 4).
+        let b = std::sync::Arc::new(SharedBound::new(4));
+        crossbeam::thread::scope(|scope| {
+            for t in 0..4u16 {
+                let b = std::sync::Arc::clone(&b);
+                scope.spawn(move |_| {
+                    for i in 0..4u16 {
+                        let v = t * 4 + i;
+                        // v + 1: descriptor values must be non-null.
+                        b.offer(&scored(v + 1, 1, f64::from(v) / 16.0));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(b.get(), Some(12.0 / 16.0));
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! ```text
 //! grmine mine  <graph.grm> [--min-supp N] [--min-score F] [--k N]
 //!              [--metric nhp|conf|laplace|gain|ps|conviction|lift]
-//!              [--no-dynamic] [--no-fuse] [--parallel N] [--json]
-//!              [--stats-json]
+//!              [--no-dynamic] [--no-fuse] [--threads N | --parallel N]
+//!              [--no-steal] [--split-depth N] [--json] [--stats-json]
 //! grmine query <graph.grm> "<GR>"            # e.g. "(SEX:F) -> (EDU:Grad)"
 //! grmine gen   <pokec|dblp> <out.grm> [--scale F] [--seed N]
 //! grmine info  <graph.grm>
@@ -14,8 +14,8 @@
 //! `grm_graph::io` (and by `grmine gen`).
 
 use social_ties::core::baseline::{mine_baseline, BaselineKind};
-use social_ties::core::parallel::mine_parallel;
-use social_ties::core::{parse_gr, query};
+use social_ties::core::parallel::{mine_parallel_with_opts, ParallelOptions};
+use social_ties::core::{parse_gr, query, Dims};
 use social_ties::graph::io;
 use social_ties::{generate, GrMiner, MinerConfig, RankMetric};
 use std::process::exit;
@@ -96,16 +96,27 @@ fn cmd_mine(args: &[String]) -> i32 {
     } else {
         f64::NEG_INFINITY
     };
-    let parsed = (|| -> Result<(u64, f64, usize, Option<usize>), String> {
+    type MineFlags = (u64, f64, usize, Option<usize>, Option<usize>);
+    let parsed = (|| -> Result<MineFlags, String> {
+        let threads = match (
+            parse_flag::<usize>(args, "--parallel")?,
+            parse_flag::<usize>(args, "--threads")?,
+        ) {
+            (Some(_), Some(_)) => {
+                return Err("--parallel and --threads are aliases; pass one".to_string())
+            }
+            (p, t) => p.or(t),
+        };
         Ok((
             parse_flag(args, "--min-supp")?
                 .unwrap_or_else(|| ((graph.edge_count() / 1000) as u64).max(1)),
             parse_flag(args, "--min-score")?.unwrap_or(default_score),
             parse_flag(args, "--k")?.unwrap_or(20),
-            parse_flag(args, "--parallel")?,
+            threads,
+            parse_flag(args, "--split-depth")?,
         ))
     })();
-    let (min_supp, min_score, k, parallel) = match parsed {
+    let (min_supp, min_score, k, parallel, split_depth) = match parsed {
         Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
@@ -134,8 +145,31 @@ fn cmd_mine(args: &[String]) -> i32 {
         return 2;
     }
 
-    let result = if let Some(threads) = parallel {
-        mine_parallel(&graph, &cfg.clone().without_dynamic_topk(), threads)
+    if parallel.is_none() && (has_flag(args, "--no-steal") || split_depth.is_some()) {
+        // Engine knobs without an engine would silently do nothing; the
+        // CLI's contract is that a present flag always takes effect.
+        eprintln!("--no-steal/--split-depth configure the parallel engine; add --threads N");
+        return 2;
+    }
+    if parallel.is_some() && (has_flag(args, "--baseline-bl1") || has_flag(args, "--baseline-bl2"))
+    {
+        // The baselines are sequential by design; silently running the
+        // parallel GRMiner instead would mislabel the numbers.
+        eprintln!("--baseline-bl1/--baseline-bl2 are sequential; drop --threads");
+        return 2;
+    }
+    let engine = parallel.map(|threads| ParallelOptions {
+        threads,
+        steal: !has_flag(args, "--no-steal"),
+        split_depth: split_depth.unwrap_or(social_ties::core::parallel::DEFAULT_SPLIT_DEPTH),
+        ..ParallelOptions::default()
+    });
+    let result = if let Some(opts) = engine {
+        // The work-stealing engine honors `dynamic_topk` (shared bound +
+        // exactness-verified post-pass), so the config passes through
+        // unchanged — `--no-dynamic` controls it, exactly as
+        // sequentially.
+        mine_parallel_with_opts(&graph, &cfg, &Dims::all(graph.schema()), opts)
     } else if has_flag(args, "--baseline-bl1") {
         mine_baseline(&graph, &cfg, BaselineKind::Bl1)
     } else if has_flag(args, "--baseline-bl2") {
@@ -146,12 +180,25 @@ fn cmd_mine(args: &[String]) -> i32 {
 
     if stats_json {
         // One JSON object on stdout: the run's MinerStats (including the
-        // partition-engine counters). The ranked report goes to stderr so
-        // stdout stays machine-readable.
+        // partition- and parallel-engine counters). The engine settings
+        // and the ranked report go to stderr so stdout stays a single
+        // machine-readable document.
         println!(
             "{}",
             serde_json::to_string(&result.stats).expect("stats serialize")
         );
+        if let Some(opts) = engine {
+            // threads = 0 means "auto-detect"; echoing the literal 0
+            // would read as zero workers.
+            let threads = match opts.threads {
+                0 => "auto".to_string(),
+                n => n.to_string(),
+            };
+            eprintln!(
+                "engine: threads={} steal={} split_depth={} dynamic={}",
+                threads, opts.steal, opts.split_depth, cfg.dynamic_topk
+            );
+        }
         eprint!("{}", result.report(graph.schema()));
     } else if has_flag(args, "--json") {
         println!(

@@ -158,6 +158,7 @@ fn cli_stats_json_pins_the_counter_schema() {
         keys,
         vec![
             "accepted",
+            "bound_tightenings",
             "elapsed",
             "fused_passes",
             "grs_examined",
@@ -169,6 +170,8 @@ fn cli_stats_json_pins_the_counter_schema() {
             "rejected_generality",
             "rejected_trivial",
             "scratch_bytes_peak",
+            "subtree_splits",
+            "tasks_stolen",
         ],
         "MinerStats JSON schema changed — update consumers and this pin"
     );
@@ -218,6 +221,65 @@ fn cli_stats_json_pins_the_counter_schema() {
     assert_eq!(unfused.fused_passes, 0);
     assert_eq!(fused.semantic(), unfused.semantic());
     assert_eq!(fused_report, unfused_report);
+
+    // The parallel engine flags: `--threads` (alias of `--parallel`)
+    // surfaces the engine settings on stderr in --stats-json mode and
+    // must reproduce the sequential static report; `--no-steal` and
+    // `--split-depth 0` degrade to the static-queue engine. The
+    // sequential run never reports engine settings.
+    assert!(!fused_report.contains("engine:"));
+    let ranked = |report: &str| {
+        report
+            .lines()
+            .filter(|l| !l.starts_with("engine:"))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    let (seq_static, _) = run(&["--no-dynamic"]);
+    let (par_stats, par_report) = run(&["--threads", "2", "--no-dynamic"]);
+    assert!(par_report.contains("engine: threads=2 steal=true"));
+    assert!(par_report.contains("dynamic=false"));
+    // The static enumeration is identical to sequential-static (collect
+    // mode only defers generality, so `accepted` legitimately counts
+    // pre-filter; the dynamic `fused` baseline prunes more).
+    assert_eq!(par_stats.grs_examined, seq_static.grs_examined);
+    assert_eq!(
+        par_stats.partitions_examined,
+        seq_static.partitions_examined
+    );
+    assert_eq!(par_stats.pruned_by_supp, seq_static.pruned_by_supp);
+    assert_eq!(
+        ranked(&par_report),
+        ranked(&fused_report),
+        "parallel static report must match sequential"
+    );
+    let (_, nosteal_report) = run(&["--threads", "2", "--no-steal", "--split-depth", "0"]);
+    assert!(nosteal_report.contains("engine: threads=2 steal=false split_depth=0"));
+    // Dynamic parallel (the default) matches the static results too —
+    // the exactness-verified post-pass at the CLI surface.
+    let (dyn_stats, dyn_report) = run(&["--threads", "2"]);
+    assert!(dyn_report.contains("dynamic=true"));
+    assert_eq!(
+        ranked(&dyn_report),
+        ranked(&fused_report),
+        "dynamic parallel results must match static"
+    );
+    // Work counters may differ under the bound, but never the results.
+    assert!(dyn_stats.grs_examined <= par_stats.grs_examined);
+
+    // Conflicting aliases are rejected.
+    let out = grmine()
+        .args([
+            "mine",
+            path.to_str().unwrap(),
+            "--parallel",
+            "2",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
 }
 
 #[test]

@@ -1,34 +1,83 @@
-//! Parallel-vs-sequential equivalence (the collect-mode guarantee of
-//! `grm_core::parallel`): `mine_parallel` — with and without dominant
-//! root-task splitting, at 2 and 4 threads — must return bit-identical
-//! `top` to the sequential static-threshold `GrMiner::mine`, on the
-//! Fig. 1 toy network and on a Pokec-like workload whose high-cardinality
-//! `Region` dimension is exactly the dominant-task case splitting exists
-//! for.
+//! Parallel-vs-sequential equivalence for the work-stealing engine: the
+//! full matrix of 1/2/4/8 threads × steal on/off × split-depth
+//! {0, default} must return bit-identical `top` AND identical
+//! `MinerStats::semantic()` under the static threshold, on the Fig. 1
+//! toy network and the Pokec-like / DBLP-like workloads. Dynamic mode
+//! (the shared top-k bound + exactness-verified post-pass) must *also*
+//! be bit-identical to the static Definition-5 semantics — the
+//! engine-level guarantee that pruning only ever removes work, never
+//! results.
 
-use social_ties::core::parallel::{mine_parallel, mine_parallel_with_opts, ParallelOptions};
+use social_ties::core::parallel::{
+    mine_parallel, mine_parallel_traced, mine_parallel_with_opts, ParallelOptions,
+    DEFAULT_SPLIT_DEPTH,
+};
 use social_ties::core::Dims;
-use social_ties::datagen::pokec_config_scaled;
+use social_ties::datagen::{dblp_config_scaled, pokec_config_scaled};
 use social_ties::{generate, toy_network, GrMiner, MinerConfig, SocialGraph};
 
-fn assert_parallel_matches_sequential(g: &SocialGraph, cfg: &MinerConfig, label: &str) {
+/// The engine matrix of the tentpole acceptance criteria. `split_min` is
+/// pinned to 1 in the splitting cells so the small fixtures actually
+/// exercise subtree detachment (the production heuristic would skip
+/// them).
+fn engine_matrix() -> Vec<ParallelOptions> {
+    let mut m = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        for steal in [false, true] {
+            for (split_depth, split_min) in [(0usize, 0usize), (DEFAULT_SPLIT_DEPTH, 1)] {
+                m.push(ParallelOptions {
+                    threads,
+                    steal,
+                    split_depth,
+                    split_min,
+                    ..ParallelOptions::default()
+                });
+            }
+        }
+    }
+    m
+}
+
+fn assert_matrix_matches_sequential(g: &SocialGraph, cfg: &MinerConfig, label: &str) {
     let cfg = cfg.clone().without_dynamic_topk();
     let seq = GrMiner::new(g, cfg.clone()).mine();
     let dims = Dims::all(g.schema());
-    for threads in [2usize, 4] {
-        for split_dominant in [false, true] {
-            let par = mine_parallel_with_opts(
-                g,
-                &cfg,
-                &dims,
-                ParallelOptions {
-                    threads,
-                    split_dominant,
-                },
-            );
-            assert_eq!(
-                seq.top, par.top,
-                "{label}: parallel diverged (threads {threads}, split {split_dominant})"
+    let mut counters: Option<social_ties::MinerStats> = None;
+    for opts in engine_matrix() {
+        let par = mine_parallel_with_opts(g, &cfg, &dims, opts);
+        assert_eq!(seq.top, par.top, "{label}: parallel diverged ({opts:?})");
+        let sem = par.stats.semantic();
+        match &counters {
+            None => counters = Some(sem),
+            Some(c) => assert_eq!(c, &sem, "{label}: semantic counters diverged ({opts:?})"),
+        }
+    }
+}
+
+/// Dynamic mode: shared bound + verified post-pass must reproduce the
+/// static Definition-5 output exactly, and the published bound must
+/// never exceed the true k-th score of the result.
+fn assert_dynamic_matches_static(g: &SocialGraph, cfg: &MinerConfig, label: &str) {
+    assert!(cfg.dynamic_topk, "{label}: fixture must exercise the bound");
+    let seq_static = GrMiner::new(g, cfg.clone().without_dynamic_topk()).mine();
+    let dims = Dims::all(g.schema());
+    for threads in [2usize, 4, 8] {
+        let opts = ParallelOptions {
+            threads,
+            split_min: 1,
+            ..ParallelOptions::default()
+        };
+        let (par, bound) = mine_parallel_traced(g, cfg, &dims, opts);
+        assert_eq!(
+            seq_static.top, par.top,
+            "{label}: dynamic parallel deviated from static semantics (threads {threads})"
+        );
+        if let Some(b) = bound {
+            assert_eq!(par.top.len(), cfg.k, "{label}: bound implies a full top-k");
+            let kth = par.top.last().unwrap().score;
+            assert!(
+                b <= kth + 1e-12,
+                "{label}: shared bound {b} exceeds the k-th score {kth}"
             );
         }
     }
@@ -42,8 +91,9 @@ fn toy_network_bit_identical() {
         MinerConfig::nhp(1, 0.0, 100),
         MinerConfig::conf(1, 0.4, 20),
     ] {
-        assert_parallel_matches_sequential(&g, &cfg, "toy");
+        assert_matrix_matches_sequential(&g, &cfg, "toy");
     }
+    assert_dynamic_matches_static(&g, &MinerConfig::nhp(1, 0.2, 5), "toy");
 }
 
 #[test]
@@ -55,8 +105,39 @@ fn pokec_like_bit_identical() {
         MinerConfig::nhp(min_supp, 0.5, 50),
         MinerConfig::conf(min_supp, 0.5, 50),
     ] {
-        assert_parallel_matches_sequential(&g, &cfg, "pokec");
+        assert_matrix_matches_sequential(&g, &cfg, "pokec");
     }
+    assert_dynamic_matches_static(&g, &MinerConfig::nhp(min_supp, 0.5, 25), "pokec");
+}
+
+#[test]
+fn dblp_like_bit_identical() {
+    let g = generate(&dblp_config_scaled(0.05)).unwrap();
+    assert!(g.edge_count() > 0);
+    assert_matrix_matches_sequential(&g, &MinerConfig::nhp(3, 0.5, 50), "dblp");
+    assert_dynamic_matches_static(&g, &MinerConfig::nhp(3, 0.5, 20), "dblp");
+}
+
+#[test]
+fn stealing_and_splitting_engage_on_skewed_workloads() {
+    // The counters must show the engine actually working: with the
+    // production split heuristic forced on (split_min 1) and several
+    // workers on the Region-skewed Pokec workload, subtrees are detached
+    // and stolen.
+    let g = generate(&pokec_config_scaled(0.02)).unwrap();
+    let cfg = MinerConfig::nhp(5, 0.5, 25).without_dynamic_topk();
+    let par = mine_parallel_with_opts(
+        &g,
+        &cfg,
+        &Dims::all(g.schema()),
+        ParallelOptions {
+            threads: 4,
+            split_min: 1,
+            ..ParallelOptions::default()
+        },
+    );
+    assert!(par.stats.subtree_splits > 0, "no subtree was ever detached");
+    assert!(par.stats.tasks_stolen > 0, "no task was ever stolen");
 }
 
 #[test]
@@ -66,8 +147,8 @@ fn oversubscribed_and_degenerate_pools_on_pokec_like_workload() {
     // split_dominant settings must stay bit-identical to sequential and
     // semantic-counters-identical to each other on the workload whose
     // dominant `Region` dimension the splitter targets. (The work
-    // counters — partition passes, scratch peak, elapsed — legitimately
-    // vary: each value chunk repeats the top-level counting-sort pass.)
+    // counters — partition passes, scratch peak, steals, splits, elapsed
+    // — legitimately vary with the execution strategy.)
     let g = generate(&pokec_config_scaled(0.01)).unwrap();
     let cfg = MinerConfig::nhp(5, 0.5, 25).without_dynamic_topk();
     let seq = GrMiner::new(&g, cfg.clone()).mine();
@@ -82,6 +163,7 @@ fn oversubscribed_and_degenerate_pools_on_pokec_like_workload() {
                 ParallelOptions {
                     threads,
                     split_dominant,
+                    ..ParallelOptions::default()
                 },
             );
             assert_eq!(seq.top, par.top, "threads {threads} split {split_dominant}");
@@ -104,7 +186,6 @@ fn oversubscribed_and_degenerate_pools_on_pokec_like_workload() {
 /// counters. Pins the tentpole guarantee end to end.
 #[test]
 fn fused_engine_bit_identical_on_toy_pokec_dblp() {
-    use social_ties::datagen::dblp_config_scaled;
     let workloads: Vec<(&str, SocialGraph, MinerConfig)> = vec![
         (
             "toy",
@@ -151,7 +232,7 @@ fn fused_engine_bit_identical_on_toy_pokec_dblp() {
                 &dims,
                 ParallelOptions {
                     threads,
-                    split_dominant: true,
+                    ..ParallelOptions::default()
                 },
             );
             assert_eq!(fused.top, par.top, "{label}: parallel {threads} diverged");
@@ -170,7 +251,8 @@ fn fused_engine_bit_identical_on_toy_pokec_dblp() {
 
 #[test]
 fn default_entry_point_splits_and_matches() {
-    // `mine_parallel` (splitting on by default) equals sequential too.
+    // `mine_parallel` (stealing, splitting and dominant-task chunking on
+    // by default) equals sequential too.
     let g = generate(&pokec_config_scaled(0.01)).unwrap();
     let cfg = MinerConfig::nhp(5, 0.5, 25).without_dynamic_topk();
     let seq = GrMiner::new(&g, cfg.clone()).mine();

@@ -319,3 +319,46 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // The work-stealing engine's exactness contract on arbitrary graphs:
+    // each case mines sequentially (static) and in parallel (dynamic,
+    // forced splitting), so keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The shared dynamic top-k bound is sound: it never exceeds the
+    /// true k-th score of the final result, and the dynamic parallel
+    /// engine (bound pruning + exactness-verified post-pass) reproduces
+    /// the static Definition-5 output bit for bit — on arbitrary graphs,
+    /// thresholds, k, and thread counts.
+    #[test]
+    fn shared_bound_never_exceeds_true_kth_score(
+        g in arb_graph(),
+        k in 1usize..=8,
+        min_nhp in prop::sample::select(vec![0.0, 0.3, 0.6]),
+        threads in 1usize..=4,
+    ) {
+        use social_ties::core::parallel::{mine_parallel_traced, ParallelOptions};
+        let cfg = MinerConfig::nhp(1, min_nhp, k);
+        let (par, bound) = mine_parallel_traced(
+            &g,
+            &cfg,
+            &social_ties::core::Dims::all(g.schema()),
+            ParallelOptions {
+                threads,
+                split_min: 1,
+                ..ParallelOptions::default()
+            },
+        );
+        let seq = GrMiner::new(&g, cfg.without_dynamic_topk()).mine();
+        prop_assert_eq!(&seq.top, &par.top, "dynamic parallel deviated from static");
+        if let Some(b) = bound {
+            // A published bound implies k sure-survivors existed, so the
+            // result is a full top-k and the bound stays at or below its
+            // weakest member's score.
+            prop_assert_eq!(par.top.len(), k);
+            let kth = par.top.last().unwrap().score;
+            prop_assert!(b <= kth + 1e-12, "bound {} exceeds k-th score {}", b, kth);
+        }
+    }
+}

@@ -1,7 +1,13 @@
 //! Offline, API-compatible subset of `crossbeam`: `thread::scope` with
 //! crossbeam's signature (the closure receives the scope, `spawn` closures
 //! receive it again, and the result is a `Result` that is `Err` when a
-//! worker panicked), implemented on `std::thread::scope`.
+//! worker panicked), implemented on `std::thread::scope`, plus the
+//! `deque` work-stealing types (`Worker`/`Stealer`/`Injector`/`Steal`)
+//! implemented on a mutex-guarded `VecDeque` with crossbeam's steal-half
+//! batching semantics. The registry crate's deques are lock-free; the
+//! stub trades that for simplicity while keeping the call sites drop-in
+//! compatible (tasks here are coarse — whole enumeration subtrees — so
+//! queue operations are nowhere near the contention point).
 
 pub mod thread {
     use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -36,6 +42,191 @@ pub mod thread {
     }
 }
 
+pub mod deque {
+    //! Work-stealing deques mirroring `crossbeam-deque`.
+    //!
+    //! A [`Worker`] is the owner's end of one deque (LIFO pop for cache
+    //! locality), a [`Stealer`] is a shareable handle that takes from the
+    //! opposite end, and an [`Injector`] is a shared FIFO queue for
+    //! seeding work. `steal_batch_and_pop` moves *half* of the source
+    //! queue into the destination worker and returns one task — the
+    //! steal-half policy that keeps thieves from ping-ponging single
+    //! tasks.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source queue was empty.
+        Empty,
+        /// One task was taken.
+        Success(T),
+        /// The attempt lost a race and may be retried. The mutex-based
+        /// stub never produces this, but callers written against the
+        /// lock-free registry crate must handle it, so it exists.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the attempt should be retried.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// Whether the source was empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    fn steal_batch_and_pop_from<T>(src: &Mutex<VecDeque<T>>, dest: &Worker<T>) -> Steal<T> {
+        // Take the batch under the source lock, release, then refill the
+        // destination — the locks are never held together, so a worker
+        // stealing from its own victim's victim cannot deadlock.
+        let batch: Vec<T> = {
+            let mut q = src.lock().expect("deque poisoned");
+            if q.is_empty() {
+                return Steal::Empty;
+            }
+            let take = q.len().div_ceil(2);
+            q.drain(..take).collect()
+        };
+        let mut it = batch.into_iter();
+        let first = it.next().expect("batch is non-empty");
+        let mut q = dest.queue.lock().expect("deque poisoned");
+        for t in it {
+            q.push_back(t);
+        }
+        Steal::Success(first)
+    }
+
+    /// The owner's end of a work-stealing deque.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// New LIFO deque (the owner pops its most recent push — depth
+        /// first — while stealers take the oldest, largest subtrees).
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Push a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Pop from the owner's end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("deque poisoned").pop_back()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// A shareable stealing handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A shareable handle that steals from the opposite end of a
+    /// [`Worker`]'s deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal a single task from the victim's cold end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steal half of the victim's queue into `dest`, returning one of
+        /// the stolen tasks.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            steal_batch_and_pop_from(&self.queue, dest)
+        }
+    }
+
+    /// A shared FIFO queue for injecting initial tasks into the pool.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Empty queue.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueue a task.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Take a single task (FIFO).
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Move half of the queue into `dest`, returning one task.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            // An Injector is not backed by a Worker, so `dest` being one
+            // of its own consumers is fine: the same two-phase locking as
+            // the stealer applies.
+            steal_batch_and_pop_from(&self.queue, dest)
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicU32, Ordering};
@@ -58,5 +249,90 @@ mod tests {
             scope.spawn(|_| panic!("boom"));
         });
         assert!(r.is_err());
+    }
+
+    mod deque {
+        use crate::deque::{Injector, Steal, Worker};
+
+        #[test]
+        fn owner_pops_lifo_stealers_take_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            for i in 0..4 {
+                w.push(i);
+            }
+            assert_eq!(s.steal().success(), Some(0), "stealer takes the oldest");
+            assert_eq!(w.pop(), Some(3), "owner takes the newest");
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), None);
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn steal_batch_moves_half_and_pops_one() {
+            let victim = Worker::new_lifo();
+            let thief = Worker::new_lifo();
+            for i in 0..8 {
+                victim.push(i);
+            }
+            let got = victim.stealer().steal_batch_and_pop(&thief);
+            // Half of 8 = 4 moved from the cold end: 0 returned, 1..=3
+            // land in the thief's deque (owner pops newest first).
+            assert_eq!(got.success(), Some(0));
+            assert_eq!(thief.pop(), Some(3));
+            assert_eq!(thief.pop(), Some(2));
+            assert_eq!(thief.pop(), Some(1));
+            assert_eq!(thief.pop(), None);
+            // The victim keeps the hot half.
+            assert_eq!(victim.pop(), Some(7));
+            assert!(!victim.is_empty());
+        }
+
+        #[test]
+        fn injector_seeds_workers_fifo() {
+            let inj: Injector<u32> = Injector::new();
+            assert!(inj.is_empty());
+            assert!(inj.steal().is_empty());
+            for i in 0..5 {
+                inj.push(i);
+            }
+            let w = Worker::new_lifo();
+            assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(0));
+            assert_eq!(inj.steal().success(), Some(3), "half moved out");
+            assert!(!matches!(inj.steal(), Steal::Retry));
+        }
+
+        #[test]
+        fn concurrent_stealing_conserves_tasks() {
+            use std::sync::atomic::{AtomicU32, Ordering};
+            let victim = Worker::new_lifo();
+            for i in 0..1000u32 {
+                victim.push(i);
+            }
+            let stealer = victim.stealer();
+            let taken = AtomicU32::new(0);
+            crate::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|_| {
+                        let local = Worker::new_lifo();
+                        loop {
+                            match stealer.steal_batch_and_pop(&local) {
+                                Steal::Success(_) => {
+                                    taken.fetch_add(1, Ordering::Relaxed);
+                                    while local.pop().is_some() {
+                                        taken.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                Steal::Empty => break,
+                                Steal::Retry => {}
+                            }
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(taken.load(Ordering::Relaxed), 1000);
+        }
     }
 }
