@@ -39,6 +39,14 @@ fn bench(c: &mut Criterion) {
         let cfg = base.clone().without_fused_partitions();
         b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
     });
+    group.bench_function("scalar_kernel_off", |b| {
+        // The vectorized counting kernels disabled: every gather,
+        // histogram, mask and fused-scatter loop runs its scalar
+        // baseline. Results bit-identical; the delta is the kernel's
+        // end-to-end win.
+        let cfg = base.clone().without_kernel();
+        b.iter(|| GrMiner::with_dims(&graph, cfg.clone(), dims.clone()).mine())
+    });
     group.bench_function("generality_off", |b| {
         let cfg = MinerConfig {
             generality_filter: false,

@@ -7,6 +7,7 @@ use grm_bench::{fixture, Dataset};
 use grm_core::beta::heff_table;
 use grm_core::{query, GrBuilder};
 use grm_datagen::{generate, pokec_config_scaled};
+use grm_graph::kernel;
 use grm_graph::sort::{partition_in_place, PartitionArena};
 use grm_graph::{AttrValue, CompactModel, NodeAttrId, SingleTable};
 
@@ -137,6 +138,85 @@ fn bench_partition_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// The vectorized counting-kernel cells: the scalar counting loop vs
+/// the SWAR primitives ([`kernel::histogram_u32`] striped counting,
+/// [`kernel::gather_keys`] batched gather + hoisted range check), plus
+/// the full arena counting pass with the kernels on and off — the
+/// micro-level before/after of the `scalar_kernel_off` ablation.
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    for n in [10_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        // Histogram: the 189-value Pokec Region domain and a narrow
+        // RHS-chain domain.
+        for buckets in [8usize, 189] {
+            let keys: Vec<AttrValue> = (0..n).map(|i| ((i * 7) % buckets) as u16).collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("hist_scalar_b{buckets}"), n),
+                &n,
+                |b, _| {
+                    let mut counts = vec![0u32; buckets];
+                    b.iter(|| {
+                        counts.iter_mut().for_each(|c| *c = 0);
+                        for &k in &keys {
+                            counts[k as usize] += 1;
+                        }
+                        counts[buckets / 2]
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("hist_swar_b{buckets}"), n),
+                &n,
+                |b, _| {
+                    let mut counts = vec![0u32; buckets];
+                    let mut stripes = vec![0u32; kernel::STRIPES * buckets];
+                    b.iter(|| {
+                        counts.iter_mut().for_each(|c| *c = 0);
+                        kernel::histogram_u32(&keys, &mut counts, &mut stripes);
+                        counts[buckets / 2]
+                    });
+                },
+            );
+        }
+        // Gather + range check (the counting pass front-end).
+        let col: Vec<AttrValue> = (0..n).map(|i| (i % 188 + 1) as u16).collect();
+        let data: Vec<u32> = (0..n as u32).map(|i| (i * 31) % n as u32).collect();
+        group.bench_with_input(BenchmarkId::new("gather_scalar", n), &n, |b, _| {
+            let mut keys = vec![0u16; n];
+            b.iter(|| {
+                let mut max = 0u16;
+                for (k, &id) in keys.iter_mut().zip(&data) {
+                    let v = col[id as usize];
+                    max = max.max(v);
+                    *k = v;
+                }
+                max
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("gather_kernel", n), &n, |b, _| {
+            let mut keys = vec![0u16; n];
+            b.iter(|| kernel::gather_keys(&data, &col, &mut keys).0);
+        });
+        // The full arena counting pass, kernel on vs off.
+        for (bench, on) in [("count_pass_scalar", false), ("count_pass_kernel", true)] {
+            group.bench_with_input(BenchmarkId::new(bench, n), &n, |b, _| {
+                let mut arena = PartitionArena::new();
+                arena.set_kernel_enabled(on);
+                let mut d = data.clone();
+                b.iter(|| {
+                    d.copy_from_slice(&data);
+                    let frame = arena.partition_col(&mut d, 189, &col).unwrap();
+                    let parts = frame.len();
+                    arena.pop_frame(frame);
+                    parts
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_counting_sort(c: &mut Criterion) {
     let mut group = c.benchmark_group("counting_sort");
     for n in [1_000usize, 10_000, 100_000] {
@@ -257,7 +337,7 @@ fn bench_heff_supports(c: &mut Criterion) {
         let mut snap = snapshot.clone();
         b.iter(|| {
             snap.copy_from_slice(&snapshot);
-            let table = heff_table(&mut snap, &pairs, &mut scratch, |p, a| model.r_key(p, a));
+            let table = heff_table(&mut snap, &pairs, &mut scratch, |a| model.r_col(a));
             table[1..].iter().sum::<u64>()
         })
     });
@@ -267,6 +347,7 @@ fn bench_heff_supports(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_partition_engine,
+    bench_kernel,
     bench_counting_sort,
     bench_model_builds,
     bench_query,

@@ -1,19 +1,24 @@
 //! `bench_json` — machine-readable perf numbers for the CI trajectory.
 //!
-//! Two cell groups, selected with `--group` (plain `Instant` timing — no
-//! criterion, so the output shape is stable and trivially diffable
+//! Three cell groups, selected with `--group` (plain `Instant` timing —
+//! no criterion, so the output shape is stable and trivially diffable
 //! across commits):
 //!
 //! * `partition` (default) — the partition-engine micro cells
 //!   (allocating legacy primitive vs arena pass, two-level unfused vs
 //!   fused);
+//! * `kernel` — the vectorized counting-kernel cells (scalar histogram
+//!   vs SWAR stripes, scalar vs batched gather, and the full arena
+//!   counting pass with the kernels on/off — the micro before/after of
+//!   the `scalar_kernel_off` ablation);
 //! * `parallel` — end-to-end thread scaling of the work-stealing miner
 //!   on full-dims Pokec: sequential GRMiner(k), the work-stealing engine
 //!   at 1/2/4 threads, and the static-queue 4-thread engine it replaced.
 //!
 //! ```text
-//! bench_json [--group partition|parallel] [out.json]
+//! bench_json [--group partition|kernel|parallel] [out.json]
 //! # defaults: --group partition → BENCH_partition.json
+//! #           --group kernel    → BENCH_kernel.json
 //! #           --group parallel  → BENCH_parallel.json
 //! ```
 //!
@@ -27,6 +32,7 @@
 use grm_bench::{fixture, Dataset, Table};
 use grm_core::parallel::{mine_parallel_with_opts, ParallelOptions};
 use grm_core::{Dims, GrMiner, MinerConfig};
+use grm_graph::kernel;
 use grm_graph::sort::PartitionArena;
 use grm_graph::AttrValue;
 use std::time::Instant;
@@ -195,6 +201,91 @@ fn partition_cells() -> Vec<Cell> {
     cells
 }
 
+/// The counting-kernel micro cells: scalar histogram vs the SWAR
+/// striped histogram (8- and 189-bucket domains), scalar vs batched
+/// gather with the hoisted range check, and the full arena counting
+/// pass with the kernels on and off.
+fn kernel_cells() -> Vec<Cell> {
+    let mut cells: Vec<Cell> = Vec::new();
+    for n in [10_000usize, 100_000] {
+        for (buckets, scalar_name, swar_name) in [
+            (8usize, "hist_scalar_b8", "hist_swar_b8"),
+            (189, "hist_scalar_b189", "hist_swar_b189"),
+        ] {
+            let keys: Vec<AttrValue> = (0..n).map(|i| ((i * 7) % buckets) as u16).collect();
+            let mut counts = vec![0u32; buckets];
+            cells.push(Cell {
+                group: "kernel",
+                bench: scalar_name,
+                n,
+                median_ns: median_ns(|| {
+                    counts.iter_mut().for_each(|c| *c = 0);
+                    for &k in &keys {
+                        counts[k as usize] += 1;
+                    }
+                    counts[buckets / 2] as u64
+                }),
+            });
+            let mut counts = vec![0u32; buckets];
+            let mut stripes = vec![0u32; kernel::STRIPES * buckets];
+            cells.push(Cell {
+                group: "kernel",
+                bench: swar_name,
+                n,
+                median_ns: median_ns(|| {
+                    counts.iter_mut().for_each(|c| *c = 0);
+                    kernel::histogram_u32(&keys, &mut counts, &mut stripes);
+                    counts[buckets / 2] as u64
+                }),
+            });
+        }
+
+        let col: Vec<AttrValue> = (0..n).map(|i| (i % 188 + 1) as u16).collect();
+        let data: Vec<u32> = (0..n as u32).map(|i| (i * 31) % n as u32).collect();
+        let mut keys = vec![0u16; n];
+        cells.push(Cell {
+            group: "kernel",
+            bench: "gather_scalar",
+            n,
+            median_ns: median_ns(|| {
+                let mut max = 0u16;
+                for (k, &id) in keys.iter_mut().zip(&data) {
+                    let v = col[id as usize];
+                    max = max.max(v);
+                    *k = v;
+                }
+                max as u64
+            }),
+        });
+        let mut keys = vec![0u16; n];
+        cells.push(Cell {
+            group: "kernel",
+            bench: "gather_kernel",
+            n,
+            median_ns: median_ns(|| kernel::gather_keys(&data, &col, &mut keys).0 as u64),
+        });
+
+        for (bench, on) in [("count_pass_scalar", false), ("count_pass_kernel", true)] {
+            let mut arena = PartitionArena::new();
+            arena.set_kernel_enabled(on);
+            let mut d = data.clone();
+            cells.push(Cell {
+                group: "kernel",
+                bench,
+                n,
+                median_ns: median_ns(|| {
+                    d.copy_from_slice(&data);
+                    let frame = arena.partition_col(&mut d, 189, &col).unwrap();
+                    let parts = frame.len() as u64;
+                    arena.pop_frame(frame);
+                    parts
+                }),
+            });
+        }
+    }
+    cells
+}
+
 /// End-to-end thread scaling on full-dims Pokec (minSupp 30, k 100, nhp
 /// — the ablation bench's configuration): the sequential miners, the
 /// work-stealing engine at 1/2/4 threads, and the static-queue engine it
@@ -286,7 +377,7 @@ fn main() {
         Some(i) => match args.get(i + 1) {
             Some(g) => g.clone(),
             None => {
-                eprintln!("--group is missing its value (partition|parallel)");
+                eprintln!("--group is missing its value (partition|kernel|parallel)");
                 std::process::exit(2);
             }
         },
@@ -301,7 +392,7 @@ fn main() {
     // A mistyped flag must fail, not become the output filename.
     if let Some(flagish) = positional.iter().find(|a| a.starts_with('-')) {
         eprintln!(
-            "unknown flag `{flagish}` (usage: bench_json [--group partition|parallel] [out.json])"
+            "unknown flag `{flagish}` (usage: bench_json [--group partition|kernel|parallel] [out.json])"
         );
         std::process::exit(2);
     }
@@ -315,9 +406,10 @@ fn main() {
         .unwrap_or_else(|| format!("BENCH_{group}.json"));
     let cells = match group.as_str() {
         "partition" => partition_cells(),
+        "kernel" => kernel_cells(),
         "parallel" => parallel_cells(),
         other => {
-            eprintln!("unknown --group `{other}` (expected partition|parallel)");
+            eprintln!("unknown --group `{other}` (expected partition|kernel|parallel)");
             std::process::exit(2);
         }
     };

@@ -23,7 +23,11 @@
 //! single counting-partition pass groups the snapshot by its **match
 //! mask** (bit `i` set iff position `p` agrees with `l` on `H_l[i]`), and
 //! a subset-sum sweep turns the mask histogram into `supp(l -w-> l[β])`
-//! for *every* β at once: `heff(β) = Σ_{mask ⊇ β} hist[mask]`.
+//! for *every* β at once: `heff(β) = Σ_{mask ⊇ β} hist[mask]`. The masks
+//! are built one group-by dimension at a time from the compact model's
+//! key *columns* through the vectorized mask kernel
+//! ([`PartitionArena::partition_mask_cols`]), so the pass shares the
+//! miner's batched gather/count machinery.
 
 use crate::descriptor::NodeDescriptor;
 use grm_graph::sort::PartitionArena;
@@ -127,30 +131,33 @@ pub fn homophily_pairs(
 /// `m` — i.e. `supp(l -w-> l[β])` for the β that `m` encodes
 /// ([`BetaSet::local_mask`]).
 ///
-/// Reuses the miner's counting-sort machinery: the snapshot is
-/// partitioned in place by match mask (its order afterwards is
-/// mask-grouped, which no caller depends on), the partition sizes are the
-/// mask histogram, and a superset-sum sweep (`O(k·2^k)`) completes the
-/// table. `pairs.len()` must be at most [`MAX_GROUPBY_ATTRS`].
-pub fn heff_table(
+/// Reuses the miner's counting-sort machinery: `r_col` resolves each
+/// group-by attribute to its RHS key *column* (indexed by edge
+/// position — `CompactModel::r_col`), the snapshot is partitioned in
+/// place by match mask through the vectorized mask pass (its order
+/// afterwards is mask-grouped, which no caller depends on), the
+/// partition sizes are the mask histogram, and a superset-sum sweep
+/// (`O(k·2^k)`) completes the table. `pairs.len()` must be at most
+/// [`MAX_GROUPBY_ATTRS`].
+pub fn heff_table<'c>(
     snapshot: &mut [u32],
     pairs: &[(NodeAttrId, AttrValue)],
     arena: &mut PartitionArena,
-    r_key: impl FnMut(u32, NodeAttrId) -> AttrValue,
+    r_col: impl FnMut(NodeAttrId) -> &'c [AttrValue],
 ) -> Vec<u64> {
     let mut table = Vec::new();
-    heff_table_into(snapshot, pairs, arena, &mut table, r_key);
+    heff_table_into(snapshot, pairs, arena, &mut table, r_col);
     table
 }
 
 /// [`heff_table`] into a caller-provided (pooled) buffer, so steady-state
 /// mining fills the β supports of an `l ∧ w` node without allocating.
-pub fn heff_table_into(
+pub fn heff_table_into<'c>(
     snapshot: &mut [u32],
     pairs: &[(NodeAttrId, AttrValue)],
     arena: &mut PartitionArena,
     table: &mut Vec<u64>,
-    mut r_key: impl FnMut(u32, NodeAttrId) -> AttrValue,
+    mut r_col: impl FnMut(NodeAttrId) -> &'c [AttrValue],
 ) {
     let k = pairs.len();
     assert!(
@@ -158,15 +165,14 @@ pub fn heff_table_into(
         "group-by over {k} homophily attributes exceeds {MAX_GROUPBY_ATTRS}"
     );
     let buckets = 1usize << k;
-    let frame = arena
-        .partition_with(snapshot, buckets, |p| {
-            let mut mask = 0u16;
-            for (i, &(a, v)) in pairs.iter().enumerate() {
-                mask |= u16::from(r_key(p, a) == v) << i;
-            }
-            mask
-        })
-        .expect("match masks lie below 2^|pairs| by construction");
+    // Resolve the group-by dimensions to their columns once (a stack
+    // array — steady-state mining allocates nothing here); the match
+    // masks are then built one dimension at a time by the mask kernel.
+    let mut cols: [(&[AttrValue], AttrValue); MAX_GROUPBY_ATTRS] = [(&[], 0); MAX_GROUPBY_ATTRS];
+    for (slot, &(a, v)) in cols.iter_mut().zip(pairs) {
+        *slot = (r_col(a), v);
+    }
+    let frame = arena.partition_mask_cols(snapshot, &cols[..k]);
     table.clear();
     table.resize(buckets, 0);
     for part in arena.records(&frame) {
@@ -304,9 +310,16 @@ mod tests {
             2 => (p % 3) as AttrValue,     // matches value 2 on p ≡ 2 (mod 3)
             _ => 0,
         };
+        // The columnar form the group-by pass consumes.
+        let col1: Vec<AttrValue> = (0..12).map(|p| r_key(p, NodeAttrId(1))).collect();
+        let col2: Vec<AttrValue> = (0..12).map(|p| r_key(p, NodeAttrId(2))).collect();
         let mut snapshot: Vec<u32> = (0..12).collect();
         let mut arena = PartitionArena::new();
-        let table = heff_table(&mut snapshot, &pairs, &mut arena, r_key);
+        let table = heff_table(&mut snapshot, &pairs, &mut arena, |a| match a.0 {
+            1 => col1.as_slice(),
+            2 => col2.as_slice(),
+            _ => unreachable!("only the group-by attributes are resolved"),
+        });
         assert_eq!(table.len(), 4);
         for (mask, &got) in table.iter().enumerate() {
             let expected = (0..12u32)

@@ -54,6 +54,12 @@ pub struct MinerConfig {
     /// default; outputs are bit-identical either way, so this knob exists
     /// for the `fused_partition_off` ablation and debugging only.
     pub fuse_partitions: bool,
+    /// Route the counting loops through the vectorized batch kernels
+    /// (`grm_graph::kernel` — SWAR by default, `std::simd` under the
+    /// `simd` feature on nightly). On by default; outputs are
+    /// bit-identical either way, so this knob exists for the
+    /// `scalar_kernel_off` ablation and differential testing only.
+    pub use_kernel: bool,
 }
 
 impl Default for MinerConfig {
@@ -70,6 +76,7 @@ impl Default for MinerConfig {
             max_rhs: None,
             allow_empty_lhs: false,
             fuse_partitions: true,
+            use_kernel: true,
         }
     }
 }
@@ -133,6 +140,13 @@ impl MinerConfig {
         self
     }
 
+    /// Disable the vectorized counting kernels (the `scalar_kernel_off`
+    /// ablation; results are bit-identical).
+    pub fn without_kernel(mut self) -> Self {
+        self.use_kernel = false;
+        self
+    }
+
     /// Switch the ranking metric, adjusting the trivial-GR policy to the
     /// metric's convention (suppressed only under nhp).
     pub fn with_metric(mut self, metric: RankMetric) -> Self {
@@ -154,7 +168,9 @@ mod tests {
         assert!(c.suppress_trivial);
         assert!(c.generality_filter);
         assert!(c.fuse_partitions);
-        assert!(!c.without_fused_partitions().fuse_partitions);
+        assert!(c.use_kernel);
+        assert!(!c.clone().without_fused_partitions().fuse_partitions);
+        assert!(!c.without_kernel().use_kernel);
     }
 
     #[test]

@@ -320,12 +320,14 @@ impl<'a, 'g> Run<'a, 'g> {
         cfg: &'a MinerConfig,
         collector: Option<Vec<ScoredGr>>,
     ) -> Self {
+        let mut scratch = MinerScratch::default();
+        scratch.arena.set_kernel_enabled(cfg.use_kernel);
         Run {
             ctx,
             schema,
             dims,
             cfg,
-            scratch: MinerScratch::default(),
+            scratch,
             topk: TopK::new(cfg.k),
             generality: GeneralityIndex::new(),
             stats: MinerStats::default(),
@@ -342,6 +344,7 @@ impl<'a, 'g> Run<'a, 'g> {
     /// allocations).
     pub(crate) fn with_scratch(mut self, scratch: MinerScratch) -> Self {
         self.scratch = scratch;
+        self.scratch.arena.set_kernel_enabled(self.cfg.use_kernel);
         self
     }
 
@@ -409,14 +412,16 @@ impl<'a, 'g> Run<'a, 'g> {
         self.record_scratch_peak();
     }
 
-    /// Record the arena high-water mark. A worker's arena persists
-    /// across its tasks, so the value is monotone per worker; the
-    /// cross-task merge takes the max either way.
+    /// Record the arena high-water mark and drain the kernel batch
+    /// count. A worker's arena persists across its tasks, so the peak is
+    /// monotone per worker (the cross-task merge takes the max either
+    /// way); the batch count is drained so per-task stats stay additive.
     fn record_scratch_peak(&mut self) {
         self.stats.scratch_bytes_peak = self
             .stats
             .scratch_bytes_peak
             .max(self.scratch.arena.peak_bytes() as u64);
+        self.stats.kernel_batches += self.scratch.arena.take_kernel_batches();
     }
 
     /// If the split policy admits this partition (subtree-root frame size
@@ -746,6 +751,14 @@ impl<'a, 'g> Run<'a, 'g> {
             return None;
         }
         let nb = self.schema.node_attr(d).bucket_count();
+        // A zero-bucket next dimension cannot key anything: skip fusion
+        // deterministically instead of handing the arena a doomed fused
+        // pass. Unreachable through a validated schema (every domain
+        // has at least the null bucket), but cheap and load-bearing if
+        // dimension sources ever widen.
+        if nb == 0 {
+            return None;
+        }
         (len * FUSE_COST_RATIO >= buckets * nb).then_some((d, nb))
     }
 
@@ -998,7 +1011,7 @@ impl<'a, 'g> Run<'a, 'g> {
                 &ctx.pairs,
                 &mut self.scratch.arena,
                 &mut table,
-                |p, a| model.r_key(p, a),
+                |a| model.r_col(a),
             );
             ctx.table = Some(table);
         }

@@ -43,6 +43,12 @@ pub struct MinerStats {
     /// (one memory pass over the slice instead of two). Always ≤
     /// `partition_passes`; zero with `MinerConfig::fuse_partitions` off.
     pub fused_passes: u64,
+    /// Full `grm_graph::kernel::LANES`-wide batches processed by the
+    /// vectorized counting kernels (gather, histogram, mask and fused
+    /// scatter loops). A *work* counter: task splitting legitimately
+    /// repeats passes, so this varies with threading; zero with
+    /// `MinerConfig::use_kernel` off.
+    pub kernel_batches: u64,
     /// High-water mark, in bytes, of the partition arena's owned scratch
     /// (`grm_graph::sort::PartitionArena::peak_bytes`). Stable across
     /// repeated identical runs — the zero-allocation guarantee made
@@ -82,6 +88,7 @@ impl MinerStats {
         self.heff_scans += other.heff_scans;
         self.partition_passes += other.partition_passes;
         self.fused_passes += other.fused_passes;
+        self.kernel_batches += other.kernel_batches;
         self.scratch_bytes_peak = self.scratch_bytes_peak.max(other.scratch_bytes_peak);
         self.tasks_stolen += other.tasks_stolen;
         self.subtree_splits += other.subtree_splits;
@@ -90,16 +97,18 @@ impl MinerStats {
     }
 
     /// Copy with the machine-level instrumentation cleared (`elapsed`,
-    /// `partition_passes`, `fused_passes`, `scratch_bytes_peak`,
-    /// `tasks_stolen`, `subtree_splits`, `bound_tightenings`), leaving
-    /// only the *semantic* counters — the ones that must be bit-identical
-    /// across execution strategies (thread counts, work stealing,
-    /// dominant-task and subtree splitting, fused vs unfused passes) for
+    /// `partition_passes`, `fused_passes`, `kernel_batches`,
+    /// `scratch_bytes_peak`, `tasks_stolen`, `subtree_splits`,
+    /// `bound_tightenings`), leaving only the *semantic* counters — the
+    /// ones that must be bit-identical across execution strategies
+    /// (thread counts, work stealing, dominant-task and subtree
+    /// splitting, fused vs unfused passes, kernel vs scalar loops) for
     /// the same enumeration.
     pub fn semantic(&self) -> MinerStats {
         MinerStats {
             partition_passes: 0,
             fused_passes: 0,
+            kernel_batches: 0,
             scratch_bytes_peak: 0,
             tasks_stolen: 0,
             subtree_splits: 0,
@@ -114,7 +123,7 @@ impl std::fmt::Display for MinerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "partitions={} grs={} pruned_supp={} pruned_score={} trivial={} general={} accepted={} heff_scans={} passes={} fused={} scratch_peak={} stolen={} splits={} tightenings={} elapsed={:?}",
+            "partitions={} grs={} pruned_supp={} pruned_score={} trivial={} general={} accepted={} heff_scans={} passes={} fused={} kernel_batches={} scratch_peak={} stolen={} splits={} tightenings={} elapsed={:?}",
             self.partitions_examined,
             self.grs_examined,
             self.pruned_by_supp,
@@ -125,6 +134,7 @@ impl std::fmt::Display for MinerStats {
             self.heff_scans,
             self.partition_passes,
             self.fused_passes,
+            self.kernel_batches,
             self.scratch_bytes_peak,
             self.tasks_stolen,
             self.subtree_splits,
@@ -182,18 +192,21 @@ mod tests {
         let mut a = MinerStats {
             partition_passes: 10,
             fused_passes: 4,
+            kernel_batches: 100,
             scratch_bytes_peak: 1000,
             ..Default::default()
         };
         let b = MinerStats {
             partition_passes: 5,
             fused_passes: 1,
+            kernel_batches: 40,
             scratch_bytes_peak: 800,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.partition_passes, 15);
         assert_eq!(a.fused_passes, 5);
+        assert_eq!(a.kernel_batches, 140);
         assert_eq!(a.scratch_bytes_peak, 1000, "peak merges with max");
     }
 
@@ -204,6 +217,7 @@ mod tests {
             accepted: 3,
             partition_passes: 99,
             fused_passes: 12,
+            kernel_batches: 777,
             scratch_bytes_peak: 4096,
             tasks_stolen: 6,
             subtree_splits: 4,
@@ -216,6 +230,7 @@ mod tests {
         assert_eq!(sem.accepted, 3);
         assert_eq!(sem.partition_passes, 0);
         assert_eq!(sem.fused_passes, 0);
+        assert_eq!(sem.kernel_batches, 0);
         assert_eq!(sem.scratch_bytes_peak, 0);
         assert_eq!(sem.tasks_stolen, 0);
         assert_eq!(sem.subtree_splits, 0);

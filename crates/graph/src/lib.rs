@@ -20,8 +20,17 @@
 //!
 //! Mining itself lives in the `grm-core` crate; synthetic workloads in
 //! `grm-datagen`.
+//!
+//! ### The `simd` feature
+//!
+//! The [`kernel`] batch primitives default to a portable SWAR backend on
+//! stable Rust. Building with `--features simd` on a **nightly**
+//! toolchain switches their lane arithmetic to `std::simd`; on stable
+//! the feature no-ops back to SWAR (outputs are bit-identical either
+//! way — see the [`kernel`] module docs).
 
 #![warn(missing_docs)]
+#![cfg_attr(all(feature = "simd", grm_nightly_simd), feature(portable_simd))]
 
 mod builder;
 mod compact;
@@ -29,6 +38,7 @@ pub mod csv;
 mod error;
 mod graph;
 pub mod io;
+pub mod kernel;
 mod schema;
 mod single_table;
 pub mod sort;

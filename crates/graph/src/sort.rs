@@ -49,6 +49,7 @@
 //! its state back and stays usable.
 
 use crate::error::{GraphError, Result};
+use crate::kernel;
 use crate::value::AttrValue;
 use std::ops::Range;
 
@@ -172,8 +173,9 @@ impl FusedHist {
 /// Internal invariant: `counts` is all-zeros between passes — each pass
 /// re-zeroes exactly the buckets it touched while emitting records, so a
 /// pass costs `O(n + bucket_count)` without a full clear of the largest
-/// histogram ever seen.
-#[derive(Debug, Default, Clone)]
+/// histogram ever seen. The kernel stripe scratch keeps the same
+/// discipline (see [`kernel::histogram_u32`]).
+#[derive(Debug, Clone)]
 pub struct PartitionArena {
     /// Bucket histogram, then (in place) prefix offsets, then cursors.
     counts: Vec<u32>,
@@ -189,13 +191,63 @@ pub struct PartitionArena {
     /// Scattered-order next-key cache per fused level (same discipline).
     fused_keys: Vec<AttrValue>,
     fused_keys_top: usize,
+    /// Per-lane histogram scratch of the counting kernel
+    /// ([`kernel::STRIPES`] stripes; all-zero between passes).
+    stripes: Vec<u32>,
+    /// Route hot loops through the batch kernels (`grm_graph::kernel`).
+    /// On by default; outputs are bit-identical either way, so the
+    /// toggle exists for the `scalar_kernel_off` ablation and the
+    /// differential oracles.
+    use_kernel: bool,
+    /// Full kernel batches processed since the last
+    /// [`PartitionArena::take_kernel_batches`].
+    kernel_batches: u64,
     peak: usize,
 }
 
+impl Default for PartitionArena {
+    fn default() -> Self {
+        PartitionArena {
+            counts: Vec::new(),
+            keys: Vec::new(),
+            scatter: Vec::new(),
+            records: Vec::new(),
+            fused: Vec::new(),
+            fused_top: 0,
+            fused_keys: Vec::new(),
+            fused_keys_top: 0,
+            stripes: Vec::new(),
+            use_kernel: true,
+            kernel_batches: 0,
+            peak: 0,
+        }
+    }
+}
+
 impl PartitionArena {
-    /// Fresh, empty arena (no allocations until the first pass).
+    /// Fresh, empty arena (no allocations until the first pass), with
+    /// the batch kernels enabled.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enable or disable the batch kernels for subsequent passes.
+    /// Outputs are bit-identical either way (the scalar loops are kept
+    /// as the ablation/differential baseline).
+    pub fn set_kernel_enabled(&mut self, on: bool) {
+        self.use_kernel = on;
+    }
+
+    /// Whether passes currently run through the batch kernels.
+    pub fn kernel_enabled(&self) -> bool {
+        self.use_kernel
+    }
+
+    /// Drain the accumulated count of full [`kernel::LANES`]-wide
+    /// batches processed by kernel-backed loops (the miner's
+    /// `kernel_batches` counter; resets to zero).
+    pub fn take_kernel_batches(&mut self) -> u64 {
+        std::mem::take(&mut self.kernel_batches)
     }
 
     /// Stable counting-sort pass keyed by a closure. Used where the key is
@@ -211,18 +263,66 @@ impl PartitionArena {
         K: FnMut(u32) -> AttrValue,
     {
         self.prepare(data.len(), bucket_count);
-        let counts = &mut self.counts[..bucket_count];
+        let n = data.len();
+        // Fill and validate the key cache first (the closure is opaque
+        // to the kernels), then count it positionally — on a bad key the
+        // histogram was never touched, so the all-zeros invariant holds.
         for (i, &id) in data.iter().enumerate() {
             let k = key(id);
             if (k as usize) >= bucket_count {
-                return Err(self.count_failed(k, bucket_count));
+                return Err(GraphError::KeyOutOfRange {
+                    key: k,
+                    bucket_count,
+                });
             }
-            counts[k as usize] += 1;
             self.keys[i] = k;
         }
+        self.count_keys(n, bucket_count);
         let frame = self.scatter_and_emit(data, bucket_count);
         self.note_peak();
         Ok(frame)
+    }
+
+    /// Stable counting-sort pass keyed by a conjunction match mask over
+    /// columnar `(column, value)` pairs: item `id`'s key has bit `i` set
+    /// iff `pairs[i].0[id as usize] == pairs[i].1` — the β group-by of
+    /// `grm_core::beta`, vectorized one dimension at a time through
+    /// [`kernel::mask_eq_accumulate`]. The bucket count is
+    /// `1 << pairs.len()`; every mask lies below it by construction, so
+    /// the pass cannot fail. At most 15 pairs (the mask must fit an
+    /// [`AttrValue`]); columns must cover every id in `data`.
+    pub fn partition_mask_cols(
+        &mut self,
+        data: &mut [u32],
+        pairs: &[(&[AttrValue], AttrValue)],
+    ) -> Frame {
+        assert!(
+            pairs.len() < AttrValue::BITS as usize,
+            "match masks are AttrValue-wide ({} pairs)",
+            pairs.len()
+        );
+        let bucket_count = 1usize << pairs.len();
+        self.prepare(data.len(), bucket_count);
+        let n = data.len();
+        self.keys[..n].fill(0);
+        if self.use_kernel && kernel::batching_pays_off(n) {
+            for (bit, &(col, v)) in pairs.iter().enumerate() {
+                self.kernel_batches +=
+                    kernel::mask_eq_accumulate(data, col, v, bit as u32, &mut self.keys[..n]);
+            }
+        } else {
+            for (i, &id) in data.iter().enumerate() {
+                let mut mask: AttrValue = 0;
+                for (bit, &(col, v)) in pairs.iter().enumerate() {
+                    mask |= AttrValue::from(col[id as usize] == v) << bit;
+                }
+                self.keys[i] = mask;
+            }
+        }
+        self.count_keys(n, bucket_count);
+        let frame = self.scatter_and_emit(data, bucket_count);
+        self.note_peak();
+        frame
     }
 
     /// Stable counting-sort pass over a contiguous key column: item `id`'s
@@ -258,9 +358,21 @@ impl PartitionArena {
         next_buckets: usize,
     ) -> Result<(Frame, FusedLevel)> {
         if next_buckets == 0 && !data.is_empty() {
-            return Err(GraphError::KeyOutOfRange {
-                key: next_col.get(data[0] as usize).copied().unwrap_or(0),
-                bucket_count: 0,
+            // Deterministic bail before any arena state is touched: a
+            // zero-bucket next dimension cannot key any item. Report the
+            // first item's *actual* key; a next column that does not
+            // even cover the data is its own error — never a fabricated
+            // key 0 (which downstream cost models would mistake for a
+            // real NULL key).
+            return Err(match next_col.get(data[0] as usize) {
+                Some(&key) => GraphError::KeyOutOfRange {
+                    key,
+                    bucket_count: 0,
+                },
+                None => GraphError::ColumnTooShort {
+                    len: next_col.len(),
+                    index: data[0] as usize,
+                },
             });
         }
         self.prepare(data.len(), bucket_count);
@@ -293,18 +405,33 @@ impl PartitionArena {
             let scatter = &mut self.scatter[..n];
             let fused = &mut self.fused[base..base + size];
             let fused_keys = &mut self.fused_keys[keys_base..keys_base + n];
-            let clamp = next_buckets.saturating_sub(1);
-            for i in 0..n {
-                let id = data[i];
-                let k = keys[i] as usize;
-                let dst = counts[k] as usize;
-                counts[k] += 1;
-                scatter[dst] = id;
-                let nk = next_col[id as usize] as usize;
-                bad |= nk > clamp;
-                let nk = nk.min(clamp);
-                fused[k * next_buckets + nk] += 1;
-                fused_keys[dst] = nk as AttrValue;
+            if self.use_kernel && kernel::batching_pays_off(n) {
+                let (b, batches) = kernel::scatter_with_count(
+                    data,
+                    keys,
+                    counts,
+                    scatter,
+                    next_col,
+                    next_buckets,
+                    fused,
+                    fused_keys,
+                );
+                bad = b;
+                self.kernel_batches += batches;
+            } else {
+                let clamp = next_buckets.saturating_sub(1);
+                for i in 0..n {
+                    let id = data[i];
+                    let k = keys[i] as usize;
+                    let dst = counts[k] as usize;
+                    counts[k] += 1;
+                    scatter[dst] = id;
+                    let nk = next_col[id as usize] as usize;
+                    bad |= nk > clamp;
+                    let nk = nk.min(clamp);
+                    fused[k * next_buckets + nk] += 1;
+                    fused_keys[dst] = nk as AttrValue;
+                }
             }
         }
         if bad {
@@ -461,13 +588,55 @@ impl PartitionArena {
         if self.scatter.len() < n {
             self.scatter.resize(n, 0);
         }
+        if self.use_kernel {
+            let want = kernel::STRIPES * bucket_count;
+            if self.stripes.len() < want {
+                self.stripes.resize(want, 0);
+            }
+        }
     }
 
-    /// Chunked counting loop over a contiguous key column: gathers for a
-    /// whole chunk issue before the (serially dependent) increments.
+    /// Counting phase over a contiguous key column. With the kernels on
+    /// and a slice large enough for the stripes to pay
+    /// ([`kernel::stripes_pay_off`]): one gather pass fills the key
+    /// cache and returns the key maximum (the range check hoisted out
+    /// of the loop), then the striped histogram counts the cache
+    /// positionally — on a bad key the histogram was never touched, and
+    /// the first offender in scan order is recovered from the cache for
+    /// the error (cold path). Small passes — the bulk of a
+    /// heavily-pruned mining recursion — use the single fused
+    /// gather-and-count loop below, which is also the
+    /// `scalar_kernel_off` baseline.
     fn count_col(&mut self, data: &[u32], bucket_count: usize, col: &[AttrValue]) -> Result<()> {
+        let n = data.len();
+        if self.use_kernel && kernel::stripes_pay_off(n, bucket_count) {
+            let (max, batches) = kernel::gather_keys(data, col, &mut self.keys[..n]);
+            self.kernel_batches += batches;
+            if (max as usize) >= bucket_count {
+                let key = self.keys[..n]
+                    .iter()
+                    .copied()
+                    .find(|&k| (k as usize) >= bucket_count)
+                    .expect("the key maximum exceeded the bucket count");
+                return Err(GraphError::KeyOutOfRange { key, bucket_count });
+            }
+            self.kernel_batches += kernel::histogram_u32(
+                &self.keys[..n],
+                &mut self.counts[..bucket_count],
+                &mut self.stripes[..kernel::STRIPES * bucket_count],
+            );
+            return Ok(());
+        }
+        if self.use_kernel {
+            // The small-pass strategy still processes whole batches (the
+            // chunked gathers below); account for them.
+            self.kernel_batches += kernel::batches(n);
+        }
+        // One-pass chunked loop (small kernel passes and the
+        // `scalar_kernel_off` baseline): gathers for a whole chunk issue
+        // before the (serially dependent) increments.
         let counts = &mut self.counts[..bucket_count];
-        let keys = &mut self.keys[..data.len()];
+        let keys = &mut self.keys[..n];
         let mut bad: Option<AttrValue> = None;
         let mut i = 0usize;
         let chunks = data.chunks_exact(8);
@@ -508,6 +677,25 @@ impl PartitionArena {
         match bad {
             Some(k) => Err(self.count_failed(k, bucket_count)),
             None => Ok(()),
+        }
+    }
+
+    /// Count the first `n` cached keys into the histogram — striped
+    /// kernel counting when enabled, the plain loop otherwise. Keys
+    /// must already be validated `< bucket_count`.
+    fn count_keys(&mut self, n: usize, bucket_count: usize) {
+        let keys = &self.keys[..n];
+        let counts = &mut self.counts[..bucket_count];
+        if self.use_kernel {
+            self.kernel_batches += kernel::histogram_u32(
+                keys,
+                counts,
+                &mut self.stripes[..kernel::STRIPES * bucket_count],
+            );
+        } else {
+            for &k in keys {
+                counts[k as usize] += 1;
+            }
         }
     }
 
@@ -574,7 +762,8 @@ impl PartitionArena {
             + self.scatter.capacity() * std::mem::size_of::<u32>()
             + self.records.capacity() * std::mem::size_of::<PartRec>()
             + self.fused.capacity() * std::mem::size_of::<u32>()
-            + self.fused_keys.capacity() * std::mem::size_of::<AttrValue>();
+            + self.fused_keys.capacity() * std::mem::size_of::<AttrValue>()
+            + self.stripes.capacity() * std::mem::size_of::<u32>();
         self.peak = self.peak.max(bytes);
     }
 }
@@ -838,21 +1027,37 @@ mod tests {
 
     #[test]
     fn fused_zero_next_buckets_is_an_error_not_a_panic() {
-        // Degenerate public-API call: non-empty data, zero next buckets,
-        // empty next column. Must be the checked error, not an index
-        // panic inside the error construction.
+        // Degenerate public-API call: non-empty data, zero next buckets.
+        // Must be a checked error, not an index panic inside the error
+        // construction — and the reported key must be the item's *real*
+        // key when the column covers it, never a fabricated 0.
         let mut arena = PartitionArena::new();
         let mut data = vec![0u32];
         let err = arena
-            .partition_col_fused(&mut data, 1, &[0u16], &[], 0)
+            .partition_col_fused(&mut data, 1, &[0u16], &[7u16], 0)
             .unwrap_err();
-        assert!(matches!(
+        assert_eq!(
             err,
             GraphError::KeyOutOfRange {
-                bucket_count: 0,
-                ..
-            }
-        ));
+                key: 7,
+                bucket_count: 0
+            },
+            "the error must carry the real first key"
+        );
+        // A next column that does not cover the data is its own error
+        // (the old path fabricated key 0 here).
+        let err = arena
+            .partition_col_fused(&mut data, 1, &[0u16], &[], 0)
+            .unwrap_err();
+        assert_eq!(err, GraphError::ColumnTooShort { len: 0, index: 0 });
+        assert!(err.to_string().contains("cannot cover position 0"));
+        // Either bail leaves the arena fully usable.
+        let (f, lvl) = arena
+            .partition_col_fused(&mut data, 1, &[0u16], &[0u16], 1)
+            .unwrap();
+        assert_eq!(f.len(), 1);
+        arena.pop_frame(f);
+        arena.pop_fused(lvl);
         // Empty data with zero next buckets is a valid empty level.
         let mut empty: Vec<u32> = vec![];
         let (f, lvl) = arena
@@ -861,6 +1066,107 @@ mod tests {
         assert!(f.is_empty());
         arena.pop_frame(f);
         arena.pop_fused(lvl);
+    }
+
+    /// The batch kernels are a pure execution strategy: every pass kind
+    /// produces bit-identical data, records and fused state with the
+    /// kernels on and off.
+    #[test]
+    fn kernel_and_scalar_passes_are_bit_identical() {
+        let n = 1013u32;
+        let col: Vec<u16> = (0..n).map(|i| (i * 7 % 23) as u16).collect();
+        let next: Vec<u16> = (0..n).map(|i| (i * 13 % 6) as u16).collect();
+        let base: Vec<u32> = (0..n).map(|i| (i * 31) % n).collect();
+        let mask_col: Vec<u16> = (0..n).map(|i| (i % 3) as u16).collect();
+
+        let run = |kernel_on: bool| {
+            let mut arena = PartitionArena::new();
+            arena.set_kernel_enabled(kernel_on);
+            assert_eq!(arena.kernel_enabled(), kernel_on);
+            let mut data = base.clone();
+            // Plain columnar pass.
+            let f = arena.partition_col(&mut data, 23, &col).unwrap();
+            let plain_recs = arena.records(&f).to_vec();
+            arena.pop_frame(f);
+            let plain_data = data.clone();
+            // Fused pass + every child consumed.
+            let mut data2 = base.clone();
+            let (f, lvl) = arena
+                .partition_col_fused(&mut data2, 23, &col, &next, 6)
+                .unwrap();
+            let fused_recs = arena.records(&f).to_vec();
+            let mut children = Vec::new();
+            for rec in fused_recs.clone() {
+                let hist = arena.child_hist(lvl, rec);
+                let sub = &mut data2[rec.range()];
+                let cf = arena.partition_pre_counted(sub, 6, hist);
+                children.push((sub.to_vec(), arena.records(&cf).to_vec()));
+                arena.pop_frame(cf);
+            }
+            arena.pop_frame(f);
+            arena.pop_fused(lvl);
+            // Mask pass (the β group-by shape).
+            let mut data3 = base.clone();
+            let mf = arena.partition_mask_cols(
+                &mut data3,
+                &[(mask_col.as_slice(), 1), (next.as_slice(), 2)],
+            );
+            let mask_recs = arena.records(&mf).to_vec();
+            arena.pop_frame(mf);
+            let batches = arena.take_kernel_batches();
+            (
+                plain_data, plain_recs, data2, fused_recs, children, data3, mask_recs, batches,
+            )
+        };
+        let with_kernel = run(true);
+        let without = run(false);
+        assert_eq!(with_kernel.0, without.0, "plain pass data");
+        assert_eq!(with_kernel.1, without.1, "plain pass records");
+        assert_eq!(with_kernel.2, without.2, "fused pass data");
+        assert_eq!(with_kernel.3, without.3, "fused pass records");
+        assert_eq!(with_kernel.4, without.4, "pre-counted children");
+        assert_eq!(with_kernel.5, without.5, "mask pass data");
+        assert_eq!(with_kernel.6, without.6, "mask pass records");
+        assert!(with_kernel.7 > 0, "kernel batches counted when enabled");
+        assert_eq!(without.7, 0, "no kernel batches in scalar mode");
+    }
+
+    #[test]
+    fn kernel_batches_drain() {
+        let mut arena = PartitionArena::new();
+        let col: Vec<u16> = (0..100).map(|i| (i % 7) as u16).collect();
+        let mut data: Vec<u32> = (0..100).collect();
+        let f = arena.partition_col(&mut data, 7, &col).unwrap();
+        arena.pop_frame(f);
+        let first = arena.take_kernel_batches();
+        assert!(first > 0);
+        assert_eq!(arena.take_kernel_batches(), 0, "draining resets");
+    }
+
+    #[test]
+    fn mask_pass_matches_closure_pass() {
+        // partition_mask_cols must equal partition_with on the same
+        // match-mask key, bit for bit.
+        let n = 317u32;
+        let c1: Vec<u16> = (0..n).map(|i| (i % 4) as u16).collect();
+        let c2: Vec<u16> = (0..n).map(|i| (i * 11 % 5) as u16).collect();
+        let base: Vec<u32> = (0..n).map(|i| (i * 13) % n).collect();
+        let mut arena = PartitionArena::new();
+
+        let mut by_closure = base.clone();
+        let f = arena
+            .partition_with(&mut by_closure, 4, |id| {
+                u16::from(c1[id as usize] == 2) | (u16::from(c2[id as usize] == 3) << 1)
+            })
+            .unwrap();
+        let closure_recs = arena.records(&f).to_vec();
+        arena.pop_frame(f);
+
+        let mut by_mask = base.clone();
+        let f = arena.partition_mask_cols(&mut by_mask, &[(c1.as_slice(), 2), (c2.as_slice(), 3)]);
+        assert_eq!(arena.records(&f), &closure_recs[..]);
+        arena.pop_frame(f);
+        assert_eq!(by_mask, by_closure);
     }
 
     #[test]

@@ -142,17 +142,34 @@ pub fn dst_marginal(graph: &SocialGraph, attr: NodeAttrId) -> Vec<u64> {
     counts
 }
 
-/// Degree summary: (min, median, mean, max) of the given degree sequence.
-pub fn degree_summary(mut degrees: Vec<u32>) -> (u32, u32, f64, u32) {
+/// Summary of a degree sequence. All-zero for an empty sequence (a
+/// zero-node graph is a legal audit input, not a panic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Smallest degree (0 when the sequence is empty).
+    pub min: u32,
+    /// Upper median degree.
+    pub median: u32,
+    /// Mean degree.
+    pub mean: f64,
+    /// Largest degree.
+    pub max: u32,
+}
+
+/// Degree summary of the given degree sequence. An empty sequence —
+/// e.g. the out-degrees of a zero-node graph — yields the zeroed
+/// [`DegreeStats`] rather than panicking on the missing extrema.
+pub fn degree_summary(mut degrees: Vec<u32>) -> DegreeStats {
     if degrees.is_empty() {
-        return (0, 0, 0.0, 0);
+        return DegreeStats::default();
     }
     degrees.sort_unstable();
-    let min = degrees[0];
-    let max = *degrees.last().expect("non-empty");
-    let median = degrees[degrees.len() / 2];
-    let mean = degrees.iter().map(|&d| d as f64).sum::<f64>() / degrees.len() as f64;
-    (min, median, mean, max)
+    DegreeStats {
+        min: degrees[0],
+        median: degrees[degrees.len() / 2],
+        mean: degrees.iter().map(|&d| d as f64).sum::<f64>() / degrees.len() as f64,
+        max: degrees[degrees.len() - 1],
+    }
 }
 
 /// Render a one-screen audit of the network: sizes, degrees, per-attribute
@@ -165,9 +182,10 @@ pub fn audit_report(graph: &SocialGraph) -> String {
         graph.node_count(),
         graph.edge_count()
     ));
-    let (dmin, dmed, dmean, dmax) = degree_summary(graph.out_degrees());
+    let deg = degree_summary(graph.out_degrees());
     out.push_str(&format!(
-        "out-degree: min {dmin}, median {dmed}, mean {dmean:.2}, max {dmax}\n"
+        "out-degree: min {}, median {}, mean {:.2}, max {}\n",
+        deg.min, deg.median, deg.mean, deg.max
     ));
     out.push_str("attribute            assortativity  same-edge%  expected%  verdict\n");
     for score in homophily_scores(graph) {
@@ -274,10 +292,31 @@ mod tests {
 
     #[test]
     fn degree_summary_basics() {
-        assert_eq!(degree_summary(vec![]), (0, 0, 0.0, 0));
-        let (min, med, mean, max) = degree_summary(vec![3, 1, 2, 10]);
-        assert_eq!((min, med, max), (1, 3, 10));
-        assert!((mean - 4.0).abs() < 1e-12);
+        let d = degree_summary(vec![3, 1, 2, 10]);
+        assert_eq!((d.min, d.median, d.max), (1, 3, 10));
+        assert!((d.mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_summary_empty_is_zeroed_not_a_panic() {
+        // Regression: the empty sequence (zero-node graph) must yield
+        // the zeroed summary, never reach for the missing extrema.
+        assert_eq!(degree_summary(vec![]), DegreeStats::default());
+        let z = degree_summary(Vec::new());
+        assert_eq!((z.min, z.median, z.max), (0, 0, 0));
+        assert_eq!(z.mean, 0.0);
+    }
+
+    #[test]
+    fn audit_report_of_zero_node_graph() {
+        let schema = SchemaBuilder::new()
+            .node_attr("A", 2, true)
+            .build()
+            .unwrap();
+        let g = GraphBuilder::new(schema).build().unwrap();
+        let report = audit_report(&g);
+        assert!(report.contains("nodes: 0   edges: 0"));
+        assert!(report.contains("out-degree: min 0, median 0, mean 0.00, max 0"));
     }
 
     #[test]

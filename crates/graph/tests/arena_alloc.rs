@@ -35,6 +35,11 @@ fn allocs() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
 
+/// The allocation counter is process-global, so the tests in this file
+/// must not overlap — a sibling test's allocations would land inside
+/// the steady-state measurement window and fail it spuriously.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Synthetic columnar workload: `dims` key columns over `n` positions,
 /// deterministic values, mixed domain sizes.
 fn columns(n: usize, dims: usize) -> Vec<Vec<AttrValue>> {
@@ -111,6 +116,7 @@ fn recurse(
 
 #[test]
 fn steady_state_recursion_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap();
     let n = 20_000usize;
     let cols = columns(n, 4);
     let buckets: Vec<usize> = [3, 7, 19, 5].to_vec();
@@ -140,6 +146,7 @@ fn steady_state_recursion_allocates_nothing() {
 
 #[test]
 fn partitions_stay_correct_under_reuse() {
+    let _serial = SERIAL.lock().unwrap();
     // Same harness, smaller, with output verification: after the full
     // recursion the data is sorted by the composite key prefix.
     let n = 3_000usize;

@@ -3,12 +3,20 @@
 //! ```text
 //! grmine mine  <graph.grm> [--min-supp N] [--min-score F] [--k N]
 //!              [--metric nhp|conf|laplace|gain|ps|conviction|lift]
-//!              [--no-dynamic] [--no-fuse] [--threads N | --parallel N]
+//!              [--no-dynamic] [--no-fuse] [--no-kernel]
+//!              [--threads N | --parallel N]
 //!              [--no-steal] [--split-depth N] [--json] [--stats-json]
 //! grmine query <graph.grm> "<GR>"            # e.g. "(SEX:F) -> (EDU:Grad)"
 //! grmine gen   <pokec|dblp> <out.grm> [--scale F] [--seed N]
 //! grmine info  <graph.grm>
 //! ```
+//!
+//! Degenerate numeric flags are strict: `--k` and `--min-supp` must be
+//! at least 1 (a zero would silently disable top-k selection / support
+//! pruning). `--threads 0` is *documented* behavior, not an error: it
+//! means "auto-detect available parallelism" (falling back to one
+//! worker, with a warning, when detection fails); `--split-depth 0`
+//! disables subtree splitting.
 //!
 //! The graph format is the self-describing GRMGRAPH text format written by
 //! `grm_graph::io` (and by `grmine gen`).
@@ -123,6 +131,18 @@ fn cmd_mine(args: &[String]) -> i32 {
             return 2;
         }
     };
+    // Strict degenerate-value checks (module docs): a zero here would
+    // not crash so much as silently run a meaningless configuration —
+    // `--k 0` selects nothing and `--min-supp 0` disables support
+    // pruning entirely.
+    if k == 0 {
+        eprintln!("--k must be at least 1 (0 would select no GRs)");
+        return 2;
+    }
+    if min_supp == 0 {
+        eprintln!("--min-supp must be at least 1 (0 would disable support pruning)");
+        return 2;
+    }
     let mut cfg = MinerConfig {
         min_supp,
         min_score,
@@ -134,6 +154,9 @@ fn cmd_mine(args: &[String]) -> i32 {
     }
     if has_flag(args, "--no-fuse") {
         cfg.fuse_partitions = false;
+    }
+    if has_flag(args, "--no-kernel") {
+        cfg.use_kernel = false;
     }
     if has_flag(args, "--allow-empty-lhs") {
         cfg.allow_empty_lhs = true;

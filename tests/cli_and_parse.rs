@@ -163,6 +163,7 @@ fn cli_stats_json_pins_the_counter_schema() {
             "fused_passes",
             "grs_examined",
             "heff_scans",
+            "kernel_batches",
             "partition_passes",
             "partitions_examined",
             "pruned_by_score",
@@ -180,6 +181,7 @@ fn cli_stats_json_pins_the_counter_schema() {
     assert!(stats.partition_passes > 0);
     assert!(stats.scratch_bytes_peak > 0);
     assert!(stats.fused_passes <= stats.partition_passes);
+    assert!(stats.kernel_batches > 0, "the counting kernel is live");
     // The human report still arrives, on stderr.
     assert!(String::from_utf8_lossy(&out.stderr).contains("score="));
 
@@ -221,6 +223,13 @@ fn cli_stats_json_pins_the_counter_schema() {
     assert_eq!(unfused.fused_passes, 0);
     assert_eq!(fused.semantic(), unfused.semantic());
     assert_eq!(fused_report, unfused_report);
+
+    // --no-kernel (the scalar_kernel_off ablation toggle) zeroes
+    // kernel_batches but must not change the mined results either.
+    let (scalar, scalar_report) = run(&["--no-kernel"]);
+    assert_eq!(scalar.kernel_batches, 0);
+    assert_eq!(fused.semantic(), scalar.semantic());
+    assert_eq!(fused_report, scalar_report);
 
     // The parallel engine flags: `--threads` (alias of `--parallel`)
     // surfaces the engine settings on stderr in --stats-json mode and
@@ -323,14 +332,22 @@ fn cli_rejects_malformed_flag_values() {
         .status
         .success());
 
-    // A present numeric flag with a bad or missing value must fail
-    // loudly, not silently fall back to a default.
+    // A present numeric flag with a bad, missing, or degenerate value
+    // must fail loudly, not silently fall back to a default (or worse,
+    // run a meaningless configuration: `--k 0` would select nothing,
+    // `--min-supp 0` would disable support pruning, and negative values
+    // must die in the unsigned parse).
     for bad in [
         vec!["mine", path.to_str().unwrap(), "--min-supp", "three"],
         vec!["mine", path.to_str().unwrap(), "--k", "many"],
         vec!["mine", path.to_str().unwrap(), "--min-score", "high"],
         vec!["mine", path.to_str().unwrap(), "--parallel", "all"],
         vec!["mine", path.to_str().unwrap(), "--k"],
+        vec!["mine", path.to_str().unwrap(), "--k", "0"],
+        vec!["mine", path.to_str().unwrap(), "--k", "-1"],
+        vec!["mine", path.to_str().unwrap(), "--min-supp", "0"],
+        vec!["mine", path.to_str().unwrap(), "--min-supp", "-3"],
+        vec!["mine", path.to_str().unwrap(), "--split-depth", "-1"],
         vec!["gen", "dblp", "/tmp/x.grm", "--scale", "big"],
         vec!["gen", "dblp", "/tmp/x.grm", "--scale", "0"],
         vec!["gen", "dblp", "/tmp/x.grm", "--seed", "yes"],
@@ -347,6 +364,37 @@ fn cli_rejects_malformed_flag_values() {
             "expected a message on stderr for {bad:?}"
         );
     }
+}
+
+#[test]
+fn cli_threads_zero_is_documented_auto_detect() {
+    // `--threads 0` means "auto-detect available parallelism" — a
+    // documented degenerate value, not an error and never a panic. The
+    // engine echo reports it as `auto`.
+    let path = tmp("threads0.grm");
+    assert!(grmine()
+        .args(["gen", "dblp", path.to_str().unwrap(), "--scale", "0.03"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = grmine()
+        .args([
+            "mine",
+            path.to_str().unwrap(),
+            "--k",
+            "5",
+            "--min-supp",
+            "3",
+            "--threads",
+            "0",
+            "--stats-json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "--threads 0 must run: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("engine: threads=auto"), "got: {stderr}");
 }
 
 #[test]

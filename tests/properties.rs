@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use social_ties::core::reference::mine_reference;
 use social_ties::graph::io;
+use social_ties::graph::kernel;
 use social_ties::graph::sort::{partition_by, PartitionArena};
 use social_ties::{Gr, GrMiner, MinerConfig, SchemaBuilder, SocialGraph};
 
@@ -239,6 +240,83 @@ proptest! {
         }
         arena.pop_frame(f1);
         prop_assert_eq!(&plain, &oracle, "unfused engine diverged from sort_by_key");
+    }
+
+    /// The vectorized counting kernels against their scalar oracles, on
+    /// arbitrary key material: the gather reproduces `col[data[i]]` and
+    /// reports the true maximum; the striped histogram equals the naive
+    /// count (and re-zeroes its stripes); and a full arena pass — plain
+    /// and fused — is bit-identical with the kernels on and off.
+    #[test]
+    fn kernel_primitives_match_scalar_oracle(
+        domain in 1u16..=24,
+        next_domain in 1u16..=6,
+        seed in any::<u64>(),
+        n in 0usize..400,
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let col: Vec<u16> = (0..n).map(|_| (next() % domain as u64) as u16).collect();
+        let next_col: Vec<u16> = (0..n).map(|_| (next() % next_domain as u64) as u16).collect();
+        let data: Vec<u32> = {
+            let mut d: Vec<u32> = (0..n as u32).collect();
+            // A deterministic shuffle so gathers are non-sequential.
+            for i in (1..d.len()).rev() {
+                d.swap(i, (next() % (i as u64 + 1)) as usize);
+            }
+            d
+        };
+
+        // gather_keys: exact values + exact maximum.
+        let mut keys = vec![0u16; n];
+        let (max, _) = kernel::gather_keys(&data, &col, &mut keys);
+        let expect: Vec<u16> = data.iter().map(|&id| col[id as usize]).collect();
+        prop_assert_eq!(&keys, &expect);
+        prop_assert_eq!(max, expect.iter().copied().max().unwrap_or(0));
+
+        // histogram_u32: equals the naive count; stripes re-zeroed.
+        let b = domain as usize;
+        let mut counts = vec![0u32; b];
+        let mut stripes = vec![0u32; kernel::STRIPES * b];
+        kernel::histogram_u32(&keys, &mut counts, &mut stripes);
+        let mut naive = vec![0u32; b];
+        for &k in &keys {
+            naive[k as usize] += 1;
+        }
+        prop_assert_eq!(&counts, &naive);
+        prop_assert!(stripes.iter().all(|&s| s == 0), "stripes must re-zero");
+
+        // Arena passes: kernel on vs off, plain and fused, bit for bit.
+        let run = |on: bool| {
+            let mut arena = PartitionArena::new();
+            arena.set_kernel_enabled(on);
+            let mut plain = data.clone();
+            let f = arena.partition_col(&mut plain, b, &col).unwrap();
+            let precs = arena.records(&f).to_vec();
+            arena.pop_frame(f);
+            let mut fused = data.clone();
+            let (f, lvl) = arena
+                .partition_col_fused(&mut fused, b, &col, &next_col, next_domain as usize)
+                .unwrap();
+            let frecs = arena.records(&f).to_vec();
+            let mut kids = Vec::new();
+            for rec in frecs.clone() {
+                let hist = arena.child_hist(lvl, rec);
+                let sub = &mut fused[rec.range()];
+                let cf = arena.partition_pre_counted(sub, next_domain as usize, hist);
+                kids.push((sub.to_vec(), arena.records(&cf).to_vec()));
+                arena.pop_frame(cf);
+            }
+            arena.pop_frame(f);
+            arena.pop_fused(lvl);
+            (plain, precs, fused, frecs, kids)
+        };
+        prop_assert_eq!(run(true), run(false), "kernel must be a pure execution strategy");
     }
 
     /// Counting sort: output is a permutation, partitions tile the slice
