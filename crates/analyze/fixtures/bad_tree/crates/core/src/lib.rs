@@ -1,0 +1,14 @@
+//! Fixture: misc rules and vendor imports.
+
+use widgets::{Gadget, Missing};
+
+pub fn debug_dump(g: &Gadget) {
+    println!("{g:?}");
+    let p = g as *const Gadget;
+    unsafe {
+        let _ = core::ptr::read(p);
+    }
+}
+
+// lint: allow()
+pub fn malformed_annotation_above() {}

@@ -1,0 +1,26 @@
+//! Fixture: counter schema drift.
+
+#[derive(Clone)]
+pub struct MinerStats {
+    pub accepted: u64,
+    pub orphan: u64,
+}
+
+impl MinerStats {
+    pub fn merge(&mut self, other: &MinerStats) {
+        self.accepted += other.accepted;
+    }
+
+    pub fn semantic(&self) -> MinerStats {
+        MinerStats {
+            accepted: self.accepted,
+            ..self.clone()
+        }
+    }
+}
+
+impl std::fmt::Display for MinerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "accepted={}", self.accepted)
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: atomic ordering audit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(cell: &AtomicU64, v: u64) {
+    cell.store(v, Ordering::Relaxed);
+    let _ = cell.load(Ordering::Acquire);
+    // ordering: Release pairs with the Acquire load above in readers.
+    cell.store(v + 1, Ordering::Release);
+}

@@ -1,0 +1,11 @@
+//! Fixture: allocations in an arena module.
+
+pub fn arena_path() -> Vec<u32> {
+    let grown: Vec<u32> = (0..4).collect();
+    let mut scratch = Vec::new();
+    scratch.extend_from_slice(&grown);
+    // lint: allow(alloc-in-arena) — fixture-sanctioned construction site
+    let once = vec![1u32];
+    scratch.extend(once);
+    scratch
+}

@@ -1,0 +1,7 @@
+//! Fixture schema pin: `orphan` is deliberately missing.
+
+#[test]
+fn stats_json_schema_is_pinned() {
+    let pinned = ["accepted"];
+    assert_eq!(pinned.len(), 1);
+}

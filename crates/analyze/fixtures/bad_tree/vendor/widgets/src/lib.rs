@@ -1,0 +1,10 @@
+//! Fixture vendor stub.
+
+#[derive(Debug)]
+pub struct Gadget {
+    pub size: u32,
+}
+
+pub fn orphan_helper() -> u32 {
+    7
+}

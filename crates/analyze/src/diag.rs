@@ -1,0 +1,45 @@
+//! Diagnostics: what every rule emits, and the deterministic ordering
+//! they are reported in.
+
+use std::fmt;
+
+/// One finding: rule id, repo-relative path, 1-based line, message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (the same id `// lint: allow(<id>)` takes).
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a finding for `rule` at `path:line`.
+    pub fn new(rule: &'static str, path: &str, line: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sort findings by (path, line, rule) for stable output and testable
+/// orderings.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+}

@@ -1,0 +1,334 @@
+//! A minimal comment/string-aware scanner for Rust source.
+//!
+//! The lint rules need to know, for every source line, (a) what the
+//! *code* on that line is with comments and literal bodies blanked out
+//! (so `".unwrap()"` inside a string or a doc comment never trips a
+//! rule), and (b) what the *comment text* on that line is (so allow
+//! annotations, `// ordering:` justifications and `// SAFETY:` proofs
+//! can be found), and (c) whether the line sits inside a `#[cfg(test)]`
+//! region (test code is exempt from the hot-path rules).
+//!
+//! This is a hand-rolled lexer rather than a real parser (`syn` is off
+//! the table — the workspace builds offline against vendored stubs
+//! only), so it handles exactly the token forms that decide
+//! code-vs-not-code: line comments, nesting block comments, string /
+//! raw-string / byte-string / char literals with escapes, and the
+//! char-literal vs lifetime ambiguity. Everything else passes through
+//! untouched. Both views preserve the line structure of the input, so
+//! byte offsets within a line map 1:1 and diagnostics can cite exact
+//! lines.
+
+/// One scanned source file: three line-parallel views of the input.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Per line: the code with comments and literal interiors replaced
+    /// by spaces (delimiters like `"` are kept — they are code).
+    pub code: Vec<String>,
+    /// Per line: only the comment bytes (everything else a space).
+    pub comments: Vec<String>,
+    /// Per line: whether the line is inside a `#[cfg(test)]` item or a
+    /// `#[test]` function body.
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Class {
+    /// Plain code (including literal delimiters).
+    Code,
+    /// Interior of a string/char literal.
+    Lit,
+    /// Comment bytes, marker included.
+    Comment,
+}
+
+#[derive(Clone, Copy)]
+enum St {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Classify every char of `src`, then fold into the line-parallel views.
+pub fn scan(src: &str) -> ScannedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut class = vec![Class::Code; chars.len()];
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match st {
+            St::Code => {
+                let next = chars.get(i + 1).copied();
+                let prev = if i == 0 { None } else { Some(chars[i - 1]) };
+                match c {
+                    '/' if next == Some('/') => {
+                        st = St::LineComment;
+                        class[i] = Class::Comment;
+                    }
+                    '/' if next == Some('*') => {
+                        st = St::BlockComment(1);
+                        class[i] = Class::Comment;
+                        class[i + 1] = Class::Comment;
+                        i += 1;
+                    }
+                    '"' => st = St::Str,
+                    'r' | 'b' if !prev.is_some_and(is_ident) => {
+                        // Possible raw/byte literal prefix: b"..",
+                        // br#".."#, r".." , r#".."#, b'.'.
+                        let mut j = i + 1;
+                        if c == 'b' && chars.get(j) == Some(&'\'') {
+                            st = St::Char;
+                            i = j;
+                        } else {
+                            if c == 'b' && chars.get(j) == Some(&'r') {
+                                j += 1;
+                            }
+                            let mut hashes = 0u32;
+                            while chars.get(j) == Some(&'#') {
+                                hashes += 1;
+                                j += 1;
+                            }
+                            if chars.get(j) == Some(&'"') && (c == 'r' || j > i + 1) {
+                                st = St::RawStr(hashes);
+                                i = j;
+                            }
+                        }
+                    }
+                    // Lifetime (`'a`) or char literal (`'a'`)?  A char
+                    // literal always closes with `'` right after one
+                    // (possibly escaped) char; anything else is a
+                    // lifetime and stays Code.
+                    '\'' if next == Some('\\')
+                        || (next.is_some() && chars.get(i + 2) == Some(&'\'')) =>
+                    {
+                        st = St::Char;
+                    }
+                    _ => {}
+                }
+            }
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                } else {
+                    class[i] = Class::Comment;
+                }
+            }
+            St::BlockComment(depth) => {
+                class[i] = Class::Comment;
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    class[i + 1] = Class::Comment;
+                    st = St::BlockComment(depth + 1);
+                    i += 1;
+                } else if c == '*' && next == Some('/') {
+                    class[i + 1] = Class::Comment;
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    class[i] = Class::Lit;
+                    if i + 1 < chars.len() {
+                        class[i + 1] = Class::Lit;
+                    }
+                    i += 1;
+                } else if c == '"' {
+                    st = St::Code; // closing delimiter stays Code
+                } else {
+                    class[i] = Class::Lit;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#')) {
+                    for k in 1..=hashes as usize {
+                        class[i + k] = Class::Code;
+                    }
+                    i += hashes as usize;
+                    st = St::Code;
+                } else {
+                    class[i] = Class::Lit;
+                }
+            }
+            St::Char => {
+                if c == '\\' {
+                    class[i] = Class::Lit;
+                    if i + 1 < chars.len() {
+                        class[i + 1] = Class::Lit;
+                    }
+                    i += 1;
+                } else if c == '\'' {
+                    st = St::Code;
+                } else {
+                    class[i] = Class::Lit;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Fold the classified stream into line-parallel views. Newlines
+    // delimit lines in every state (Rust line comments end at newline;
+    // multi-line strings/blocks simply continue on the next line).
+    let mut code = vec![String::new()];
+    let mut comments = vec![String::new()];
+    for (idx, &c) in chars.iter().enumerate() {
+        if c == '\n' {
+            code.push(String::new());
+            comments.push(String::new());
+            continue;
+        }
+        let (code_ch, com_ch) = match class[idx] {
+            // Non-ASCII can only appear in code as part of an exotic
+            // identifier, which no rule pattern contains; squashing it
+            // keeps the code view byte-indexable (chars == bytes).
+            Class::Code => (if c.is_ascii() { c } else { '.' }, ' '),
+            Class::Lit => (' ', ' '),
+            Class::Comment => (' ', c),
+        };
+        code.last_mut().expect("always one line").push(code_ch);
+        comments.last_mut().expect("always one line").push(com_ch);
+    }
+
+    let in_test = mark_test_regions(&code);
+    ScannedFile {
+        code,
+        comments,
+        in_test,
+    }
+}
+
+/// Mark the lines covered by `#[cfg(test)]` items and `#[test]`
+/// functions: from the attribute line through the matching close brace
+/// of the next `{`-delimited body (an attribute followed by `;` before
+/// any `{` — e.g. `mod tests;` — covers nothing here; out-of-line test
+/// modules live under `tests/`, which the driver never scans with the
+/// hot-path rules anyway).
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let joined = code.join("\n");
+    let bytes: Vec<char> = joined.chars().collect();
+    let mut in_test = vec![false; code.len()];
+    for pat in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0;
+        while let Some(pos) = joined[from..].find(pat) {
+            let start = from + pos;
+            from = start + pat.len();
+            // Scan forward for the body open brace.
+            let mut j = joined[start..]
+                .char_indices()
+                .map(|(o, _)| start + o)
+                .skip(pat.len());
+            let mut open = None;
+            for k in j.by_ref() {
+                match bytes[k] {
+                    '{' => {
+                        open = Some(k);
+                        break;
+                    }
+                    ';' => break,
+                    _ => {}
+                }
+            }
+            if open.is_none() {
+                continue;
+            }
+            let mut depth = 1usize;
+            let mut close = bytes.len();
+            for k in j {
+                match bytes[k] {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = k;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let first_line = joined[..start].matches('\n').count();
+            let last_line = joined[..close.min(joined.len())].matches('\n').count();
+            for line in first_line..=last_line.min(in_test.len() - 1) {
+                in_test[line] = true;
+            }
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked_from_code() {
+        let s = scan("let x = 1; // .unwrap() here\n");
+        assert!(!s.code[0].contains(".unwrap()"));
+        assert!(s.comments[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn string_bodies_are_blanked_but_delimiters_kept() {
+        let s = scan("let x = \".unwrap() { }\";\n");
+        assert!(!s.code[0].contains(".unwrap()"));
+        assert!(!s.code[0].contains('{'), "literal braces must vanish");
+        assert!(s.code[0].contains('"'));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let s = scan(r##"let a = r#"panic!("x")"#; let b = "\"panic!(";"##);
+        assert!(!s.code[0].contains("panic!"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = '{'; }");
+        // The lifetime survives as code; the char literal brace doesn't.
+        assert!(s.code[0].contains("'a"));
+        assert_eq!(s.code[0].matches('{').count(), 1, "only the body brace");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("a /* x /* y */ .unwrap() */ b\n");
+        assert!(!s.code[0].contains(".unwrap()"));
+        assert!(s.code[0].contains('a') && s.code[0].contains('b'));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = scan(src);
+        // (a trailing newline yields one final empty line in the views)
+        assert_eq!(s.in_test, vec![false, true, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn byte_strings_are_literals() {
+        let s = scan("let x = b\"panic!(\"; let y = b'{';\n");
+        assert!(!s.code[0].contains("panic!"));
+        assert!(!s.code[0].contains('{'));
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n\"multi\nline\"\nb";
+        let s = scan(src);
+        assert_eq!(s.code.len(), 4);
+        assert_eq!(s.code[0], "a");
+        assert_eq!(s.code[3], "b");
+    }
+}

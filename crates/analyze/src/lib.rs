@@ -1,0 +1,32 @@
+//! `grm-analyze`: the repo's own static analysis and model checking.
+//!
+//! Generic lints (clippy) cannot see this codebase's contracts: which
+//! files are the mining hot path, which atomics publish across threads,
+//! which struct is mirrored by four hand-maintained surfaces, which
+//! modules promised to stay allocation-free, and which vendor stubs
+//! must track the workspace's imports. This crate encodes those
+//! contracts as enforced rules plus an exhaustive model checker for the
+//! two concurrency protocols correctness rests on.
+//!
+//! Layering:
+//!
+//! - [`lexer`] — a comment/string-aware scanner producing line-parallel
+//!   code and comment views of a Rust source file (no `syn`, no
+//!   dependencies: the analyzer must build when everything else is
+//!   broken).
+//! - [`walk`] — workspace discovery and the
+//!   `// lint: allow(<rule>) — <reason>` annotation grammar.
+//! - [`rules`] — the rule set; see [`rules::RULES`] for ids.
+//! - [`model`] — the loom-lite bounded-interleaving checker and the
+//!   [`model::bound`] / [`model::term`] protocol models.
+//! - [`diag`] — `path:line: [rule] message` diagnostics.
+//!
+//! The `grm-analyze` binary drives it: `check` (lint the tree, exit
+//! non-zero on findings), `model` (run the verification suite), `rules`
+//! (list rule ids).
+
+pub mod diag;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+pub mod walk;

@@ -1,0 +1,125 @@
+//! CLI driver for the repo's static analysis and model checking.
+
+use grm_analyze::model::{self, sched::Outcome};
+use grm_analyze::{rules, walk};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: grm-analyze <command>
+
+commands:
+  check [--root <dir>]   lint the workspace; exit 1 if any diagnostic fires
+  model                  run the full concurrency verification suite
+  rules                  list the rule ids and what they enforce";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("model") => model(),
+        Some("rules") => {
+            for (id, what) in rules::RULES {
+                println!("{id}: {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `grm-analyze check`: lint the tree rooted at `--root` (default: the
+/// enclosing workspace of the current directory).
+fn check(args: &[String]) -> ExitCode {
+    let root = match parse_root(args) {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let set = match walk::collect(&root) {
+        Ok(set) => set,
+        Err(e) => {
+            eprintln!("error: cannot read sources under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let diags = rules::run_all(&set);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!(
+            "grm-analyze: {} files clean across {} rules",
+            set.files.len(),
+            rules::RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("grm-analyze: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    let mut it = args.iter();
+    let mut root = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let dir = it.next().ok_or("error: --root needs a directory")?;
+                root = Some(PathBuf::from(dir));
+            }
+            other => return Err(format!("error: unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    match root {
+        Some(r) => Ok(r),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("error: no cwd: {e}"))?;
+            walk::find_root(&cwd).ok_or_else(|| {
+                "error: no workspace Cargo.toml above the current directory; pass --root"
+                    .to_string()
+            })
+        }
+    }
+}
+
+/// `grm-analyze model`: run every verification configuration, including
+/// the deep ones `cargo test` keeps behind the `model-check` feature.
+fn model() -> ExitCode {
+    let mut failed = false;
+    for r in model::full_suite() {
+        let (status, detail) = match &r.outcome {
+            Outcome::Proved { states } => (
+                if r.expect_flaw {
+                    "UNEXPECTED"
+                } else {
+                    "proved"
+                },
+                format!("{states} states, no violation"),
+            ),
+            Outcome::Flaw(ce) => (
+                if r.expect_flaw { "refuted" } else { "FLAW" },
+                format!("{} (after: {})", ce.reason, ce.trace.join(" → ")),
+            ),
+            Outcome::Truncated { states } => {
+                ("TRUNCATED", format!("budget exhausted at {states} states"))
+            }
+        };
+        if !r.ok() {
+            failed = true;
+        }
+        println!("[{status}] {}: {detail}", r.name);
+    }
+    if failed {
+        println!("grm-analyze model: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("grm-analyze model: all runs matched expectations");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,66 @@
+//! Loom-lite: a deterministic explicit-state model checker for the two
+//! concurrency protocols the miner's correctness rests on.
+//!
+//! [`sched`] is the exhaustive bounded-interleaving explorer: a model is
+//! a finite state machine whose per-thread steps are exactly the
+//! protocol's atomic actions (one lock acquisition, one atomic
+//! load/store/RMW, one deque operation), and the explorer enumerates
+//! *every* interleaving (with stale-read branching standing in for
+//! weak-memory load semantics), checking an invariant in every reached
+//! state and a completeness property in every terminal state.
+//!
+//! [`bound`] models [`SharedBound`](../../core/src/topk.rs): the
+//! lock-free published top-k bound. It proves, under coherence-only
+//! (i.e. fully relaxed) load semantics, that every value a reader can
+//! observe is ≤ the true k-th best score, that the published sequence is
+//! strictly increasing, and that the final published bound equals the
+//! true k-th score — and it proves the checker has teeth by finding
+//! counterexamples in three deliberately broken variants.
+//!
+//! [`term`] models the pending-counter termination protocol of
+//! [`parallel.rs`](../../core/src/parallel.rs): register-before-push
+//! spawning, complete-before-decrement, and exit on a zero read during
+//! an empty scan. It proves no worker ever exits while any task is
+//! queued or running (no premature exit, no lost work), and finds the
+//! premature-exit counterexample when spawning pushes before it
+//! registers.
+//!
+//! Small configurations run in plain `cargo test`; the larger sweeps are
+//! behind the `model-check` feature (CI's deep leg) and all of them run
+//! via `grm-analyze model`.
+
+pub mod bound;
+pub mod sched;
+pub mod term;
+
+use sched::Outcome;
+
+/// One named verification run, for `grm-analyze model` output.
+pub struct Report {
+    /// Which protocol/configuration ran.
+    pub name: &'static str,
+    /// Whether a counterexample was *expected* (a teeth-check of a
+    /// deliberately broken variant).
+    pub expect_flaw: bool,
+    /// What the explorer found.
+    pub outcome: Outcome,
+}
+
+impl Report {
+    /// Did the run match expectations?
+    pub fn ok(&self) -> bool {
+        match &self.outcome {
+            Outcome::Proved { .. } => !self.expect_flaw,
+            Outcome::Flaw(_) => self.expect_flaw,
+            Outcome::Truncated { .. } => false,
+        }
+    }
+}
+
+/// The full verification suite (deep configurations included — the
+/// feature gate only trims what runs under `cargo test -q`).
+pub fn full_suite() -> Vec<Report> {
+    let mut reports = bound::suite(true);
+    reports.extend(term::suite(true));
+    reports
+}

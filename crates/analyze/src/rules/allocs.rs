@@ -1,0 +1,49 @@
+//! `alloc-in-arena`: the partition arena and the miner scratch exist so
+//! steady-state mining performs **zero** heap allocations (the
+//! `arena_alloc.rs` counting-allocator test pins this at runtime). This
+//! rule is the static complement: allocation constructors inside the
+//! two scratch-owning modules are flagged unless annotated with why the
+//! allocation is outside the steady state (construction, warm-up, task
+//! detachment, cold fallback).
+
+use crate::diag::Diagnostic;
+use crate::walk::FileSet;
+
+/// Rule id.
+pub const RULE: &str = "alloc-in-arena";
+
+/// The scratch-owning modules.
+pub const ARENA_FILES: &[&str] = &["crates/graph/src/sort.rs", "crates/core/src/miner.rs"];
+
+const PATTERNS: &[&str] = &[
+    "Vec::new(",
+    "vec!",
+    ".to_vec()",
+    ".collect()",
+    ".collect::<",
+];
+
+/// Scan the arena/scratch modules.
+pub fn run(set: &FileSet) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rel in ARENA_FILES {
+        let Some(f) = set.get(rel) else { continue };
+        for (i, code) in f.scan.code.iter().enumerate() {
+            if f.scan.in_test[i] || f.allowed(RULE, i) {
+                continue;
+            }
+            for pat in PATTERNS {
+                if !super::find_token(code, pat).is_empty() {
+                    out.push(Diagnostic::new(
+                        RULE,
+                        rel,
+                        i + 1,
+                        format!("`{pat}` in an arena/scratch module (annotate with `// lint: allow({RULE}) — <why this is off the steady-state path>`)"),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    out
+}

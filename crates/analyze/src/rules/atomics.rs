@@ -1,0 +1,66 @@
+//! `atomic-ordering-audit`: memory orderings are load-bearing proof
+//! obligations, not incantations. Every `Ordering::<variant>` use in
+//! non-test code must carry an adjacent `// ordering:` comment saying
+//! why that variant is sufficient (the model checker in
+//! [`crate::model`] backs the two protocols' claims). Independently, a
+//! `Relaxed` *store or read-modify-write* is flagged as an error even
+//! when justified: everything atomic in this workspace is cross-thread
+//! shared state, so a Relaxed publish gives readers no happens-before
+//! edge to the data around it — the exact bug class the `SharedBound`
+//! audit raised.
+
+use crate::diag::Diagnostic;
+use crate::walk::FileSet;
+
+/// Rule id.
+pub const RULE: &str = "atomic-ordering-audit";
+
+const VARIANTS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// Scan every workspace source.
+pub fn run(set: &FileSet) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &set.files {
+        for (i, code) in f.scan.code.iter().enumerate() {
+            if f.scan.in_test[i] || f.allowed(RULE, i) {
+                continue;
+            }
+            // `Ordering::X` also matches the `AtomicOrdering::X` alias
+            // import style via substring; `std::cmp::Ordering::Less`
+            // and friends never match the variant list.
+            let Some(variant) = VARIANTS.iter().find(|v| code.contains(**v)) else {
+                continue;
+            };
+            if is_relaxed_publish(code, variant) {
+                out.push(Diagnostic::new(
+                    RULE,
+                    &f.rel,
+                    i + 1,
+                    "Relaxed store/RMW on cross-thread shared state: publishes give readers no happens-before edge — use Release (or stronger) here",
+                ));
+                continue;
+            }
+            if !super::justified(f, i, "ordering:") {
+                out.push(Diagnostic::new(
+                    RULE,
+                    &f.rel,
+                    i + 1,
+                    format!("`{variant}` without an adjacent `// ordering:` justification"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A Relaxed ordering fed to a store or read-modify-write on this line
+/// (loads may be Relaxed with justification; writes may not).
+fn is_relaxed_publish(code: &str, variant: &str) -> bool {
+    variant.ends_with("Relaxed") && (code.contains(".store(") || code.contains(".fetch_"))
+}

@@ -1,0 +1,174 @@
+//! `counter-schema-drift`: a `MinerStats` counter is only real if it
+//! flows through all four surfaces — `merge()` (or parallel runs lose
+//! it: the PR 4 bug class), `semantic()` (or the equivalence matrices
+//! silently stop covering it), `Display` (or it's invisible in logs),
+//! and the pinned `--stats-json` schema test (or the CLI contract
+//! drifts). The rule parses the struct's field list and cross-checks
+//! each surface, so adding a counter without deciding all four is a
+//! build failure, not a code-review hope. `semantic()` must also stay
+//! exhaustive (no `..` struct-update), otherwise the per-field check
+//! can't see omissions.
+
+use crate::diag::Diagnostic;
+use crate::walk::FileSet;
+
+/// Rule id.
+pub const RULE: &str = "counter-schema-drift";
+
+/// Where the counters live and where the CLI schema is pinned.
+pub const STATS_FILE: &str = "crates/core/src/stats.rs";
+const SCHEMA_PIN_FILE: &str = "tests/cli_and_parse.rs";
+
+/// Cross-check the stats surfaces.
+pub fn run(set: &FileSet) -> Vec<Diagnostic> {
+    let Some(f) = set.get(STATS_FILE) else {
+        return Vec::new(); // tree without the miner: nothing to check
+    };
+    let code = &f.scan.code;
+    let mut out = Vec::new();
+
+    let Some(struct_span) = item_span(code, "struct MinerStats") else {
+        out.push(Diagnostic::new(
+            RULE,
+            STATS_FILE,
+            0,
+            "cannot find `struct MinerStats`",
+        ));
+        return out;
+    };
+    let fields = field_list(code, struct_span);
+
+    type FieldPresent = fn(&str, &str) -> bool;
+    let surfaces: &[(&str, &str, FieldPresent)] = &[
+        ("fn merge", "merge()", |body, field| {
+            body.contains(&format!("other.{field}"))
+        }),
+        ("fn semantic", "semantic()", |body, field| {
+            body.contains(&format!("{field}:"))
+        }),
+        ("Display for MinerStats", "Display", |body, field| {
+            body.contains(&format!("self.{field}"))
+        }),
+    ];
+    for (needle, label, present) in surfaces {
+        let Some(span) = item_span(code, needle) else {
+            out.push(Diagnostic::new(
+                RULE,
+                STATS_FILE,
+                0,
+                format!("cannot find `{needle}` to cross-check"),
+            ));
+            continue;
+        };
+        let body = code[span.0..=span.1].join("\n");
+        if *label == "semantic()" && body.contains("..self") {
+            out.push(Diagnostic::new(
+                RULE,
+                STATS_FILE,
+                span.0 + 1,
+                "semantic() uses `..` struct-update syntax — it must list every field explicitly so new counters force a classification",
+            ));
+        }
+        for (field, decl_line) in &fields {
+            if !present(&body, field) {
+                out.push(Diagnostic::new(
+                    RULE,
+                    STATS_FILE,
+                    *decl_line + 1,
+                    format!("counter `{field}` is missing from {label}"),
+                ));
+            }
+        }
+    }
+
+    match set.read_raw(SCHEMA_PIN_FILE) {
+        Some(pin) => {
+            for (field, decl_line) in &fields {
+                if !pin.contains(&format!("\"{field}\"")) {
+                    out.push(Diagnostic::new(
+                        RULE,
+                        STATS_FILE,
+                        *decl_line + 1,
+                        format!("counter `{field}` is missing from the pinned --stats-json schema in {SCHEMA_PIN_FILE}"),
+                    ));
+                }
+            }
+        }
+        None => out.push(Diagnostic::new(
+            RULE,
+            SCHEMA_PIN_FILE,
+            0,
+            "schema-pin test file not found",
+        )),
+    }
+    out
+}
+
+/// `(field name, 0-based declaration line)` for every `pub` field in the
+/// struct span.
+fn field_list(code: &[String], span: (usize, usize)) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (i, line) in code.iter().enumerate().take(span.1 + 1).skip(span.0) {
+        let t = line.trim();
+        if t.starts_with('#') || t.contains("struct ") {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("pub ") {
+            if let Some(colon) = rest.find(':') {
+                let name = rest[..colon].trim();
+                if !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    out.push((name.to_string(), i));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// 0-based inclusive line span of the `{}`-body item whose header
+/// contains `needle`.
+fn item_span(code: &[String], needle: &str) -> Option<(usize, usize)> {
+    let joined = code.join("\n");
+    let at = joined.find(needle)?;
+    let open = at + joined[at..].find('{')?;
+    let mut depth = 0usize;
+    for (off, c) in joined[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    let start = joined[..at].matches('\n').count();
+                    let end = joined[..open + off].matches('\n').count();
+                    return Some((start, end));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_list_reads_pub_fields_only() {
+        let code: Vec<String> = [
+            "pub struct MinerStats {",
+            "    #[serde(skip)]",
+            "    pub a: u64,",
+            "    hidden: u64,",
+            "    pub elapsed: Duration,",
+            "}",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let span = item_span(&code, "struct MinerStats").unwrap();
+        let fields = field_list(&code, span);
+        let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "elapsed"]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Two small hygiene rules: `unsafe-without-safety` (every `unsafe`
+//! block or function carries a `// SAFETY:` proof — the workspace is
+//! currently 100% safe code, so any new `unsafe` starts justified) and
+//! `no-debug-print` (library crates never print; the CLI binaries own
+//! stdout, and the one legitimate warning channel is `eprintln!`).
+
+use crate::diag::Diagnostic;
+use crate::walk::FileSet;
+
+/// Rule id for `unsafe` without a SAFETY comment.
+pub const UNSAFE_RULE: &str = "unsafe-without-safety";
+/// Rule id for debug printing in library crates.
+pub const PRINT_RULE: &str = "no-debug-print";
+
+const PRINT_PATTERNS: &[&str] = &["dbg!(", "println!(", "print!("];
+
+/// Scan all sources for `unsafe`, library sources for prints.
+pub fn run(set: &FileSet) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &set.files {
+        let lib = is_library(&f.rel);
+        for (i, code) in f.scan.code.iter().enumerate() {
+            if f.scan.in_test[i] {
+                continue;
+            }
+            if has_word(code, "unsafe")
+                && !f.allowed(UNSAFE_RULE, i)
+                && !super::justified(f, i, "SAFETY:")
+            {
+                out.push(Diagnostic::new(
+                    UNSAFE_RULE,
+                    &f.rel,
+                    i + 1,
+                    "`unsafe` without an adjacent `// SAFETY:` justification",
+                ));
+            }
+            if lib && !f.allowed(PRINT_RULE, i) {
+                for pat in PRINT_PATTERNS {
+                    if !super::find_token(code, pat).is_empty() {
+                        out.push(Diagnostic::new(
+                            PRINT_RULE,
+                            &f.rel,
+                            i + 1,
+                            format!("`{pat}` in a library crate (use a return value, a counter, or `eprintln!` for warnings)"),
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Library scope: `src/` trees excluding binary roots (`src/bin/`,
+/// `main.rs`) — binaries own their stdout.
+fn is_library(rel: &str) -> bool {
+    (rel.starts_with("src/") || rel.starts_with("crates/"))
+        && !rel.contains("/bin/")
+        && !rel.ends_with("main.rs")
+}
+
+/// Word-boundary match: `pat` not embedded in a longer identifier.
+fn has_word(code: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = code[from..].find(pat) {
+        let at = from + p;
+        from = at + pat.len();
+        let before_ok = !code[..at]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !code[at + pat.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,496 @@
+//! `vendor-api-surface`: keep the offline vendor stubs and the
+//! workspace honest about each other.
+//!
+//! The repo builds without a network, so `vendor/*` carries hand-written
+//! API-compatible subsets of the real crates. Two drifts are possible
+//! and both are checked:
+//!
+//! - **missing item** — a workspace file imports (or names inline) a
+//!   path from a vendor crate that the stub does not expose. The real
+//!   crate would accept it; the stub breaks the build later and
+//!   mysteriously. Reported at the importing line.
+//! - **dead surface** — a module-level `pub` item in a stub that nothing
+//!   references: not workspace code, and not any stub source either
+//!   (stub-internal references are counted over *raw* text, because
+//!   derive-macro stubs name their runtime support items inside token
+//!   template strings, which the code view blanks). Dead stub surface is
+//!   untested code masquerading as a dependency; either trim it or
+//!   annotate it with
+//!   `// lint: allow(vendor-api-surface) — <why the parity matters>`.
+//!
+//! The import scan is deliberately permissive where Rust is flexible:
+//! glob imports are skipped, `as` renames are checked against the
+//! original name, `self` resolves to its parent segment, and inline
+//! qualified paths check their final segment (which finds misspelled
+//! methods too, since the harvest records `pub fn`s at any depth).
+
+use crate::diag::Diagnostic;
+use crate::walk::{self, FileSet, SourceFile};
+use std::collections::BTreeSet;
+use std::fs;
+
+/// Rule id.
+pub const RULE: &str = "vendor-api-surface";
+
+/// One vendor stub crate.
+struct VendorCrate {
+    /// Import name (the directory name under `vendor/`).
+    name: String,
+    /// Scanned stub sources.
+    files: Vec<SourceFile>,
+    /// Every `pub` item name at any depth, plus enum variants,
+    /// `macro_rules!` names and `pub use` leaves: the set an import may
+    /// legally name.
+    pub_names: BTreeSet<String>,
+    /// Module-level `pub` items: `(name, rel file, 0-based line)` — the
+    /// surface that must be earned by a workspace reference.
+    surface: Vec<(String, String, usize)>,
+}
+
+/// Cross-check every vendor stub against the workspace.
+pub fn run(set: &FileSet) -> Vec<Diagnostic> {
+    let crates = vendor_crates(set);
+    if crates.is_empty() {
+        return Vec::new(); // tree without vendor stubs: nothing to check
+    }
+    // Consumers: the collected lib/bin sources plus tests and benches
+    // (proptest/criterion are imported only there).
+    let extra = extra_consumers(set);
+    let consumers: Vec<&SourceFile> = set.files.iter().chain(extra.iter()).collect();
+
+    let mut out = Vec::new();
+    for vc in &crates {
+        let mut referenced = false;
+        for f in &consumers {
+            for imp in crate_references(f, &vc.name) {
+                referenced = true;
+                if !vc.pub_names.contains(&imp.leaf) && !f.allowed(RULE, imp.line) {
+                    out.push(Diagnostic::new(
+                        RULE,
+                        &f.rel,
+                        imp.line + 1,
+                        format!(
+                            "imports `{}` from vendor stub `{}`, which exposes no such item",
+                            imp.leaf, vc.name
+                        ),
+                    ));
+                }
+            }
+        }
+        if !referenced {
+            continue; // an unimported stub is dead weight, but Cargo owns that call
+        }
+        for (name, rel, line) in &vc.surface {
+            let used = consumers
+                .iter()
+                .any(|f| f.scan.code.iter().any(|l| contains_word(l, name)))
+                || crates.iter().any(|c2| {
+                    c2.files.iter().any(|vf| {
+                        vf.raw.lines().enumerate().any(|(ln, l)| {
+                            !(vf.rel == *rel && ln == *line) && contains_word(l, name)
+                        })
+                    })
+                });
+            let allowed = vc
+                .files
+                .iter()
+                .find(|f| &f.rel == rel)
+                .is_some_and(|f| f.allowed(RULE, *line));
+            if !used && !allowed {
+                out.push(Diagnostic::new(
+                    RULE,
+                    rel,
+                    *line + 1,
+                    format!(
+                        "vendor stub `pub` item `{name}` is referenced nowhere in the workspace — trim it or justify the parity with a lint allow"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Scan `vendor/*/src/**/*.rs` and harvest each stub's API.
+fn vendor_crates(set: &FileSet) -> Vec<VendorCrate> {
+    let mut crates = Vec::new();
+    let Ok(entries) = fs::read_dir(set.root.join("vendor")) else {
+        return crates;
+    };
+    let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    dirs.sort();
+    for dir in dirs {
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut files = Vec::new();
+        let _ = walk::walk_rs(&src, &mut |path| {
+            let raw = fs::read_to_string(path)?;
+            files.push(SourceFile::from_source(
+                &walk::rel_path(&set.root, path),
+                raw,
+            ));
+            Ok(())
+        });
+        let mut pub_names = BTreeSet::new();
+        let mut surface = Vec::new();
+        for f in &files {
+            harvest(f, &mut pub_names, &mut surface);
+        }
+        crates.push(VendorCrate {
+            name,
+            files,
+            pub_names,
+            surface,
+        });
+    }
+    crates
+}
+
+/// Consumer sources outside the core [`FileSet`]: `tests/`,
+/// `crates/*/tests/`, `crates/*/benches/`.
+fn extra_consumers(set: &FileSet) -> Vec<SourceFile> {
+    let mut dirs = vec![set.root.join("tests")];
+    if let Ok(entries) = fs::read_dir(set.root.join("crates")) {
+        for e in entries.flatten() {
+            dirs.push(e.path().join("tests"));
+            dirs.push(e.path().join("benches"));
+        }
+    }
+    let mut files = Vec::new();
+    for dir in dirs {
+        let _ = walk::walk_rs(&dir, &mut |path| {
+            let raw = fs::read_to_string(path)?;
+            files.push(SourceFile::from_source(
+                &walk::rel_path(&set.root, path),
+                raw,
+            ));
+            Ok(())
+        });
+    }
+    files
+}
+
+/// What a brace on the stack belongs to, for deciding module level.
+#[derive(PartialEq, Clone, Copy)]
+enum Kind {
+    Mod,
+    Enum,
+    Trait,
+    Other,
+}
+
+/// Walk one stub file, filling the importable-name set and the
+/// module-level surface list.
+fn harvest(
+    f: &SourceFile,
+    pub_names: &mut BTreeSet<String>,
+    surface: &mut Vec<(String, String, usize)>,
+) {
+    let mut stack: Vec<Kind> = Vec::new();
+    let mut header = String::new();
+    for (i, line) in f.scan.code.iter().enumerate() {
+        let t = line.trim();
+        if !f.scan.in_test[i] {
+            if let Some((kw, name)) = item_decl(t) {
+                let is_pub = t.starts_with("pub");
+                // Trait members are callable without a `pub` of their
+                // own (`Error::custom`, provided methods, assoc types).
+                let trait_member =
+                    stack.last() == Some(&Kind::Trait) && matches!(kw, "fn" | "type" | "const");
+                if is_pub || kw == "macro_rules" || trait_member {
+                    if kw == "use" {
+                        // `pub use` re-exports widen the legal-import
+                        // set but are not counted as owned surface.
+                        for leaf in use_leaves(t) {
+                            pub_names.insert(leaf);
+                        }
+                    } else {
+                        pub_names.insert(name.clone());
+                        if stack.iter().all(|k| *k == Kind::Mod) {
+                            surface.push((name, f.rel.clone(), i));
+                        }
+                    }
+                }
+            } else if stack.last() == Some(&Kind::Enum) {
+                if let Some(v) = leading_ident(t) {
+                    pub_names.insert(v); // enum variant
+                }
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    let kind = if contains_word(&header, "mod") {
+                        Kind::Mod
+                    } else if contains_word(&header, "enum") {
+                        Kind::Enum
+                    } else if contains_word(&header, "trait") && !contains_word(&header, "impl") {
+                        Kind::Trait
+                    } else {
+                        Kind::Other
+                    };
+                    stack.push(kind);
+                    header.clear();
+                }
+                '}' => {
+                    stack.pop();
+                    header.clear();
+                }
+                ';' => header.clear(),
+                _ => header.push(c),
+            }
+        }
+        header.push(' ');
+    }
+}
+
+/// `(keyword, name)` if the trimmed line declares a nameable item.
+fn item_decl(t: &str) -> Option<(&'static str, String)> {
+    if let Some(rest) = t.strip_prefix("macro_rules!") {
+        return leading_ident(rest.trim_start()).map(|n| ("macro_rules", n));
+    }
+    let mut rest = t;
+    for prefix in ["pub", "(crate)", "(super)", "unsafe", "async"] {
+        rest = rest.strip_prefix(prefix).unwrap_or(rest).trim_start();
+    }
+    for kw in [
+        "fn", "struct", "enum", "trait", "mod", "use", "type", "const", "static",
+    ] {
+        if let Some(after) = rest.strip_prefix(kw) {
+            let after = after.strip_prefix(' ')?;
+            let after = after.strip_prefix("mut ").unwrap_or(after);
+            return leading_ident(after.trim_start()).map(|n| (kw, n));
+        }
+    }
+    None
+}
+
+/// The leading identifier of `t`, if it starts with one.
+fn leading_ident(t: &str) -> Option<String> {
+    let name: String = t
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_numeric()) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Whether `line` contains `word` with identifier boundaries both sides.
+fn contains_word(line: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = line[from..].find(word) {
+        let at = from + p;
+        from = at + word.len();
+        let before_ok = line[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let after_ok = line[from..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// One workspace reference into a vendor crate.
+struct ImportRef {
+    /// The final path segment the workspace names.
+    leaf: String,
+    /// 0-based line of the reference.
+    line: usize,
+}
+
+/// Every `use <crate>::…` leaf and inline `<crate>::…` qualified path in
+/// `f` that targets `crate_name`.
+fn crate_references(f: &SourceFile, crate_name: &str) -> Vec<ImportRef> {
+    let text = f.scan.code.join("\n");
+    let mut out = Vec::new();
+    let pat = format!("{crate_name}::");
+    let mut from = 0;
+    while let Some(p) = text[from..].find(&pat) {
+        let at = from + p;
+        from = at + pat.len();
+        let before_ok = text[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_' && c != ':');
+        if !before_ok {
+            continue;
+        }
+        let line = text[..at].matches('\n').count();
+        let rest = &text[at + pat.len()..];
+        // Distinguish a `use` statement from an inline qualified path by
+        // the statement keyword preceding the crate name.
+        let head = text[..at]
+            .rsplit(['\n', ';', '{', '}'])
+            .next()
+            .unwrap_or("")
+            .trim();
+        if head == "use" || head == "pub use" || head.ends_with(" use") {
+            let tree = rest.split(';').next().unwrap_or(rest);
+            for leaf in use_tree_leaves(tree, crate_name) {
+                out.push(ImportRef { leaf, line });
+            }
+        } else {
+            // Inline path: take the final `::`-chained identifier.
+            let mut leaf = String::new();
+            let mut seg = String::new();
+            let mut chars = rest.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c.is_alphanumeric() || c == '_' {
+                    seg.push(c);
+                } else if c == ':' && chars.peek() == Some(&':') && !seg.is_empty() {
+                    chars.next();
+                    leaf = std::mem::take(&mut seg);
+                } else {
+                    break;
+                }
+            }
+            if !seg.is_empty() {
+                leaf = seg;
+            }
+            if !leaf.is_empty() {
+                out.push(ImportRef { leaf, line });
+            }
+        }
+    }
+    out
+}
+
+/// Leaves of a full `use` statement line (including the keywords).
+fn use_leaves(stmt: &str) -> Vec<String> {
+    let body = stmt
+        .trim_start_matches("pub")
+        .trim_start()
+        .trim_start_matches("use")
+        .trim_start();
+    // Drop the root segment (crate/self/its own name): leaves are what
+    // gets re-exported.
+    match body.split_once("::") {
+        Some((_, rest)) => use_tree_leaves(rest, body),
+        None => Vec::new(),
+    }
+}
+
+/// Leaf names of a use-tree fragment (`a::b`, `{x, y::z}`, `w as v`,
+/// `self`, `*`), with `parent` naming the segment `self` resolves to.
+fn use_tree_leaves(tree: &str, parent: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_leaves(tree.trim().trim_end_matches(';').trim(), parent, &mut out);
+    out
+}
+
+fn collect_leaves(tree: &str, parent: &str, out: &mut Vec<String>) {
+    let t = tree.trim();
+    if let Some(brace) = t.find('{') {
+        let prefix = t[..brace].trim_end_matches(':').trim();
+        let new_parent = prefix.rsplit("::").next().unwrap_or(parent);
+        let new_parent = if new_parent.is_empty() {
+            parent
+        } else {
+            new_parent
+        };
+        let end = t.rfind('}').map_or(t.len(), |e| e.max(brace + 1));
+        let inner = &t[brace + 1..end];
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        for (i, c) in inner.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    collect_leaves(&inner[start..i], new_parent, out);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        collect_leaves(&inner[start..], new_parent, out);
+        return;
+    }
+    if t.ends_with('*') || t.is_empty() {
+        return;
+    }
+    let t = t.split(" as ").next().unwrap_or(t).trim();
+    let leaf = t.rsplit("::").next().unwrap_or(t).trim();
+    if leaf == "self" {
+        if let Some(p) = leading_ident(parent) {
+            out.push(p);
+        }
+    } else if let Some(name) = leading_ident(leaf) {
+        if name.len() == leaf.len() {
+            out.push(name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn use_tree_leaves_cover_the_grammar() {
+        assert_eq!(use_tree_leaves("deque::Worker", ""), vec!["Worker"]);
+        assert_eq!(
+            use_tree_leaves("deque::{Worker, Stealer as S}", ""),
+            vec!["Worker", "Stealer"]
+        );
+        assert_eq!(
+            use_tree_leaves("thread::{self, Scope}", ""),
+            vec!["thread", "Scope"]
+        );
+        assert_eq!(use_tree_leaves("prelude::*", ""), Vec::<String>::new());
+        assert_eq!(use_tree_leaves("{a::{b, c}, d}", ""), vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    fn inline_paths_resolve_to_their_final_segment() {
+        let f = SourceFile::from_source(
+            "x.rs",
+            "let w = crossbeam::deque::Worker::new_lifo();\nlet g = crossbeam::thread::scope(|s| s);\n"
+                .to_string(),
+        );
+        let refs = crate_references(&f, "crossbeam");
+        let leaves: Vec<&str> = refs.iter().map(|r| r.leaf.as_str()).collect();
+        assert_eq!(leaves, vec!["new_lifo", "scope"]);
+    }
+
+    #[test]
+    fn use_statements_resolve_through_braces() {
+        let f = SourceFile::from_source(
+            "x.rs",
+            "use crossbeam::deque::{Injector, Steal, Worker};\nuse crossbeam::thread;\n"
+                .to_string(),
+        );
+        let refs = crate_references(&f, "crossbeam");
+        let leaves: Vec<&str> = refs.iter().map(|r| r.leaf.as_str()).collect();
+        assert_eq!(leaves, vec!["Injector", "Steal", "Worker", "thread"]);
+    }
+
+    #[test]
+    fn harvest_separates_surface_from_depth() {
+        let src = "pub mod deque {\n    pub enum Steal {\n        Empty,\n        Success(u8),\n    }\n    pub struct Worker;\n    impl Worker {\n        pub fn push(&self) {}\n    }\n}\n";
+        let f = SourceFile::from_source("vendor/x/src/lib.rs", src.to_string());
+        let mut pub_names = BTreeSet::new();
+        let mut surface = Vec::new();
+        harvest(&f, &mut pub_names, &mut surface);
+        let names: Vec<&str> = surface.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["deque", "Steal", "Worker"]);
+        for n in ["push", "Empty", "Success"] {
+            assert!(pub_names.contains(n), "{n} should be importable");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The real workspace must lint clean: `cargo test` fails the moment a
+//! hot-path panic, an unjustified ordering, a drifting counter, an
+//! arena allocation, or a vendor-surface mismatch lands — the same gate
+//! `grm-analyze check` enforces in CI.
+
+use grm_analyze::{rules, walk};
+use std::path::Path;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = walk::find_root(here).expect("the analyze crate lives inside the workspace");
+    let set = walk::collect(&root).expect("workspace sources are readable");
+    assert!(
+        !set.files.is_empty(),
+        "workspace discovery found no sources under {}",
+        root.display()
+    );
+    let diags = rules::run_all(&set);
+    assert!(
+        diags.is_empty(),
+        "the tree must lint clean; fix or annotate:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -227,7 +227,7 @@ fn bench_counting_sort(c: &mut Criterion) {
             let mut scratch = PartitionArena::new();
             b.iter(|| {
                 let mut data = base.clone();
-                partition_in_place(&mut data, 189, &mut scratch, |i| (i % 188 + 1) as u16)
+                partition_in_place(&mut data, 189, &mut scratch, |i| (i % 188 + 1) as u16).unwrap()
             });
         });
     }

@@ -323,7 +323,8 @@ fn buc_rec<V: TableView>(
     stats: &mut MinerStats,
 ) {
     for d in dim_start..dims.count() {
-        let parts = partition_in_place(data, dims.buckets[d], scratch, |row| view.key(row, d));
+        let parts = partition_in_place(data, dims.buckets[d], scratch, |row| view.key(row, d))
+            .expect("baseline keys come from the same schema-validated model");
         for part in parts {
             if part.value == NULL {
                 continue;

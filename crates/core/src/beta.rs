@@ -210,10 +210,16 @@ pub fn beta(schema: &Schema, l: &NodeDescriptor, r: &NodeDescriptor) -> BetaSet 
 
 /// The RHS condition `l[β]` of the homophily effect (Eqn. 5): `l`'s values
 /// restricted to the attributes of β. Returns `(attr, value)` pairs in
-/// attribute order.
+/// attribute order. A β attribute absent from `l` — impossible for a β
+/// built by [`beta`], which only inserts attributes constrained on both
+/// sides — is skipped rather than panicking on a hand-built pair.
 pub fn l_beta(l: &NodeDescriptor, beta: BetaSet) -> Vec<(NodeAttrId, AttrValue)> {
     beta.iter()
-        .map(|a| (a, l.get(a).expect("β attrs occur in l by construction")))
+        .filter_map(|a| {
+            let v = l.get(a);
+            debug_assert!(v.is_some(), "β attrs occur in l by construction (Eqn. 4)");
+            v.map(|v| (a, v))
+        })
         .collect()
 }
 

@@ -149,6 +149,8 @@ impl<'g> GrMiner<'g> {
             // position set, and the recursion is invariant under input
             // permutation (counting sort groups by value regardless of
             // order, and every counted quantity is order-independent).
+            // lint: allow(alloc-in-arena) — one allocation per run, before
+            // the recursion starts; not a per-pass cost.
             let mut data = Vec::new();
             ctx.fill_positions(&mut data);
             for task in RootTask::all(&self.dims) {
@@ -200,6 +202,7 @@ pub(crate) enum RootTask {
 impl RootTask {
     /// Every root task, in the sequential Main order.
     pub(crate) fn all(dims: &Dims) -> Vec<RootTask> {
+        // lint: allow(alloc-in-arena) — tiny once-per-run task list.
         let mut v = vec![RootTask::Right];
         v.extend((0..dims.w.len()).map(RootTask::Edge));
         v.extend((0..dims.l.len()).map(RootTask::Left));
@@ -335,6 +338,8 @@ impl<'a, 'g> Run<'a, 'g> {
             collector,
             spawner: None,
             shared_bound: None,
+            // lint: allow(alloc-in-arena) — Run construction site; the
+            // buffer warms up once and is reused across the run.
             pruned_lw: Vec::new(),
         }
     }
@@ -566,6 +571,8 @@ impl<'a, 'g> Run<'a, 'g> {
             }
             let l2 = l.with_pooled(d, part.value, &mut self.scratch.node_descs);
             if self.spawn_subtree(part.len(), l2.len(), || SubtreeTask {
+                // lint: allow(alloc-in-arena) — a detached stealable task
+                // must own its slice; paid only when a subtree splits.
                 data: data[part.range()].to_vec(),
                 l: l2.clone(),
                 w: EdgeDescriptor::empty(),
@@ -631,6 +638,8 @@ impl<'a, 'g> Run<'a, 'g> {
                 }
                 let w2 = w.with_pooled(d, part.value, &mut self.scratch.edge_descs);
                 if self.spawn_subtree(part.len(), l.len() + w2.len(), || SubtreeTask {
+                    // lint: allow(alloc-in-arena) — a detached stealable
+                    // task must own its slice; paid only on splits.
                     data: data[part.range()].to_vec(),
                     l: l.clone(),
                     w: w2.clone(),
@@ -792,6 +801,10 @@ impl<'a, 'g> Run<'a, 'g> {
                     .scratch
                     .arena
                     .partition_col_fused(data, buckets, col, next_col, nb)
+                    // lint: allow(panic-in-hot-path) — KeyOutOfRange is
+                    // impossible here: every column comes from a
+                    // CompactModel built against the same validated
+                    // Schema that supplied `buckets`.
                     .expect("schema-validated keys fit their bucket counts");
                 (frame, Some((level, nd)))
             }
@@ -800,6 +813,8 @@ impl<'a, 'g> Run<'a, 'g> {
                     .scratch
                     .arena
                     .partition_col(data, buckets, col)
+                    // lint: allow(panic-in-hot-path) — same schema
+                    // invariant as the fused arm above.
                     .expect("schema-validated keys fit their bucket counts");
                 (frame, None)
             }
@@ -900,7 +915,9 @@ impl<'a, 'g> Run<'a, 'g> {
                                 self.stats.bound_tightenings += 1;
                             }
                         }
-                        self.collector.as_mut().expect("just checked").push(scored);
+                        if let Some(collected) = self.collector.as_mut() {
+                            collected.push(scored);
+                        }
                     } else {
                         let gr = Gr::new(l.clone(), w.clone(), r2.clone());
                         if self.cfg.generality_filter && self.generality.has_more_general(&gr) {
@@ -1015,7 +1032,13 @@ impl<'a, 'g> Run<'a, 'g> {
             );
             ctx.table = Some(table);
         }
-        let table = ctx.table.as_ref().expect("filled above");
+        let Some(table) = ctx.table.as_ref() else {
+            // Filled by the branch above on this very call; degrade to an
+            // empty homophily effect rather than panicking if that ever
+            // changes.
+            debug_assert!(false, "β table missing after fill");
+            return 0;
+        };
         match b.local_mask(&ctx.pairs) {
             Some(mask) => table[mask],
             None => {
@@ -1037,6 +1060,8 @@ impl<'a, 'g> Run<'a, 'g> {
             return 0;
         };
         self.stats.heff_scans += 1;
+        // lint: allow(alloc-in-arena) — wide-LHS fallback path, memoized
+        // per β: at most one small allocation per distinct β per node.
         let needed: Vec<(NodeAttrId, AttrValue)> = ctx
             .pairs
             .iter()

@@ -388,6 +388,19 @@ pub fn mine_parallel_traced(
                     // outlives everything it spawns, so `pending == 0`
                     // is a stable "all work done" signal.
                     let spawn_task = |t: SubtreeTask| {
+                        // ordering: SeqCst. The registration must be
+                        // visible before the task can be stolen (the
+                        // push), and the termination check below reasons
+                        // about one total order of registrations,
+                        // completions, and zero-reads. Release here +
+                        // Acquire on the zero-read is the minimum;
+                        // SeqCst keeps all three operations in a single
+                        // total order so the exit argument needs no
+                        // per-edge pairing, and it costs nothing
+                        // measurable at per-subtree-task frequency. The
+                        // protocol (register-before-push, complete-
+                        // before-decrement) is exhaustively checked by
+                        // `grm_analyze::model::term`.
                         pending.fetch_add(1, Ordering::SeqCst);
                         local.push(PoolTask::Subtree(t));
                     };
@@ -401,6 +414,16 @@ pub fn mine_parallel_traced(
                         let Some(task) =
                             next_task(&local, injector, stealers, wid, opts.steal, &mut stolen)
                         else {
+                            // ordering: SeqCst zero-read of the
+                            // termination protocol. Needs at least
+                            // Acquire (pairing with the Release half of
+                            // every completion decrement) so that a
+                            // zero read happens-after all completions;
+                            // SeqCst matches the registration and
+                            // decrement sites for one total order. A
+                            // zero here proves no registered task is
+                            // unfinished, and register-before-push
+                            // proves no unregistered task is visible.
                             if pending.load(Ordering::SeqCst) == 0 {
                                 break;
                             }
@@ -453,6 +476,13 @@ pub fn mine_parallel_traced(
                         let (collected, warm) = run.into_collected_and_scratch();
                         scratch = warm;
                         out.push((collected, s));
+                        // ordering: SeqCst completion decrement. Needs
+                        // at least Release so the task's effects (and
+                        // the registrations of everything it spawned —
+                        // a task's own registration outlives its
+                        // spawns) happen-before any zero-read; SeqCst
+                        // for the same single-total-order reasoning as
+                        // the registration above.
                         pending.fetch_sub(1, Ordering::SeqCst);
                     }
                     if stolen > 0 {
@@ -471,6 +501,9 @@ pub fn mine_parallel_traced(
                 });
             }
         })
+        // lint: allow(panic-in-hot-path) — re-raising a worker panic is
+        // the only correct move: swallowing it would return a silently
+        // incomplete mine.
         .expect("worker panicked");
 
         for (mut grs, s) in results.into_inner() {

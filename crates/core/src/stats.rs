@@ -104,8 +104,21 @@ impl MinerStats {
     /// (thread counts, work stealing, dominant-task and subtree
     /// splitting, fused vs unfused passes, kernel vs scalar loops) for
     /// the same enumeration.
+    ///
+    /// Deliberately exhaustive — no `..self.clone()` — so adding a field
+    /// to [`MinerStats`] fails to compile until its semantic-vs-work
+    /// classification is decided here (and `grm-analyze`'s
+    /// `counter-schema-drift` rule checks the same exhaustiveness).
     pub fn semantic(&self) -> MinerStats {
         MinerStats {
+            partitions_examined: self.partitions_examined,
+            grs_examined: self.grs_examined,
+            pruned_by_supp: self.pruned_by_supp,
+            pruned_by_score: self.pruned_by_score,
+            rejected_trivial: self.rejected_trivial,
+            rejected_generality: self.rejected_generality,
+            accepted: self.accepted,
+            heff_scans: self.heff_scans,
             partition_passes: 0,
             fused_passes: 0,
             kernel_batches: 0,
@@ -114,7 +127,6 @@ impl MinerStats {
             subtree_splits: 0,
             bound_tightenings: 0,
             elapsed: Duration::ZERO,
-            ..self.clone()
         }
     }
 }

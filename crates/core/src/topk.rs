@@ -110,7 +110,7 @@ const BOUND_UNSET: u64 = u64::MAX;
 /// The dynamic top-k bound shared by the parallel miner's workers: a
 /// monotonically tightening lower bound on the k-th best score of the
 /// *final merged* result, published through an `AtomicU64` so the
-/// hot-path read ([`SharedBound::get`]) is one relaxed load.
+/// hot-path read ([`SharedBound::get`]) is one uncontended atomic load.
 ///
 /// Soundness is the whole design: the bound is fed only candidates that
 /// are **guaranteed to survive the sequential post-pass** — when the
@@ -144,7 +144,15 @@ impl SharedBound {
     /// value is ≤ the final k-th best score (see type docs), so pruning
     /// strictly below it never cuts a final top-k member.
     pub fn get(&self) -> Option<f64> {
-        let bits = self.bits.load(AtomicOrdering::Relaxed);
+        // ordering: Acquire pairs with the Release publish in `offer`.
+        // The loaded bits are the entire payload, so even a fully
+        // Relaxed load is sound — stale values are older (smaller)
+        // bounds and pruning against them is merely conservative; the
+        // analyze crate's model checker proves exactly that under
+        // coherence-only load semantics (`grm_analyze::model::bound`).
+        // Acquire is kept because it is free on x86/aarch64 loads and
+        // documents the publish edge for future fields.
+        let bits = self.bits.load(AtomicOrdering::Acquire);
         (bits != BOUND_UNSET).then(|| f64::from_bits(bits))
     }
 
@@ -164,10 +172,19 @@ impl SharedBound {
         let Some(new_bound) = heap.dynamic_bound() else {
             return false;
         };
+        // ordering: Relaxed is exact here, not an optimization gamble —
+        // every store to `bits` happens while `heap`'s lock is held (we
+        // hold it now), so the previous store happens-before this load
+        // via the mutex release/acquire pair and coherence forbids
+        // reading anything older than the latest value.
         let prev = self.bits.load(AtomicOrdering::Relaxed);
         if prev == BOUND_UNSET || new_bound > f64::from_bits(prev) {
+            // ordering: Release publish, paired with the Acquire load in
+            // `get`. The cross-thread store path of the shared bound:
+            // monotone non-decreasing values written only under the heap
+            // lock, read lock-free by pruning workers.
             self.bits
-                .store(new_bound.to_bits(), AtomicOrdering::Relaxed);
+                .store(new_bound.to_bits(), AtomicOrdering::Release);
             true
         } else {
             false

@@ -44,9 +44,9 @@
 //!
 //! A key at or beyond `bucket_count` is a **checked error in release
 //! builds** ([`GraphError::KeyOutOfRange`]) — not a `debug_assert!` — since
-//! an oversized key would otherwise corrupt the histogram (or, with the
-//! legacy [`partition_in_place`] wrapper, panic). On error the arena rolls
-//! its state back and stays usable.
+//! an oversized key would otherwise corrupt the histogram. The legacy
+//! [`partition_in_place`] wrapper forwards the same error. On error the
+//! arena rolls its state back and stays usable.
 
 use crate::error::{GraphError, Result};
 use crate::kernel;
@@ -207,6 +207,8 @@ pub struct PartitionArena {
 
 impl Default for PartitionArena {
     fn default() -> Self {
+        // lint: allow(alloc-in-arena) — construction site, not a pass:
+        // every buffer starts empty (no capacity) and warms up in place.
         PartitionArena {
             counts: Vec::new(),
             keys: Vec::new(),
@@ -436,6 +438,9 @@ impl PartitionArena {
         }
         if bad {
             // Roll back: cursors are dirty and the level is garbage.
+            // lint: allow(panic-in-hot-path) — cold error-recovery scan:
+            // `bad` was set by exactly this predicate one loop earlier, so
+            // the offender must still be found on the re-scan.
             let key = data
                 .iter()
                 .map(|&id| next_col[id as usize])
@@ -613,6 +618,9 @@ impl PartitionArena {
             let (max, batches) = kernel::gather_keys(data, col, &mut self.keys[..n]);
             self.kernel_batches += batches;
             if (max as usize) >= bucket_count {
+                // lint: allow(panic-in-hot-path) — cold error-recovery
+                // scan: `max >= bucket_count` guarantees the key cache
+                // holds at least one offender to report.
                 let key = self.keys[..n]
                     .iter()
                     .copied()
@@ -772,10 +780,10 @@ impl PartitionArena {
 ///
 /// `bucket_count` must be strictly greater than every key (i.e.
 /// `domain_size + 1` — see [`crate::AttrDef::bucket_count`]); an
-/// out-of-range key **panics** (the arena API returns
-/// [`GraphError::KeyOutOfRange`] instead — use it where keys are not
-/// schema-validated). Returns the non-empty partitions in increasing key
-/// order in `O(data.len() + bucket_count)` with no key comparisons.
+/// out-of-range key is a [`GraphError::KeyOutOfRange`] error and leaves
+/// the arena rolled back and usable. Returns the non-empty partitions in
+/// increasing key order in `O(data.len() + bucket_count)` with no key
+/// comparisons.
 ///
 /// This is the convenience wrapper for cold paths (baselines, tests): it
 /// allocates the returned `Vec<Partition>` on every call. Hot paths use
@@ -785,13 +793,11 @@ pub fn partition_in_place<K>(
     bucket_count: usize,
     arena: &mut PartitionArena,
     key: K,
-) -> Vec<Partition>
+) -> Result<Vec<Partition>>
 where
     K: FnMut(u32) -> AttrValue,
 {
-    let frame = arena
-        .partition_with(data, bucket_count, key)
-        .unwrap_or_else(|e| panic!("{e}"));
+    let frame = arena.partition_with(data, bucket_count, key)?;
     let parts = arena
         .records(&frame)
         .iter()
@@ -799,13 +805,15 @@ where
             value: r.value,
             range: r.range(),
         })
+        // lint: allow(alloc-in-arena) — this legacy wrapper is documented
+        // as allocating its return value; hot paths use the frame API.
         .collect();
     arena.pop_frame(frame);
-    parts
+    Ok(parts)
 }
 
 /// Convenience wrapper that allocates its own scratch.
-pub fn partition_by<K>(data: &mut [u32], bucket_count: usize, key: K) -> Vec<Partition>
+pub fn partition_by<K>(data: &mut [u32], bucket_count: usize, key: K) -> Result<Vec<Partition>>
 where
     K: FnMut(u32) -> AttrValue,
 {
@@ -820,14 +828,14 @@ mod tests {
     #[test]
     fn empty_input() {
         let mut data: Vec<u32> = vec![];
-        assert!(partition_by(&mut data, 4, |_| 0).is_empty());
+        assert!(partition_by(&mut data, 4, |_| 0).unwrap().is_empty());
     }
 
     #[test]
     fn partitions_are_contiguous_and_sorted() {
         let mut data = vec![0, 1, 2, 3, 4, 5, 6];
         let keys = [2u16, 0, 1, 2, 1, 0, 2];
-        let parts = partition_by(&mut data, 3, |i| keys[i as usize]);
+        let parts = partition_by(&mut data, 3, |i| keys[i as usize]).unwrap();
         assert_eq!(parts.len(), 3);
         assert_eq!(parts[0].value, 0);
         assert_eq!(parts[1].value, 1);
@@ -840,7 +848,7 @@ mod tests {
     #[test]
     fn stability_preserves_input_order_within_partition() {
         let mut data = vec![9, 3, 7, 1];
-        let parts = partition_by(&mut data, 2, |_| 1);
+        let parts = partition_by(&mut data, 2, |_| 1).unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(data, vec![9, 3, 7, 1]);
         assert_eq!(parts[0].len(), 4);
@@ -849,7 +857,7 @@ mod tests {
     #[test]
     fn skips_empty_values() {
         let mut data = vec![0, 1];
-        let parts = partition_by(&mut data, 10, |i| if i == 0 { 2 } else { 9 });
+        let parts = partition_by(&mut data, 10, |i| if i == 0 { 2 } else { 9 }).unwrap();
         let values: Vec<_> = parts.iter().map(|p| p.value).collect();
         assert_eq!(values, vec![2, 9]);
     }
@@ -857,7 +865,7 @@ mod tests {
     #[test]
     fn is_a_permutation() {
         let mut data: Vec<u32> = (0..100).collect();
-        let parts = partition_by(&mut data, 7, |i| (i % 7) as u16);
+        let parts = partition_by(&mut data, 7, |i| (i % 7) as u16).unwrap();
         let mut sorted = data.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
@@ -868,21 +876,21 @@ mod tests {
     fn arena_reuse_across_sizes() {
         let mut arena = PartitionArena::new();
         let mut a: Vec<u32> = (0..10).collect();
-        partition_in_place(&mut a, 3, &mut arena, |i| (i % 3) as u16);
+        partition_in_place(&mut a, 3, &mut arena, |i| (i % 3) as u16).unwrap();
         let mut b: Vec<u32> = (0..1000).collect();
-        let parts = partition_in_place(&mut b, 11, &mut arena, |i| (i % 11) as u16);
+        let parts = partition_in_place(&mut b, 11, &mut arena, |i| (i % 11) as u16).unwrap();
         assert_eq!(parts.len(), 11);
         assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 1000);
         // Going back to a smaller bucket count must not see stale counts.
         let mut c: Vec<u32> = (0..20).collect();
-        let parts = partition_in_place(&mut c, 2, &mut arena, |i| (i % 2) as u16);
+        let parts = partition_in_place(&mut c, 2, &mut arena, |i| (i % 2) as u16).unwrap();
         assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 20);
     }
 
     #[test]
     fn ranges_tile_the_slice() {
         let mut data: Vec<u32> = (0..57).collect();
-        let parts = partition_by(&mut data, 5, |i| (i % 5) as u16);
+        let parts = partition_by(&mut data, 5, |i| (i % 5) as u16).unwrap();
         let mut next = 0;
         for p in &parts {
             assert_eq!(p.range.start, next);
@@ -922,10 +930,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn legacy_wrapper_panics_on_out_of_range_key() {
+    fn legacy_wrapper_reports_out_of_range_key() {
         let mut data = vec![0u32, 1];
-        partition_by(&mut data, 2, |_| 5);
+        let err = partition_by(&mut data, 2, |_| 5).unwrap_err();
+        assert!(matches!(err, GraphError::KeyOutOfRange { key: 5, .. }));
     }
 
     #[test]

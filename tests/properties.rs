@@ -326,7 +326,7 @@ proptest! {
         keys in prop::collection::vec(0u16..8, 0..200),
     ) {
         let mut data: Vec<u32> = (0..keys.len() as u32).collect();
-        let parts = partition_by(&mut data, 8, |i| keys[i as usize]);
+        let parts = partition_by(&mut data, 8, |i| keys[i as usize]).unwrap();
         // Permutation.
         let mut sorted = data.clone();
         sorted.sort_unstable();
