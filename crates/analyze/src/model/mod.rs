@@ -25,12 +25,21 @@
 //! premature-exit counterexample when spawning pushes before it
 //! registers.
 //!
+//! [`shard`] models the shard-residency/eviction protocol of
+//! [`shard.rs`](../../graph/src/shard.rs): pin-on-acquire,
+//! evict-unpinned-LRU-to-fit, release-decrements. It proves no shard is
+//! evicted while a task is mining it, residency stays inside the memory
+//! budget, no scripted root task is lost, and the blocked wait (every
+//! resident shard pinned) is not a deadlock — and refutes the
+//! evict-under-pin, budget-blind and leaky-release variants.
+//!
 //! Small configurations run in plain `cargo test`; the larger sweeps are
 //! behind the `model-check` feature (CI's deep leg) and all of them run
 //! via `grm-analyze model`.
 
 pub mod bound;
 pub mod sched;
+pub mod shard;
 pub mod term;
 
 use sched::Outcome;
@@ -62,5 +71,6 @@ impl Report {
 pub fn full_suite() -> Vec<Report> {
     let mut reports = bound::suite(true);
     reports.extend(term::suite(true));
+    reports.extend(shard::suite(true));
     reports
 }

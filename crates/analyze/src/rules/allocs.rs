@@ -13,7 +13,11 @@ use crate::walk::FileSet;
 pub const RULE: &str = "alloc-in-arena";
 
 /// The scratch-owning modules.
-pub const ARENA_FILES: &[&str] = &["crates/graph/src/sort.rs", "crates/core/src/miner.rs"];
+pub const ARENA_FILES: &[&str] = &[
+    "crates/graph/src/sort.rs",
+    "crates/graph/src/shard.rs",
+    "crates/core/src/miner.rs",
+];
 
 const PATTERNS: &[&str] = &[
     "Vec::new(",

@@ -17,9 +17,11 @@ pub const RULE: &str = "panic-in-hot-path";
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/graph/src/kernel.rs",
     "crates/graph/src/sort.rs",
+    "crates/graph/src/shard.rs",
     "crates/core/src/beta.rs",
     "crates/core/src/parallel.rs",
     "crates/core/src/miner.rs",
+    "crates/core/src/sharded.rs",
 ];
 
 const PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!(", "unreachable!("];

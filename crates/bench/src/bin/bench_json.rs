@@ -13,13 +13,18 @@
 //!   the `scalar_kernel_off` ablation);
 //! * `parallel` — end-to-end thread scaling of the work-stealing miner
 //!   on full-dims Pokec: sequential GRMiner(k), the work-stealing engine
-//!   at 1/2/4 threads, and the static-queue 4-thread engine it replaced.
+//!   at 1/2/4 threads, and the static-queue 4-thread engine it replaced;
+//! * `shard` — the sharded out-of-core engine on the same Pokec
+//!   fixture: spill-store build cost, the sharded mine at 1/4 shards and
+//!   1/4 workers, and the 4-shard mine under a whole-graph memory
+//!   budget — the out-of-core overhead relative to the in-core mine.
 //!
 //! ```text
-//! bench_json [--group partition|kernel|parallel] [out.json]
+//! bench_json [--group partition|kernel|parallel|shard] [out.json]
 //! # defaults: --group partition → BENCH_partition.json
 //! #           --group kernel    → BENCH_kernel.json
 //! #           --group parallel  → BENCH_parallel.json
+//! #           --group shard     → BENCH_shard.json
 //! ```
 //!
 //! Schema (`grm-bench-<group>/1`): `results[]` of
@@ -367,6 +372,93 @@ fn parallel_cells() -> Vec<Cell> {
     cells
 }
 
+/// The sharded out-of-core engine on the Pokec fixture (minSupp 30,
+/// k 100, nhp — the ablation configuration): the in-core sequential
+/// mine as the baseline, the one-off spill-store build, and the sharded
+/// mine across shard/worker counts, including a run capped at the
+/// whole-graph resident cost (every unit fits alone, so the pool must
+/// juggle residency instead of erroring). `n` is the edge count.
+fn shard_cells() -> Vec<Cell> {
+    use grm_core::{mine_sharded, ShardedOptions};
+    use grm_graph::shard::{resident_cost, ShardStore};
+
+    let graph = fixture(Dataset::Pokec, 0.05);
+    let base = MinerConfig::nhp(30, 0.5, 100);
+    let n = graph.edge_count() as usize;
+    let root = std::env::temp_dir().join(format!("grm-bench-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cells: Vec<Cell> = Vec::new();
+
+    cells.push(Cell {
+        group: "shard",
+        bench: "in_core_seq",
+        n,
+        median_ns: median_ns_over(MINE_SAMPLES, || {
+            let r = GrMiner::new(&graph, base.clone()).mine();
+            r.top.len() as u64 + r.stats.grs_examined
+        }),
+    });
+
+    cells.push(Cell {
+        group: "shard",
+        bench: "store_build_4",
+        n,
+        median_ns: median_ns_over(MINE_SAMPLES, || {
+            let d = root.join("build");
+            let _ = std::fs::remove_dir_all(&d);
+            let store =
+                ShardStore::build_from_graph(&graph, &d, 4, grm_graph::CompactModel::MAX_EDGES)
+                    .unwrap();
+            store.total_edges()
+        }),
+    });
+
+    let store1 = ShardStore::build_from_graph(
+        &graph,
+        root.join("s1"),
+        1,
+        grm_graph::CompactModel::MAX_EDGES,
+    )
+    .unwrap();
+    let store4 = ShardStore::build_from_graph(
+        &graph,
+        root.join("s4"),
+        4,
+        grm_graph::CompactModel::MAX_EDGES,
+    )
+    .unwrap();
+    let whole_graph_budget = resident_cost(graph.schema(), graph.node_count(), n);
+    for (bench, store, threads, memory_budget) in [
+        ("sharded_1_seq", &store1, 1usize, None),
+        ("sharded_4_seq", &store4, 1, None),
+        ("sharded_4_threads_4", &store4, 4, None),
+        (
+            "sharded_4_threads_4_budgeted",
+            &store4,
+            4,
+            Some(whole_graph_budget),
+        ),
+    ] {
+        cells.push(Cell {
+            group: "shard",
+            bench,
+            n,
+            median_ns: median_ns_over(MINE_SAMPLES, || {
+                let opts = ShardedOptions {
+                    threads,
+                    memory_budget,
+                };
+                let r = mine_sharded(store, &base, &opts).unwrap();
+                r.top.len() as u64 + r.stats.shard_loads
+            }),
+        });
+    }
+    drop(store1);
+    drop(store4);
+    let _ = std::fs::remove_dir_all(&root);
+    cells
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().filter(|a| *a == "--group").count() > 1 {
@@ -377,7 +469,7 @@ fn main() {
         Some(i) => match args.get(i + 1) {
             Some(g) => g.clone(),
             None => {
-                eprintln!("--group is missing its value (partition|kernel|parallel)");
+                eprintln!("--group is missing its value (partition|kernel|parallel|shard)");
                 std::process::exit(2);
             }
         },
@@ -392,7 +484,7 @@ fn main() {
     // A mistyped flag must fail, not become the output filename.
     if let Some(flagish) = positional.iter().find(|a| a.starts_with('-')) {
         eprintln!(
-            "unknown flag `{flagish}` (usage: bench_json [--group partition|kernel|parallel] [out.json])"
+            "unknown flag `{flagish}` (usage: bench_json [--group partition|kernel|parallel|shard] [out.json])"
         );
         std::process::exit(2);
     }
@@ -408,8 +500,9 @@ fn main() {
         "partition" => partition_cells(),
         "kernel" => kernel_cells(),
         "parallel" => parallel_cells(),
+        "shard" => shard_cells(),
         other => {
-            eprintln!("unknown --group `{other}` (expected partition|kernel|parallel)");
+            eprintln!("unknown --group `{other}` (expected partition|kernel|parallel|shard)");
             std::process::exit(2);
         }
     };

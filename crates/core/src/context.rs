@@ -52,6 +52,18 @@ impl<'g> MiningContext<'g> {
     /// Wrap an already-built model.
     pub fn new(model: CompactModel<'g>, needs_r_marginal: bool) -> Self {
         let edges_total = model.edge_count() as u64;
+        Self::with_edges_total(model, needs_r_marginal, edges_total)
+    }
+
+    /// Wrap a model whose graph is one *shard or slice* of a larger edge
+    /// set: support denominators (`supp_rel`, the empty-RHS marginal)
+    /// use `edges_total` — the global edge count — while position
+    /// buffers and marginal scans stay sized to the resident model.
+    pub fn with_edges_total(
+        model: CompactModel<'g>,
+        needs_r_marginal: bool,
+        edges_total: u64,
+    ) -> Self {
         let r_base = needs_r_marginal.then(|| {
             let schema = model.graph().schema();
             schema
@@ -90,7 +102,7 @@ impl<'g> MiningContext<'g> {
     /// it never consumes them.
     pub fn fill_positions(&self, buf: &mut Vec<u32>) {
         buf.clear();
-        buf.extend(0..self.edges_total as u32);
+        buf.extend(0..self.model.edge_count() as u32);
     }
 
     /// RHS marginal `supp(r)` over all edges (lift / PS / conviction —
@@ -110,7 +122,7 @@ impl<'g> MiningContext<'g> {
                 // scan of the same descriptor is benign (supp(r) is a
                 // pure function, both workers insert the same value).
                 let cols: Vec<&[u16]> = pairs.iter().map(|&(a, _)| self.model.r_col(a)).collect();
-                let count = (0..self.edges_total as usize)
+                let count = (0..self.model.edge_count())
                     .filter(|&p| cols.iter().zip(pairs).all(|(col, &(_, v))| col[p] == v))
                     .count() as u64;
                 self.r_memo.lock().insert(r.clone(), count);

@@ -48,6 +48,7 @@
 //! | GR text parsing | [`parse`] |
 //! | influence matrices (§II, class propagation) | [`influence`] |
 //! | parallel extension | [`parallel`] |
+//! | sharded out-of-core extension | [`sharded`] |
 
 #![warn(missing_docs)]
 
@@ -66,6 +67,7 @@ pub mod parallel;
 pub mod parse;
 pub mod query;
 pub mod reference;
+pub mod sharded;
 pub mod stats;
 pub mod tail;
 pub mod topk;
@@ -77,6 +79,7 @@ pub use gr::{Gr, GrBuilder, ScoredGr};
 pub use metrics::{MetricInputs, RankMetric};
 pub use miner::{GrMiner, MineResult};
 pub use parse::parse_gr;
+pub use sharded::{mine_sharded, ShardedError, ShardedOptions};
 pub use stats::MinerStats;
 pub use tail::Dims;
 pub use topk::TopK;

@@ -197,6 +197,17 @@ pub(crate) enum RootTask {
         /// Last partition value of the chunk (inclusive).
         hi: AttrValue,
     },
+    /// One dimension of `RIGHT(RArray, tail(nil))`: the iteration of
+    /// [`RootTask::Right`]'s top-level partition loop that partitions on
+    /// `r_order(∅)[dim]`. The sharded miner ([`crate::sharded`]) runs
+    /// each dimension over a per-value edge slice, so the slice's
+    /// `supp_lw` denominator must be overridden with the *global* edge
+    /// count — the whole reason this cannot reuse [`RootTask::Right`] on
+    /// the slice.
+    RightDim {
+        /// Index into the empty-LHS RHS order `dims.r_order(0)`.
+        dim: usize,
+    },
 }
 
 impl RootTask {
@@ -386,6 +397,7 @@ impl<'a, 'g> Run<'a, 'g> {
             RootTask::Edge(i) => self.edge_range(data, i..i + 1, &l0, &w0),
             RootTask::Left(i) => self.left_range(data, i..i + 1, &l0),
             RootTask::LeftValues { dim, lo, hi } => self.left_values_root(data, dim, lo, hi),
+            RootTask::RightDim { dim } => self.right_dim_root(data, dim),
         }
         self.record_scratch_peak();
     }
@@ -709,7 +721,7 @@ impl<'a, 'g> Run<'a, 'g> {
             &mut ctx,
             data,
             &r_buf[..len],
-            len,
+            0..len,
             l,
             w,
             &NodeDescriptor::empty(),
@@ -729,6 +741,40 @@ impl<'a, 'g> Run<'a, 'g> {
         if let Some(t) = table {
             self.scratch.heff_tables.push(t);
         }
+    }
+
+    /// One top-level dimension of the empty-LHS RIGHT chain
+    /// ([`RootTask::RightDim`]), run by the sharded miner over a
+    /// per-value edge slice. With `l = ∅` there are no homophily
+    /// conditions (β ⊆ H_l = ∅), so no snapshot or β table is ever
+    /// needed; the one semantic difference from [`Run::right_root`] is
+    /// the `supp_lw` denominator, which must be the *global* edge count
+    /// (`Run::edges_total`) rather than the slice length, because the
+    /// empty-LHS `l ∧ w` group is the whole edge set.
+    fn right_dim_root(&mut self, data: &mut [u32], dim: usize) {
+        let mut ctx = LwContext {
+            supp_lw: self.edges_total,
+            table: None,
+            memo: HashMap::new(),
+            // lint: allow(alloc-in-arena) — empty Vec, never grows
+            // (l = ∅ has no homophily pairs).
+            pairs: Vec::new(),
+            edges: None,
+        };
+        let mut r_buf = [NodeAttrId(0); MAX_NODE_ATTRS];
+        let len = self.dims.r_order_into(0, &mut r_buf);
+        debug_assert!(dim < len, "RightDim dimension out of the RHS order");
+        self.right(
+            &mut ctx,
+            data,
+            &r_buf[..len],
+            dim..(dim + 1).min(len),
+            &NodeDescriptor::empty(),
+            &EdgeDescriptor::empty(),
+            &NodeDescriptor::empty(),
+            None,
+        );
+        self.scratch.pairs_bufs.push(ctx.pairs);
     }
 
     /// The fused-pass target for children entering a RIGHT chain with LHS
@@ -829,7 +875,7 @@ impl<'a, 'g> Run<'a, 'g> {
         ctx: &mut LwContext,
         data: &mut [u32],
         r_order: &[NodeAttrId],
-        r_tail_len: usize,
+        r_range: std::ops::Range<usize>,
         l: &NodeDescriptor,
         w: &EdgeDescriptor,
         r: &NodeDescriptor,
@@ -839,7 +885,7 @@ impl<'a, 'g> Run<'a, 'g> {
             return;
         }
         let model = self.ctx.model();
-        for i in 0..r_tail_len {
+        for i in r_range {
             let d = r_order[i];
             let buckets = self.schema.node_attr(d).bucket_count();
             let col = model.r_col(d);
@@ -989,7 +1035,7 @@ impl<'a, 'g> Run<'a, 'g> {
                         dim: nd,
                     });
                     let sub = &mut data[part.range()];
-                    self.right(ctx, sub, r_order, i, l, w, &r2, child_pre);
+                    self.right(ctx, sub, r_order, 0..i, l, w, &r2, child_pre);
                 }
                 self.scratch.node_descs.push(r2);
             }

@@ -163,7 +163,7 @@ pub fn mine_parallel_with_dims(
 /// detected available parallelism — degrading to **one worker with a
 /// warning** (never an abort) when detection fails, since a mining run
 /// on a restricted platform should fall back to the sequential plan.
-fn resolve_threads(requested: usize) -> usize {
+pub(crate) fn resolve_threads(requested: usize) -> usize {
     resolve_threads_from(
         requested,
         std::thread::available_parallelism().map(|n| n.get()),
@@ -525,22 +525,16 @@ pub fn mine_parallel_traced(
     // exactly instead (see module docs).
     let final_bound = shared_bound.get();
     let top = if config.generality_filter && final_bound.is_some() {
-        select_topk_verified(graph, config, candidates, &pruned_frontiers, &mut stats)
+        select_topk_verified(
+            graph.schema(),
+            &mut |g| query::evaluate(graph, g),
+            config,
+            candidates,
+            &pruned_frontiers,
+            &mut stats,
+        )
     } else {
-        candidates.sort_by_key(|c| c.gr.l.len() + c.gr.w.len());
-        let mut index = GeneralityIndex::new();
-        let mut topk = TopK::new(config.k);
-        for cand in candidates {
-            if config.generality_filter {
-                if index.has_more_general(&cand.gr) {
-                    stats.rejected_generality += 1;
-                    continue;
-                }
-                index.record(&cand.gr);
-            }
-            topk.offer(cand);
-        }
-        topk.into_sorted()
+        classic_select_topk(config, candidates, &mut stats)
     };
 
     stats.elapsed = start.elapsed();
@@ -552,6 +546,33 @@ pub fn mine_parallel_traced(
         },
         final_bound,
     )
+}
+
+/// The classic collect-mode merge: generality most-general-first (size
+/// order suffices — a proper generalization has strictly fewer `l ∧ w`
+/// conditions, and equal-size GRs never generalize one another), then
+/// the top-k rank. Exact whenever the collected candidate set is
+/// complete (no shared bound published, or the generality filter is
+/// off). Shared with the sharded engine ([`crate::sharded`]).
+pub(crate) fn classic_select_topk(
+    config: &MinerConfig,
+    mut candidates: Vec<ScoredGr>,
+    stats: &mut MinerStats,
+) -> Vec<ScoredGr> {
+    candidates.sort_by_key(|c| c.gr.l.len() + c.gr.w.len());
+    let mut index = GeneralityIndex::new();
+    let mut topk = TopK::new(config.k);
+    for cand in candidates {
+        if config.generality_filter {
+            if index.has_more_general(&cand.gr) {
+                stats.rejected_generality += 1;
+                continue;
+            }
+            index.record(&cand.gr);
+        }
+        topk.offer(cand);
+    }
+    topk.into_sorted()
 }
 
 /// Top-k selection with **exact** Def. 5(2) generality for runs whose
@@ -578,8 +599,15 @@ pub fn mine_parallel_traced(
 /// threshold-passing strict generalization exists (take a minimal one —
 /// nothing suppresses it, so it is recorded first), which is precisely
 /// the predicate decided here.
-fn select_topk_verified(
-    graph: &SocialGraph,
+///
+/// `evaluate` measures a GR against the *complete* edge set — the
+/// in-core engine passes [`query::evaluate`] over the graph, the
+/// sharded engine ([`crate::sharded`]) a closure that sums
+/// [`query::counts`] over every shard — so the same exactness argument
+/// covers both.
+pub(crate) fn select_topk_verified(
+    schema: &Schema,
+    evaluate: &mut dyn FnMut(&Gr) -> query::GrMeasures,
     config: &MinerConfig,
     mut candidates: Vec<ScoredGr>,
     pruned_frontiers: &HashSet<(NodeDescriptor, EdgeDescriptor)>,
@@ -607,7 +635,14 @@ fn select_topk_verified(
             break;
         }
         if !pruned_frontiers.is_empty()
-            && has_lost_passing_generalization(graph, config, &cand.gr, pruned_frontiers, &mut memo)
+            && has_lost_passing_generalization(
+                schema,
+                evaluate,
+                config,
+                &cand.gr,
+                pruned_frontiers,
+                &mut memo,
+            )
         {
             stats.rejected_generality += 1;
             continue;
@@ -629,7 +664,8 @@ fn select_topk_verified(
 /// set suffices and the candidate's own generalization lattice is never
 /// enumerated.
 fn has_lost_passing_generalization(
-    graph: &SocialGraph,
+    schema: &Schema,
+    evaluate: &mut dyn FnMut(&Gr) -> query::GrMeasures,
     config: &MinerConfig,
     gr: &Gr,
     pruned_frontiers: &HashSet<(NodeDescriptor, EdgeDescriptor)>,
@@ -651,7 +687,7 @@ fn has_lost_passing_generalization(
         let g2 = Gr::new(l2.clone(), w2.clone(), gr.r.clone());
         let passes = *memo
             .entry(g2.clone())
-            .or_insert_with(|| generalization_passes(graph, config, &g2));
+            .or_insert_with(|| generalization_passes(schema, evaluate, config, &g2));
         if passes {
             return true;
         }
@@ -662,11 +698,16 @@ fn has_lost_passing_generalization(
 /// Direct threshold evaluation of a candidate suppressor that was not
 /// collected (its score is below the final bound, but Def. 5(2) only
 /// requires it to pass the *user* thresholds).
-fn generalization_passes(graph: &SocialGraph, config: &MinerConfig, g: &Gr) -> bool {
-    if config.suppress_trivial && g.is_trivial(graph.schema()) {
+fn generalization_passes(
+    schema: &Schema,
+    evaluate: &mut dyn FnMut(&Gr) -> query::GrMeasures,
+    config: &MinerConfig,
+    g: &Gr,
+) -> bool {
+    if config.suppress_trivial && g.is_trivial(schema) {
         return false;
     }
-    let m = query::evaluate(graph, g);
+    let m = evaluate(g);
     if m.supp < config.min_supp {
         return false;
     }

@@ -37,6 +37,25 @@ pub struct GrMeasures {
 
 /// Measure `gr` against `graph` in a single pass over the edges.
 pub fn evaluate(graph: &SocialGraph, gr: &Gr) -> GrMeasures {
+    let (supp, supp_lw, supp_r, heff) = counts(graph, gr);
+    GrMeasures::from_counts(
+        graph.schema(),
+        gr,
+        supp,
+        supp_lw,
+        supp_r,
+        heff,
+        graph.edge_count() as u64,
+    )
+}
+
+/// The four raw edge counts of `gr` over `graph`'s edges:
+/// `(supp, supp_lw, supp_r, heff)`. Each is a sum of per-edge
+/// indicators, so all four are *additive over any partition of the edge
+/// set* — the sharded miner ([`crate::sharded`]) evaluates a GR on an
+/// out-of-core graph by summing these per shard and deriving the
+/// measures once with [`GrMeasures::from_counts`].
+pub fn counts(graph: &SocialGraph, gr: &Gr) -> (u64, u64, u64, u64) {
     let schema = graph.schema();
     let b: BetaSet = beta(schema, &gr.l, &gr.r);
     let lbeta = l_beta(&gr.l, b);
@@ -45,7 +64,6 @@ pub fn evaluate(graph: &SocialGraph, gr: &Gr) -> GrMeasures {
     let mut supp_lw = 0u64;
     let mut supp_r = 0u64;
     let mut heff = 0u64;
-    let edges = graph.edge_count() as u64;
 
     for e in graph.edge_ids() {
         let r_match = gr.r.pairs().iter().all(|&(a, v)| graph.dst_attr(e, a) == v);
@@ -69,29 +87,46 @@ pub fn evaluate(graph: &SocialGraph, gr: &Gr) -> GrMeasures {
             heff += 1;
         }
     }
-
-    let conf = (supp_lw > 0).then(|| supp as f64 / supp_lw as f64);
-    let denom = supp_lw.saturating_sub(heff);
-    let nhp = (denom > 0).then(|| supp as f64 / denom as f64);
-
-    GrMeasures {
-        supp,
-        supp_lw,
-        supp_r,
-        heff,
-        edges,
-        beta_attrs: b.iter().collect(),
-        supp_rel: if edges > 0 {
-            supp as f64 / edges as f64
-        } else {
-            0.0
-        },
-        conf,
-        nhp,
-    }
+    (supp, supp_lw, supp_r, heff)
 }
 
 impl GrMeasures {
+    /// Derive the full measurement from the four raw counts (see
+    /// [`counts`]) and the global edge total. The derived-field formulas
+    /// are the single source of truth for both the one-graph
+    /// [`evaluate`] and the sharded summed-counts path, so the two can
+    /// never drift.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_counts(
+        schema: &grm_graph::Schema,
+        gr: &Gr,
+        supp: u64,
+        supp_lw: u64,
+        supp_r: u64,
+        heff: u64,
+        edges: u64,
+    ) -> Self {
+        let b: BetaSet = beta(schema, &gr.l, &gr.r);
+        let conf = (supp_lw > 0).then(|| supp as f64 / supp_lw as f64);
+        let denom = supp_lw.saturating_sub(heff);
+        let nhp = (denom > 0).then(|| supp as f64 / denom as f64);
+        GrMeasures {
+            supp,
+            supp_lw,
+            supp_r,
+            heff,
+            edges,
+            beta_attrs: b.iter().collect(),
+            supp_rel: if edges > 0 {
+                supp as f64 / edges as f64
+            } else {
+                0.0
+            },
+            conf,
+            nhp,
+        }
+    }
+
     /// One-line summary, e.g. `supp=2 (13.3%), conf=33.3%, nhp=100.0%`.
     pub fn summary(&self) -> String {
         let pct = |v: Option<f64>| match v {

@@ -1,0 +1,464 @@
+//! Sharded, memory-budgeted out-of-core mining — breaking the compact
+//! model's u32 edge cap.
+//!
+//! The in-core engines ([`crate::miner`], [`crate::parallel`]) require
+//! the whole edge set resident as one `CompactModel`, whose position
+//! indices are `u32` ([`CompactModel::MAX_EDGES`]). This module mines a
+//! [`ShardStore`] instead: the edges live in columnar per-shard spill
+//! files on disk (partitioned by the dominant LHS attribute's values),
+//! and at any moment only the shards/slices the active root tasks need
+//! are resident, managed by an LRU [`ShardPool`] under a fixed memory
+//! budget.
+//!
+//! ## The per-value slice decomposition
+//!
+//! Naively mining each shard and merging is *not* bit-identical to the
+//! unsharded run: every support a root task other than the dominant
+//! LEFT dimension counts (`supp_lw`, partition lengths, heff snapshots)
+//! spans edges from *all* shards. The engine instead decomposes the
+//! sequential Main loop ([`RootTask::all`]) into units that are each
+//! exactly one top-level partition-value subtree, over an edge set that
+//! provably contains every edge that subtree touches:
+//!
+//! * **`Left(j)`, dominant dimension** (`dims.l[j]` is the store's
+//!   partition attribute): shard `s` holds *precisely* the edges whose
+//!   source carries a value in the shard's range, so running
+//!   [`RootTask::LeftValues`] with that range on shard `s`'s model is
+//!   the identical enumeration (the partitioner emits only non-empty
+//!   partitions, and the value filter precedes every counter).
+//! * **`Left(j)`, other dimensions**: one unit per non-null value `v`,
+//!   over the [`SliceSet`] keyed `Src(dims.l[j])` — the slice is the
+//!   `v` partition of the top-level LEFT pass, mined with
+//!   `LeftValues { lo: v, hi: v }`.
+//! * **`Edge(i)`**: one unit per value over the `Edge(dims.w[i])`
+//!   slices; the slice is the `v` partition of the top-level EDGE pass.
+//! * **`Right`**: one unit per dimension of the empty-LHS RHS order and
+//!   value, over `Dst(r_order[dim])` slices, via
+//!   [`RootTask::RightDim`] — which overrides `supp_lw` with the
+//!   *global* edge count, the one denominator a slice cannot supply.
+//!
+//! NULL-keyed edges are dropped from slices exactly as the recursion
+//! skips NULL partitions, and empty slices are skipped exactly as the
+//! partitioner never emits empty partitions, so every *semantic*
+//! counter ([`MinerStats::semantic`]) matches the in-core engines
+//! bit-for-bit (static configurations; dynamic top-k counters are
+//! timing-dependent in any parallel engine).
+//!
+//! Each unit is a collect-mode [`Run`] whose [`MiningContext`] carries
+//! the global edge total ([`MiningContext::with_edges_total`]), feeding
+//! the same [`SharedBound`] and the same exactness-verified post-pass
+//! as the parallel engine — with one twist: the post-pass evaluator
+//! measures candidate suppressors by summing [`query::counts`] over
+//! every shard (the four counts are per-edge indicators, hence additive
+//! over any partition of the edges), so the verification is exact
+//! without ever holding the whole graph.
+//!
+//! Metrics that need global RHS marginal tables (lift,
+//! Piatetsky-Shapiro, conviction — [`RankMetric::needs_r_marginal`])
+//! are rejected with [`ShardedError::UnsupportedMetric`]: their
+//! per-descriptor marginal memo assumes one resident model.
+
+use crate::config::MinerConfig;
+use crate::context::MiningContext;
+use crate::descriptor::{EdgeDescriptor, NodeDescriptor};
+use crate::gr::ScoredGr;
+use crate::metrics::RankMetric;
+use crate::miner::{MineResult, MinerScratch, RootTask, Run};
+use crate::parallel::{classic_select_topk, resolve_threads, select_topk_verified};
+use crate::query;
+use crate::stats::MinerStats;
+use crate::tail::Dims;
+use crate::topk::SharedBound;
+use grm_graph::shard::{resident_cost, ShardPool, ShardStore, SliceKey, SliceSet};
+use grm_graph::{check_edge_capacity, AttrValue, CompactModel, GraphError, SocialGraph};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Tuning knobs for [`mine_sharded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardedOptions {
+    /// Worker count (0 = available parallelism). Workers pull units off
+    /// a shared dispenser; each holds at most one resident shard/slice
+    /// at a time, so `threads` bounds concurrent residency.
+    pub threads: usize,
+    /// Maximum resident bytes of loaded shards/slices (`None` =
+    /// unbounded). Enforced by the [`ShardPool`]:
+    /// `shard_resident_bytes_peak ≤ budget` holds by construction, and
+    /// a budget too small for even one needed shard fails with
+    /// [`GraphError::MemoryBudgetTooSmall`].
+    pub memory_budget: Option<u64>,
+}
+
+/// Failure modes of a sharded mine.
+#[derive(Debug)]
+pub enum ShardedError {
+    /// The configured metric needs global RHS marginals, which the
+    /// out-of-core engine does not maintain — use nhp, conf, laplace or
+    /// gain, or mine in-core.
+    UnsupportedMetric(RankMetric),
+    /// Storage-layer failure (I/O, capacity, memory budget).
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for ShardedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardedError::UnsupportedMetric(m) => write!(
+                f,
+                "metric {m:?} needs global RHS marginals, which sharded \
+                 out-of-core mining does not maintain; use nhp, conf, \
+                 laplace or gain, or mine in-core"
+            ),
+            ShardedError::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardedError::Graph(e) => Some(e),
+            ShardedError::UnsupportedMetric(_) => None,
+        }
+    }
+}
+
+impl From<GraphError> for ShardedError {
+    fn from(e: GraphError) -> Self {
+        ShardedError::Graph(e)
+    }
+}
+
+/// One independent unit of sharded work: a root task over one resident
+/// edge set (module docs).
+#[derive(Debug, Clone, Copy)]
+enum Unit {
+    /// A persistent shard, leased from the pool.
+    Shard { shard: usize, task: RootTask },
+    /// One value slice of a [`SliceSet`], loaded under a reservation.
+    Slice {
+        set: usize,
+        value: AttrValue,
+        task: RootTask,
+    },
+}
+
+/// What one executed unit hands back for the deterministic merge.
+type UnitOut = (
+    Vec<ScoredGr>,
+    MinerStats,
+    Vec<(NodeDescriptor, EdgeDescriptor)>,
+);
+
+/// Mine the top-k GRs of an out-of-core [`ShardStore`] under
+/// `opts.memory_budget`, bit-identical to the in-core engines on the
+/// same edge set (module docs). Results are deterministic across thread
+/// counts and shard counts.
+pub fn mine_sharded(
+    store: &ShardStore,
+    config: &MinerConfig,
+    opts: &ShardedOptions,
+) -> Result<MineResult, ShardedError> {
+    if config.metric.needs_r_marginal() {
+        return Err(ShardedError::UnsupportedMetric(config.metric));
+    }
+    let start = Instant::now();
+    let schema = store.schema();
+    let dims = Dims::all(schema);
+    let total_edges = store.total_edges();
+    let threads = resolve_threads(opts.threads);
+
+    // Build the slice sets and the unit list in the sequential Main
+    // order (RIGHT, EDGE dimensions, LEFT dimensions). Every slice is
+    // capacity-checked up front: a value slice beyond the u32 position
+    // space cannot be mined by the per-unit compact model, and the
+    // check here turns that into a typed error instead of a failed
+    // build mid-run.
+    let mut sets: Vec<SliceSet> = Vec::new();
+    let mut units: Vec<Unit> = Vec::new();
+    for (dim, &attr) in dims.r_order(0).iter().enumerate() {
+        add_slice_units(store, &mut sets, &mut units, SliceKey::Dst(attr), &|_| {
+            RootTask::RightDim { dim }
+        })?;
+    }
+    for (i, &attr) in dims.w.iter().enumerate() {
+        add_slice_units(store, &mut sets, &mut units, SliceKey::Edge(attr), &|_| {
+            RootTask::Edge(i)
+        })?;
+    }
+    for (j, &attr) in dims.l.iter().enumerate() {
+        if attr == store.spec().attr() {
+            for s in 0..store.shard_count() {
+                if store.edge_count(s) == 0 {
+                    continue;
+                }
+                let (lo, hi) = store.spec().range(s);
+                units.push(Unit::Shard {
+                    shard: s,
+                    task: RootTask::LeftValues { dim: j, lo, hi },
+                });
+            }
+        } else {
+            add_slice_units(store, &mut sets, &mut units, SliceKey::Src(attr), &|v| {
+                RootTask::LeftValues {
+                    dim: j,
+                    lo: v,
+                    hi: v,
+                }
+            })?;
+        }
+    }
+
+    let pool = ShardPool::new(store, opts.memory_budget);
+    let shared = SharedBound::new(config.k);
+    let mut stats = MinerStats::default();
+    let mut candidates: Vec<ScoredGr> = Vec::new();
+    let mut pruned_frontiers: HashSet<(NodeDescriptor, EdgeDescriptor)> = HashSet::new();
+
+    if !units.is_empty() {
+        // Per-unit result slots, indexed by unit, so the merge below is
+        // a fixed-order walk regardless of which worker ran what when.
+        let slots: Mutex<Vec<Option<UnitOut>>> =
+            Mutex::new((0..units.len()).map(|_| None).collect());
+        let first_error: Mutex<Option<ShardedError>> = Mutex::new(None);
+        let next = AtomicUsize::new(0);
+        let workers = threads.min(units.len()).max(1);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let units = &units;
+                let sets = &sets;
+                let pool = &pool;
+                let slots = &slots;
+                let first_error = &first_error;
+                let next = &next;
+                let shared = &shared;
+                let dims = &dims;
+                scope.spawn(move |_| {
+                    let mut scratch = MinerScratch::default();
+                    loop {
+                        if first_error.lock().is_some() {
+                            break;
+                        }
+                        // ordering: SeqCst unit dispenser. The only
+                        // required property is that each index is
+                        // handed out exactly once, which any ordering
+                        // of an atomic RMW gives; SeqCst is chosen
+                        // because grm-analyze's atomics rule treats
+                        // Relaxed RMWs as protocol smells, and the
+                        // dispenser runs once per unit — far off any
+                        // hot path. (The residency protocol itself is
+                        // checked by `grm_analyze::model::shard`.)
+                        let u = next.fetch_add(1, Ordering::SeqCst);
+                        if u >= units.len() {
+                            break;
+                        }
+                        match run_unit(
+                            store,
+                            sets,
+                            pool,
+                            units[u],
+                            config,
+                            dims,
+                            shared,
+                            total_edges,
+                            &mut scratch,
+                        ) {
+                            Ok(out) => slots.lock()[u] = Some(out),
+                            Err(e) => {
+                                let mut g = first_error.lock();
+                                if g.is_none() {
+                                    *g = Some(e);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        // lint: allow(panic-in-hot-path) — re-raising a worker panic is
+        // the only correct move: swallowing it would return a silently
+        // incomplete mine.
+        .expect("worker panicked");
+
+        if let Some(e) = first_error.into_inner() {
+            return Err(e);
+        }
+        // Every slot is Some here: a None would mean its worker exited
+        // early, which only happens on an error returned above.
+        for (mut grs, s, pruned) in slots.into_inner().into_iter().flatten() {
+            stats.merge(&s);
+            candidates.append(&mut grs);
+            pruned_frontiers.extend(pruned);
+        }
+    }
+
+    // Sequential post-pass — the same exactness logic as the parallel
+    // engine, with the candidate-suppressor evaluator summing per-shard
+    // counts instead of scanning one resident graph. Evaluation errors
+    // (I/O on a shard re-load) are latched and surfaced after the walk:
+    // the evaluator signature is infallible by design.
+    let mut eval_err: Option<GraphError> = None;
+    let final_bound = shared.get();
+    let top = if config.generality_filter && final_bound.is_some() {
+        let mut evaluate = |g: &crate::gr::Gr| {
+            let (mut supp, mut supp_lw, mut supp_r, mut heff) = (0u64, 0u64, 0u64, 0u64);
+            for s in 0..store.shard_count() {
+                if store.edge_count(s) == 0 {
+                    continue;
+                }
+                match pool.acquire(s) {
+                    Ok(lease) => {
+                        let (a, b, c, d) = query::counts(lease.graph(), g);
+                        supp += a;
+                        supp_lw += b;
+                        supp_r += c;
+                        heff += d;
+                    }
+                    Err(e) => {
+                        if eval_err.is_none() {
+                            eval_err = Some(e);
+                        }
+                    }
+                }
+            }
+            query::GrMeasures::from_counts(schema, g, supp, supp_lw, supp_r, heff, total_edges)
+        };
+        select_topk_verified(
+            schema,
+            &mut evaluate,
+            config,
+            candidates,
+            &pruned_frontiers,
+            &mut stats,
+        )
+    } else {
+        classic_select_topk(config, candidates, &mut stats)
+    };
+    if let Some(e) = eval_err {
+        return Err(e.into());
+    }
+
+    let pool_stats = pool.stats();
+    stats.shards_built = store.shard_count() as u64;
+    stats.shard_loads = pool_stats.loads;
+    stats.shard_evictions = pool_stats.evictions;
+    stats.shard_resident_bytes_peak = pool_stats.resident_bytes_peak;
+    stats.elapsed = start.elapsed();
+    Ok(MineResult {
+        top,
+        stats,
+        edge_count: total_edges,
+    })
+}
+
+/// Build the [`SliceSet`] for `key` and append one [`Unit::Slice`] per
+/// non-empty value, with `task_of(value)` as its root task. Empty
+/// values are skipped — the in-core partitioner never emits empty
+/// partitions, so the skip is counter-exact — and every slice is
+/// capacity-checked against the per-unit compact model's position
+/// space.
+fn add_slice_units<'s>(
+    store: &'s ShardStore,
+    sets: &mut Vec<SliceSet<'s>>,
+    units: &mut Vec<Unit>,
+    key: SliceKey,
+    task_of: &dyn Fn(AttrValue) -> RootTask,
+) -> Result<(), ShardedError> {
+    let dir = store.dir().join(format!("slice-{}", sets.len()));
+    let set = SliceSet::build(store, key, dir)?;
+    let idx = sets.len();
+    for v in 1..=set.value_count() {
+        let v = v as AttrValue;
+        let edges = set.edge_count(v);
+        if edges == 0 {
+            continue;
+        }
+        check_edge_capacity(edges as usize, CompactModel::MAX_EDGES)?;
+        units.push(Unit::Slice {
+            set: idx,
+            value: v,
+            task: task_of(v),
+        });
+    }
+    sets.push(set);
+    Ok(())
+}
+
+/// Execute one unit: make its edge set resident (shard lease or slice
+/// load under a reservation), run the root task in collect mode against
+/// a model-sized context carrying the global edge total, and hand back
+/// the collected candidates, stats, and pruned `l ∧ w` frontiers.
+#[allow(clippy::too_many_arguments)]
+fn run_unit(
+    store: &ShardStore,
+    sets: &[SliceSet],
+    pool: &ShardPool,
+    unit: Unit,
+    config: &MinerConfig,
+    dims: &Dims,
+    shared: &SharedBound,
+    total_edges: u64,
+    scratch: &mut MinerScratch,
+) -> Result<UnitOut, ShardedError> {
+    match unit {
+        Unit::Shard { shard, task } => {
+            let lease = pool.acquire(shard)?;
+            run_task(
+                lease.graph(),
+                task,
+                config,
+                dims,
+                shared,
+                total_edges,
+                scratch,
+            )
+        }
+        Unit::Slice { set, value, task } => {
+            let slice = &sets[set];
+            let cost = resident_cost(
+                store.schema(),
+                store.node_count(),
+                slice.edge_count(value) as usize,
+            );
+            // Hold the budget before materializing; dropped with the
+            // graph when this unit finishes.
+            let _hold = pool.reserve(cost)?;
+            let graph = slice.load(value)?;
+            run_task(&graph, task, config, dims, shared, total_edges, scratch)
+        }
+    }
+}
+
+/// One collect-mode [`Run`] over a resident graph (see
+/// [`MiningContext::with_edges_total`] for the denominator override).
+fn run_task(
+    graph: &SocialGraph,
+    task: RootTask,
+    config: &MinerConfig,
+    dims: &Dims,
+    shared: &SharedBound,
+    total_edges: u64,
+    scratch: &mut MinerScratch,
+) -> Result<UnitOut, ShardedError> {
+    let unit_start = Instant::now();
+    let model = CompactModel::try_build(graph)?;
+    let ctx = MiningContext::with_edges_total(model, false, total_edges);
+    let mut run = Run::new(&ctx, graph.schema(), dims, config, Some(Vec::new()))
+        .with_scratch(std::mem::take(scratch));
+    if config.dynamic_topk {
+        run = run.with_shared_bound(shared);
+    }
+    let mut data: Vec<u32> = Vec::new();
+    ctx.fill_positions(&mut data);
+    run.run_root(&mut data, task);
+    let mut s = std::mem::take(&mut run.stats);
+    s.elapsed = unit_start.elapsed();
+    let pruned = std::mem::take(&mut run.pruned_lw);
+    let (collected, warm) = run.into_collected_and_scratch();
+    *scratch = warm;
+    Ok((collected, s, pruned))
+}

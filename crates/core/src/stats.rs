@@ -69,6 +69,22 @@ pub struct MinerStats {
     /// counter: the tightening sequence depends on worker timing even
     /// though the final results do not.
     pub bound_tightenings: u64,
+    /// Persistent shards the sharded miner's store was partitioned into
+    /// (`grm_core::sharded`). A *work* counter: zero for in-core runs,
+    /// and any shard count yields bit-identical results.
+    pub shards_built: u64,
+    /// Shard loads performed by the sharded miner's residency pool —
+    /// cold acquisitions that read a spill file into memory. A *work*
+    /// counter: depends on the memory budget and worker timing.
+    pub shard_loads: u64,
+    /// Resident shards evicted by the residency pool to make room under
+    /// the memory budget. A *work* counter: `shard_loads - shard_count`
+    /// re-loads were caused by these.
+    pub shard_evictions: u64,
+    /// High-water mark, in bytes, of resident shard/slice bytes in the
+    /// sharded miner's pool (`≤` the configured memory budget by
+    /// construction). Merged with `max`, like `scratch_bytes_peak`.
+    pub shard_resident_bytes_peak: u64,
     /// Wall-clock time of the run.
     #[serde(with = "duration_serde")]
     pub elapsed: Duration,
@@ -93,6 +109,12 @@ impl MinerStats {
         self.tasks_stolen += other.tasks_stolen;
         self.subtree_splits += other.subtree_splits;
         self.bound_tightenings += other.bound_tightenings;
+        self.shards_built += other.shards_built;
+        self.shard_loads += other.shard_loads;
+        self.shard_evictions += other.shard_evictions;
+        self.shard_resident_bytes_peak = self
+            .shard_resident_bytes_peak
+            .max(other.shard_resident_bytes_peak);
         self.elapsed = self.elapsed.max(other.elapsed);
     }
 
@@ -126,6 +148,10 @@ impl MinerStats {
             tasks_stolen: 0,
             subtree_splits: 0,
             bound_tightenings: 0,
+            shards_built: 0,
+            shard_loads: 0,
+            shard_evictions: 0,
+            shard_resident_bytes_peak: 0,
             elapsed: Duration::ZERO,
         }
     }
@@ -135,7 +161,7 @@ impl std::fmt::Display for MinerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "partitions={} grs={} pruned_supp={} pruned_score={} trivial={} general={} accepted={} heff_scans={} passes={} fused={} kernel_batches={} scratch_peak={} stolen={} splits={} tightenings={} elapsed={:?}",
+            "partitions={} grs={} pruned_supp={} pruned_score={} trivial={} general={} accepted={} heff_scans={} passes={} fused={} kernel_batches={} scratch_peak={} stolen={} splits={} tightenings={} shards={} shard_loads={} shard_evictions={} shard_peak={} elapsed={:?}",
             self.partitions_examined,
             self.grs_examined,
             self.pruned_by_supp,
@@ -151,6 +177,10 @@ impl std::fmt::Display for MinerStats {
             self.tasks_stolen,
             self.subtree_splits,
             self.bound_tightenings,
+            self.shards_built,
+            self.shard_loads,
+            self.shard_evictions,
+            self.shard_resident_bytes_peak,
             self.elapsed
         )
     }
@@ -234,6 +264,10 @@ mod tests {
             tasks_stolen: 6,
             subtree_splits: 4,
             bound_tightenings: 11,
+            shards_built: 4,
+            shard_loads: 9,
+            shard_evictions: 5,
+            shard_resident_bytes_peak: 1 << 20,
             elapsed: Duration::from_millis(5),
             ..Default::default()
         };
@@ -247,7 +281,33 @@ mod tests {
         assert_eq!(sem.tasks_stolen, 0);
         assert_eq!(sem.subtree_splits, 0);
         assert_eq!(sem.bound_tightenings, 0);
+        assert_eq!(sem.shards_built, 0);
+        assert_eq!(sem.shard_loads, 0);
+        assert_eq!(sem.shard_evictions, 0);
+        assert_eq!(sem.shard_resident_bytes_peak, 0);
         assert_eq!(sem.elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_adds_shard_counters_and_maxes_resident_peak() {
+        let mut a = MinerStats {
+            shards_built: 4,
+            shard_loads: 6,
+            shard_evictions: 2,
+            shard_resident_bytes_peak: 900,
+            ..Default::default()
+        };
+        let b = MinerStats {
+            shard_loads: 3,
+            shard_evictions: 1,
+            shard_resident_bytes_peak: 1200,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.shards_built, 4);
+        assert_eq!(a.shard_loads, 9);
+        assert_eq!(a.shard_evictions, 3);
+        assert_eq!(a.shard_resident_bytes_peak, 1200, "peak merges with max");
     }
 
     #[test]

@@ -32,9 +32,60 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
+/// A streaming consumer of generated graph data.
+///
+/// `generate_into` drives a sink with every node row (in node-id order)
+/// and then every directed edge (in generation order; an undirected
+/// config emits both directions back to back, exactly like
+/// [`GraphBuilder::add_undirected`]). This lets a graph larger than an
+/// in-core [`SocialGraph`] stream straight into an out-of-core store —
+/// the sharded spill writer implements it — while [`generate`] remains a
+/// thin builder-backed wrapper producing byte-identical graphs.
+pub trait GraphSink {
+    /// Consume the next node's attribute row; nodes arrive in id order.
+    fn node(&mut self, values: &[AttrValue]) -> Result<()>;
+    /// Consume one directed edge between already-emitted nodes.
+    fn edge(&mut self, src: u32, dst: u32, values: &[AttrValue]) -> Result<()>;
+}
+
+impl GraphSink for GraphBuilder {
+    fn node(&mut self, values: &[AttrValue]) -> Result<()> {
+        self.add_node(values).map(|_| ())
+    }
+    fn edge(&mut self, src: u32, dst: u32, values: &[AttrValue]) -> Result<()> {
+        self.add_edge(src, dst, values).map(|_| ())
+    }
+}
+
+impl GraphSink for grm_graph::shard::ShardStoreWriter {
+    fn node(&mut self, values: &[AttrValue]) -> Result<()> {
+        self.add_node(values).map(|_| ())
+    }
+    fn edge(&mut self, src: u32, dst: u32, values: &[AttrValue]) -> Result<()> {
+        self.add_edge(src, dst, values)
+    }
+}
+
 /// Generate a graph from `config`. Deterministic in `(config, seed)`.
 pub fn generate(config: &GeneratorConfig) -> Result<SocialGraph> {
     let schema = build_schema(config)?;
+    let mut builder = GraphBuilder::with_capacity(
+        schema,
+        config.nodes,
+        if config.undirected {
+            config.edges * 2
+        } else {
+            config.edges
+        },
+    );
+    generate_into(config, &mut builder)?;
+    builder.build()
+}
+
+/// Stream the generated graph into `sink` instead of materializing it.
+/// Deterministic in `(config, seed)`; the node/edge sequence is
+/// byte-identical to what [`generate`] builds.
+pub fn generate_into(config: &GeneratorConfig, sink: &mut dyn GraphSink) -> Result<()> {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // --- Nodes ------------------------------------------------------------
@@ -134,22 +185,13 @@ pub fn generate(config: &GeneratorConfig) -> Result<SocialGraph> {
         .collect();
 
     // --- Edges ------------------------------------------------------------
-    let mut builder = GraphBuilder::with_capacity(
-        schema,
-        config.nodes,
-        if config.undirected {
-            config.edges * 2
-        } else {
-            config.edges
-        },
-    );
     for row in &rows {
-        builder.add_node(row)?;
+        sink.node(row)?;
     }
 
     let n = config.nodes as u32;
     if n < 2 {
-        return builder.build();
+        return Ok(());
     }
     let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(config.edges * 2);
     let mut edge_vals: Vec<AttrValue> = vec![0; config.edge_attrs.len()];
@@ -214,17 +256,16 @@ pub fn generate(config: &GeneratorConfig) -> Result<SocialGraph> {
             if !seen.insert(key) {
                 continue;
             }
+            sink.edge(src, dst, &edge_vals)?;
             if config.undirected {
-                builder.add_undirected(src, dst, &edge_vals)?;
-            } else {
-                builder.add_edge(src, dst, &edge_vals)?;
+                sink.edge(dst, src, &edge_vals)?;
             }
             continue 'edges;
         }
         // Dense corner case: give up on this tie rather than loop forever.
     }
 
-    builder.build()
+    Ok(())
 }
 
 /// Build the [`Schema`] implied by a generator config (also used by tests
@@ -425,6 +466,83 @@ mod tests {
         for &(s, t) in &set {
             assert!(set.contains(&(t, s)), "missing reverse of {s}->{t}");
         }
+    }
+
+    #[test]
+    fn streaming_is_byte_identical_to_building() {
+        // `generate` is now a sink wrapper; this pins the contract the
+        // out-of-core path relies on: the streamed node/edge sequence IS
+        // the built graph, for directed and undirected configs alike.
+        struct Tape {
+            nodes: Vec<Vec<AttrValue>>,
+            edges: Vec<(u32, u32, Vec<AttrValue>)>,
+        }
+        impl GraphSink for Tape {
+            fn node(&mut self, values: &[AttrValue]) -> Result<()> {
+                self.nodes.push(values.to_vec());
+                Ok(())
+            }
+            fn edge(&mut self, src: u32, dst: u32, values: &[AttrValue]) -> Result<()> {
+                self.edges.push((src, dst, values.to_vec()));
+                Ok(())
+            }
+        }
+        for undirected in [false, true] {
+            let mut cfg = small_config();
+            cfg.undirected = undirected;
+            cfg.edges = 400;
+            let g = generate(&cfg).unwrap();
+            let mut tape = Tape {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+            };
+            generate_into(&cfg, &mut tape).unwrap();
+            assert_eq!(tape.nodes.len(), g.node_count());
+            for (i, row) in tape.nodes.iter().enumerate() {
+                assert_eq!(row.as_slice(), g.node_row(i as u32));
+            }
+            assert_eq!(tape.edges.len(), g.edge_count());
+            for (i, (s, t, vals)) in tape.edges.iter().enumerate() {
+                let e = i as u32;
+                assert_eq!((*s, *t), (g.src(e), g.dst(e)));
+                assert_eq!(vals.as_slice(), g.edge_row(e));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_into_a_shard_store_preserves_the_graph() {
+        let cfg = small_config();
+        let g = generate(&cfg).unwrap();
+        let dir = std::env::temp_dir().join(format!("grm-datagen-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = grm_graph::shard::ShardStoreWriter::create(
+            build_schema(&cfg).unwrap(),
+            &dir,
+            3,
+            usize::MAX,
+        )
+        .unwrap();
+        generate_into(&cfg, &mut w).unwrap();
+        let store = w.finish().unwrap();
+        assert_eq!(store.total_edges(), g.edge_count() as u64);
+        assert_eq!(store.node_count(), g.node_count());
+        // Every routed edge carries its exact endpoint + attribute row.
+        let mut seen = 0usize;
+        for s in 0..store.shard_count() {
+            store
+                .for_each_edge(s, |src, dst, row| {
+                    seen += 1;
+                    assert!(g
+                        .edge_ids()
+                        .any(|e| g.src(e) == src && g.dst(e) == dst && g.edge_row(e) == row));
+                    Ok(())
+                })
+                .unwrap();
+        }
+        assert_eq!(seen, g.edge_count());
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

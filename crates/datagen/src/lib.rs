@@ -30,6 +30,6 @@ mod toy;
 
 pub use config::{EdgeAttrSpec, GeneratorConfig, NodeAttrSpec, PlantedRule};
 pub use dblp::{dblp_config, dblp_config_scaled};
-pub use generator::{build_schema, generate};
+pub use generator::{build_schema, generate, generate_into, GraphSink};
 pub use pokec::{pokec_config, pokec_config_scaled};
 pub use toy::{toy_network, toy_schema};

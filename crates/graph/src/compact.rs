@@ -85,7 +85,7 @@ impl<'g> CompactModel<'g> {
     /// [`Self::MAX_EDGES`] edges with [`GraphError::TooManyEdges`] instead
     /// of silently truncating position indices.
     pub fn try_build(graph: &'g SocialGraph) -> Result<Self> {
-        check_edge_capacity(graph.edge_count())?;
+        check_edge_capacity(graph.edge_count(), Self::MAX_EDGES)?;
         let n = graph.node_count();
         let m = graph.edge_count();
 
@@ -300,14 +300,14 @@ impl<'g> CompactModel<'g> {
     }
 }
 
-/// Reject edge counts beyond [`CompactModel::MAX_EDGES`] — positions are
-/// `u32`, and an oversized graph would silently truncate them.
-fn check_edge_capacity(edges: usize) -> Result<()> {
-    if edges > CompactModel::MAX_EDGES {
-        return Err(GraphError::TooManyEdges {
-            edges,
-            max: CompactModel::MAX_EDGES,
-        });
+/// Reject edge counts beyond `max` — positions are `u32`, and an
+/// oversized edge set would silently truncate them. The cap is a
+/// parameter because sharded mining applies the check **per shard**
+/// (each shard builds its own [`CompactModel`], so the u32 limit binds
+/// the shard, not the whole graph; see [`crate::shard::ShardStore`]).
+pub fn check_edge_capacity(edges: usize, max: usize) -> Result<()> {
+    if edges > max {
+        return Err(GraphError::TooManyEdges { edges, max });
     }
     Ok(())
 }
@@ -433,11 +433,19 @@ mod tests {
 
     #[test]
     fn edge_capacity_guard() {
-        assert!(check_edge_capacity(0).is_ok());
-        assert!(check_edge_capacity(CompactModel::MAX_EDGES).is_ok());
-        let err = check_edge_capacity(CompactModel::MAX_EDGES + 1).unwrap_err();
+        assert!(check_edge_capacity(0, CompactModel::MAX_EDGES).is_ok());
+        assert!(check_edge_capacity(CompactModel::MAX_EDGES, CompactModel::MAX_EDGES).is_ok());
+        let err =
+            check_edge_capacity(CompactModel::MAX_EDGES + 1, CompactModel::MAX_EDGES).unwrap_err();
         assert!(matches!(err, GraphError::TooManyEdges { .. }));
         assert!(err.to_string().contains("u32"));
+        // The remedy for an over-cap edge set is sharding, and the
+        // message says so.
+        assert!(err.to_string().contains("--shards"));
+        // The check is per-shard: a lowered cap rejects a small edge
+        // set the same way the u32 cap rejects a huge one.
+        let err = check_edge_capacity(5, 4).unwrap_err();
+        assert!(matches!(err, GraphError::TooManyEdges { edges: 5, max: 4 }));
         // The fallible entry point accepts every constructible graph.
         let g = sample();
         assert!(CompactModel::try_build(&g).is_ok());

@@ -32,6 +32,9 @@ pub enum GraphError {
     /// The graph has more edges than the compact model can index
     /// (EArray positions are `u32`).
     TooManyEdges { edges: usize, max: usize },
+    /// A shard-pool memory budget cannot hold even one resident shard
+    /// (see [`crate::shard::ShardPool`]).
+    MemoryBudgetTooSmall { needed: u64, budget: u64 },
     /// A self-loop was supplied while the builder forbids them.
     SelfLoop { node: u32 },
     /// A partition pass saw a key at or beyond its declared bucket count
@@ -87,7 +90,13 @@ impl fmt::Display for GraphError {
             GraphError::TooManyEdges { edges, max } => write!(
                 f,
                 "graph has {edges} edges, exceeding the compact model's capacity of {max} \
-                 (EArray positions are u32)"
+                 (EArray positions are u32); mine with --shards so every per-shard model \
+                 stays under the cap"
+            ),
+            GraphError::MemoryBudgetTooSmall { needed, budget } => write!(
+                f,
+                "memory budget of {budget} bytes cannot hold a {needed}-byte resident shard; \
+                 raise --memory-budget or increase --shards"
             ),
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} rejected by builder policy")

@@ -17,6 +17,21 @@
 //! All fields are tab-separated (value names may contain spaces). For
 //! programmatic interchange, [`SocialGraph`] and [`Schema`] also derive
 //! `serde::{Serialize, Deserialize}`.
+//!
+//! ### The binary shard-spill chunk format
+//!
+//! Sharded out-of-core mining ([`crate::shard`]) spills edges to disk in
+//! a columnar little-endian chunk stream, one file per shard or slice.
+//! Each chunk is:
+//!
+//! ```text
+//! u32 len | len × u32 srcs | len × u32 dsts | per edge attr: len × u16
+//! ```
+//!
+//! Columns (not rows) so a streaming reader touches each attribute
+//! contiguously, matching the columnar key caches the [`crate::CompactModel`]
+//! builds from them. [`write_edge_chunk`] / [`read_edge_chunk`] are the
+//! only encoder/decoder; the shard store never parses bytes itself.
 
 use crate::builder::GraphBuilder;
 use crate::error::{GraphError, Result};
@@ -222,6 +237,113 @@ fn parse_value(ln: usize, f: &str) -> Result<AttrValue> {
     })
 }
 
+/// One decoded columnar chunk of shard-spilled edges (module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeChunk {
+    /// Edge sources.
+    pub srcs: Vec<crate::value::NodeId>,
+    /// Edge destinations, same length as `srcs`.
+    pub dsts: Vec<crate::value::NodeId>,
+    /// One column per edge attribute, each the chunk's length.
+    pub attrs: Vec<Vec<AttrValue>>,
+}
+
+impl EdgeChunk {
+    /// Edges in the chunk.
+    pub fn len(&self) -> usize {
+        self.srcs.len()
+    }
+
+    /// Whether the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.srcs.is_empty()
+    }
+}
+
+/// Append one columnar edge chunk to `w` (module docs give the layout).
+/// `attrs` holds one column per edge attribute; every column must match
+/// `srcs`/`dsts` in length.
+pub fn write_edge_chunk<W: Write>(
+    w: &mut W,
+    srcs: &[crate::value::NodeId],
+    dsts: &[crate::value::NodeId],
+    attrs: &[Vec<AttrValue>],
+) -> Result<()> {
+    debug_assert_eq!(srcs.len(), dsts.len());
+    let n = srcs.len() as u32;
+    w.write_all(&n.to_le_bytes())?;
+    let mut buf = Vec::with_capacity(srcs.len() * 4);
+    for col in [srcs, dsts] {
+        buf.clear();
+        for &v in col {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    for col in attrs {
+        debug_assert_eq!(col.len(), srcs.len());
+        buf.clear();
+        for &v in col {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Read the next edge chunk from `r`, decoding `edge_attrs` attribute
+/// columns per edge. Returns `Ok(None)` on a clean end of stream; a
+/// truncated chunk is a [`GraphError::Parse`].
+pub fn read_edge_chunk<R: Read>(r: &mut R, edge_attrs: usize) -> Result<Option<EdgeChunk>> {
+    let mut lenb = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        let k = r.read(&mut lenb[got..])?;
+        if k == 0 {
+            break;
+        }
+        got += k;
+    }
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < 4 {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "truncated shard chunk header".into(),
+        });
+    }
+    let n = u32::from_le_bytes(lenb) as usize;
+    let read_u32s = |r: &mut R| -> Result<Vec<crate::value::NodeId>> {
+        let mut bytes = vec![0u8; n * 4];
+        r.read_exact(&mut bytes).map_err(|_| GraphError::Parse {
+            line: 0,
+            message: "truncated shard chunk column".into(),
+        })?;
+        let mut col = Vec::with_capacity(n);
+        for c in bytes.chunks_exact(4) {
+            col.push(u32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+        }
+        Ok(col)
+    };
+    let srcs = read_u32s(r)?;
+    let dsts = read_u32s(r)?;
+    let mut attrs = Vec::with_capacity(edge_attrs);
+    for _ in 0..edge_attrs {
+        let mut bytes = vec![0u8; n * 2];
+        r.read_exact(&mut bytes).map_err(|_| GraphError::Parse {
+            line: 0,
+            message: "truncated shard chunk attribute column".into(),
+        })?;
+        let mut col = Vec::with_capacity(n);
+        for c in bytes.chunks_exact(2) {
+            col.push(AttrValue::from_le_bytes([c[0], c[1]]));
+        }
+        attrs.push(col);
+    }
+    Ok(Some(EdgeChunk { srcs, dsts, attrs }))
+}
+
 /// Save a graph to `path`.
 pub fn save_graph(graph: &SocialGraph, path: impl AsRef<Path>) -> Result<()> {
     write_graph(graph, std::fs::File::create(path)?)
@@ -298,6 +420,48 @@ mod tests {
         let back = load_graph(&path).unwrap();
         assert_eq!(back.edge_count(), 3);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edge_chunk_round_trip() {
+        let mut buf = Vec::new();
+        write_edge_chunk(&mut buf, &[1, 2, 3], &[4, 5, 6], &[vec![7, 8, 9]]).unwrap();
+        write_edge_chunk(&mut buf, &[10], &[11], &[vec![1]]).unwrap();
+        // Empty chunks are legal (a flush with nothing buffered).
+        write_edge_chunk(&mut buf, &[], &[], &[vec![]]).unwrap();
+        let mut r = &buf[..];
+        let c1 = read_edge_chunk(&mut r, 1).unwrap().unwrap();
+        assert_eq!(c1.srcs, vec![1, 2, 3]);
+        assert_eq!(c1.dsts, vec![4, 5, 6]);
+        assert_eq!(c1.attrs, vec![vec![7, 8, 9]]);
+        assert_eq!(c1.len(), 3);
+        let c2 = read_edge_chunk(&mut r, 1).unwrap().unwrap();
+        assert_eq!((c2.srcs[0], c2.dsts[0], c2.attrs[0][0]), (10, 11, 1));
+        let c3 = read_edge_chunk(&mut r, 1).unwrap().unwrap();
+        assert!(c3.is_empty());
+        assert!(read_edge_chunk(&mut r, 1).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn edge_chunk_no_attrs() {
+        let mut buf = Vec::new();
+        write_edge_chunk(&mut buf, &[0, 1], &[1, 0], &[]).unwrap();
+        let c = read_edge_chunk(&mut &buf[..], 0).unwrap().unwrap();
+        assert_eq!(c.srcs, vec![0, 1]);
+        assert!(c.attrs.is_empty());
+    }
+
+    #[test]
+    fn edge_chunk_truncation_is_a_parse_error() {
+        let mut buf = Vec::new();
+        write_edge_chunk(&mut buf, &[1, 2, 3], &[4, 5, 6], &[vec![7, 8, 9]]).unwrap();
+        // Cut mid-column: header promises 3 edges, bytes run out.
+        let cut = &buf[..buf.len() - 3];
+        let err = read_edge_chunk(&mut &cut[..], 1).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+        // Cut mid-header.
+        let err = read_edge_chunk(&mut &buf[..2], 1).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
     }
 
     #[test]

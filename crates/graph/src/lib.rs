@@ -16,7 +16,10 @@
 //! * [`stats`] — network audits and data-driven homophily detection (the
 //!   \[27\]-style front-end that produces the homophily flags §III-B assumes);
 //! * [`io`] — plain-text persistence; [`csv`] — import of node-table +
-//!   edge-list dataset pairs (the shape of the SNAP Pokec dump).
+//!   edge-list dataset pairs (the shape of the SNAP Pokec dump);
+//! * [`shard`] — sharded, memory-budgeted out-of-core edge storage that
+//!   breaks the compact model's u32 edge cap: columnar per-shard spill
+//!   files plus an LRU shard-residency pool.
 //!
 //! Mining itself lives in the `grm-core` crate; synthetic workloads in
 //! `grm-datagen`.
@@ -40,13 +43,14 @@ mod graph;
 pub mod io;
 pub mod kernel;
 mod schema;
+pub mod shard;
 mod single_table;
 pub mod sort;
 pub mod stats;
 mod value;
 
 pub use builder::GraphBuilder;
-pub use compact::CompactModel;
+pub use compact::{check_edge_capacity, CompactModel};
 pub use error::{GraphError, Result};
 pub use graph::SocialGraph;
 pub use schema::{AttrDef, Schema, SchemaBuilder};

@@ -5,7 +5,9 @@
 //!              [--metric nhp|conf|laplace|gain|ps|conviction|lift]
 //!              [--no-dynamic] [--no-fuse] [--no-kernel]
 //!              [--threads N | --parallel N]
-//!              [--no-steal] [--split-depth N] [--json] [--stats-json]
+//!              [--no-steal] [--split-depth N]
+//!              [--shards N [--memory-budget BYTES]]
+//!              [--json] [--stats-json]
 //! grmine query <graph.grm> "<GR>"            # e.g. "(SEX:F) -> (EDU:Grad)"
 //! grmine gen   <pokec|dblp> <out.grm> [--scale F] [--seed N]
 //! grmine info  <graph.grm>
@@ -18,13 +20,22 @@
 //! worker, with a warning, when detection fails); `--split-depth 0`
 //! disables subtree splitting.
 //!
+//! `--shards N` routes the mine through the sharded out-of-core engine:
+//! the graph is spilled to an N-way on-disk `ShardStore` in a scratch
+//! directory and mined shard by shard, optionally under a resident-set
+//! cap of `--memory-budget` bytes (which therefore requires `--shards`).
+//! `--threads` composes with it (sharded workers; 0 = auto); the
+//! work-stealing knobs `--no-steal`/`--split-depth` and the sequential
+//! baselines do not.
+//!
 //! The graph format is the self-describing GRMGRAPH text format written by
 //! `grm_graph::io` (and by `grmine gen`).
 
 use social_ties::core::baseline::{mine_baseline, BaselineKind};
 use social_ties::core::parallel::{mine_parallel_with_opts, ParallelOptions};
-use social_ties::core::{parse_gr, query, Dims};
+use social_ties::core::{mine_sharded, parse_gr, query, Dims, ShardedError, ShardedOptions};
 use social_ties::graph::io;
+use social_ties::graph::shard::ShardStore;
 use social_ties::{generate, GrMiner, MinerConfig, RankMetric};
 use std::process::exit;
 
@@ -143,6 +154,30 @@ fn cmd_mine(args: &[String]) -> i32 {
         eprintln!("--min-supp must be at least 1 (0 would disable support pruning)");
         return 2;
     }
+    let (shards, memory_budget) = match (|| -> Result<(Option<usize>, Option<u64>), String> {
+        Ok((
+            parse_flag(args, "--shards")?,
+            parse_flag(args, "--memory-budget")?,
+        ))
+    })() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if shards == Some(0) {
+        eprintln!("--shards must be at least 1 (0 shards could hold no edges)");
+        return 2;
+    }
+    if memory_budget.is_some() && shards.is_none() {
+        eprintln!("--memory-budget caps the sharded engine's resident set; add --shards N");
+        return 2;
+    }
+    if memory_budget == Some(0) {
+        eprintln!("--memory-budget must be at least 1 byte (0 could hold no shard)");
+        return 2;
+    }
     let mut cfg = MinerConfig {
         min_supp,
         min_score,
@@ -181,13 +216,61 @@ fn cmd_mine(args: &[String]) -> i32 {
         eprintln!("--baseline-bl1/--baseline-bl2 are sequential; drop --threads");
         return 2;
     }
+    if shards.is_some() && (has_flag(args, "--no-steal") || split_depth.is_some()) {
+        // The sharded engine parallelizes across whole mining units and
+        // never splits or steals subtrees; accepting the knobs would
+        // silently ignore them.
+        eprintln!("--no-steal/--split-depth configure the work-stealing engine; drop --shards");
+        return 2;
+    }
+    if shards.is_some() && (has_flag(args, "--baseline-bl1") || has_flag(args, "--baseline-bl2")) {
+        eprintln!("--baseline-bl1/--baseline-bl2 are in-core; drop --shards");
+        return 2;
+    }
     let engine = parallel.map(|threads| ParallelOptions {
         threads,
         steal: !has_flag(args, "--no-steal"),
         split_depth: split_depth.unwrap_or(social_ties::core::parallel::DEFAULT_SPLIT_DEPTH),
         ..ParallelOptions::default()
     });
-    let result = if let Some(opts) = engine {
+    let result = if let Some(shards) = shards {
+        // Out-of-core path: spill the graph into an N-way shard store in
+        // a scratch directory, mine it under the budget, and clean up.
+        // The store's own files go with its `Drop`; the directory after.
+        let dir = std::env::temp_dir().join(format!("grmine-shards-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = match ShardStore::build_from_graph(
+            &graph,
+            dir,
+            shards,
+            social_ties::graph::CompactModel::MAX_EDGES,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot build the shard store: {e}");
+                return 1;
+            }
+        };
+        let opts = ShardedOptions {
+            threads: parallel.unwrap_or(1),
+            memory_budget,
+        };
+        let out = mine_sharded(&store, &cfg, &opts);
+        let dir = store.dir().to_path_buf();
+        drop(store);
+        let _ = std::fs::remove_dir_all(dir);
+        match out {
+            Ok(r) => r,
+            Err(e @ ShardedError::UnsupportedMetric(_)) => {
+                eprintln!("{e}");
+                return 2;
+            }
+            Err(e) => {
+                eprintln!("sharded mine failed: {e}");
+                return 1;
+            }
+        }
+    } else if let Some(opts) = engine {
         // The work-stealing engine honors `dynamic_topk` (shared bound +
         // exactness-verified post-pass), so the config passes through
         // unchanged — `--no-dynamic` controls it, exactly as
@@ -210,7 +293,22 @@ fn cmd_mine(args: &[String]) -> i32 {
             "{}",
             serde_json::to_string(&result.stats).expect("stats serialize")
         );
-        if let Some(opts) = engine {
+        if let Some(shards) = shards {
+            // threads = 0 means "auto-detect"; echoing the literal 0
+            // would read as zero workers.
+            let threads = match parallel.unwrap_or(1) {
+                0 => "auto".to_string(),
+                n => n.to_string(),
+            };
+            let budget = match memory_budget {
+                Some(b) => b.to_string(),
+                None => "none".to_string(),
+            };
+            eprintln!(
+                "engine: sharded shards={} threads={} budget={} dynamic={}",
+                shards, threads, budget, cfg.dynamic_topk
+            );
+        } else if let Some(opts) = engine {
             // threads = 0 means "auto-detect"; echoing the literal 0
             // would read as zero workers.
             let threads = match opts.threads {

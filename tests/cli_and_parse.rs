@@ -171,6 +171,10 @@ fn cli_stats_json_pins_the_counter_schema() {
             "rejected_generality",
             "rejected_trivial",
             "scratch_bytes_peak",
+            "shard_evictions",
+            "shard_loads",
+            "shard_resident_bytes_peak",
+            "shards_built",
             "subtree_splits",
             "tasks_stolen",
         ],
@@ -289,6 +293,118 @@ fn cli_stats_json_pins_the_counter_schema() {
         .output()
         .unwrap();
     assert!(!out.status.success());
+}
+
+#[test]
+fn cli_sharded_mine_matches_in_core() {
+    let path = tmp("sharded.grm");
+    assert!(grmine()
+        .args(["gen", "dblp", path.to_str().unwrap(), "--scale", "0.05"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let run = |extra: &[&str]| -> Vec<social_ties::ScoredGr> {
+        let mut args = vec![
+            "mine",
+            path.to_str().unwrap(),
+            "--k",
+            "5",
+            "--min-supp",
+            "5",
+            "--json",
+        ];
+        args.extend_from_slice(extra);
+        let out = grmine().args(&args).output().unwrap();
+        assert!(out.status.success(), "{out:?}");
+        serde_json::from_slice(&out.stdout).unwrap()
+    };
+    // The exactness anchor is the static sequential mine: sequential
+    // *dynamic* may add extra entries (the documented generality corner
+    // case), while the sharded engine — like the parallel one — verifies
+    // its way back to the static Definition-5 output even with the
+    // dynamic bound on.
+    let plain = run(&["--no-dynamic"]);
+    // Sharded runs — sequential, multi-worker, budgeted, dynamic and
+    // static — all bit-identical to the in-core static mine.
+    assert_eq!(plain, run(&["--shards", "3"]));
+    assert_eq!(plain, run(&["--shards", "3", "--threads", "2"]));
+    assert_eq!(plain, run(&["--shards", "2", "--no-dynamic"]));
+    assert_eq!(
+        plain,
+        run(&["--shards", "3", "--memory-budget", "100000000"])
+    );
+
+    // The sharded engine echoes its settings (and the shard counters are
+    // live) in --stats-json mode.
+    let out = grmine()
+        .args([
+            "mine",
+            path.to_str().unwrap(),
+            "--k",
+            "5",
+            "--min-supp",
+            "5",
+            "--shards",
+            "3",
+            "--stats-json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("engine: sharded shards=3 threads=1 budget=none dynamic=true"),
+        "got: {stderr}"
+    );
+    let stats: social_ties::MinerStats = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(stats.shards_built, 3);
+    assert!(stats.shard_loads > 0);
+    assert!(stats.shard_resident_bytes_peak > 0);
+}
+
+#[test]
+fn cli_sharded_flag_validation() {
+    let path = tmp("shardedflags.grm");
+    assert!(grmine()
+        .args(["gen", "dblp", path.to_str().unwrap(), "--scale", "0.03"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let p = path.to_str().unwrap();
+    // Degenerate values, orphaned/conflicting flags, and metrics that
+    // need a global RHS marginal are all rejected loudly.
+    for bad in [
+        vec!["mine", p, "--shards", "0"],
+        vec!["mine", p, "--shards", "two"],
+        vec!["mine", p, "--memory-budget", "1000000"],
+        vec!["mine", p, "--shards", "2", "--memory-budget", "0"],
+        vec!["mine", p, "--shards", "2", "--memory-budget", "lots"],
+        vec!["mine", p, "--shards", "2", "--no-steal", "--threads", "2"],
+        vec!["mine", p, "--shards", "2", "--baseline-bl1"],
+        vec![
+            "mine",
+            p,
+            "--shards",
+            "2",
+            "--metric",
+            "lift",
+            "--min-score",
+            "1.0",
+        ],
+    ] {
+        let out = grmine().args(&bad).output().unwrap();
+        assert!(!out.status.success(), "expected failure for {bad:?}");
+        assert!(!out.stderr.is_empty(), "expected stderr for {bad:?}");
+    }
+    // An impossible budget fails with the remedy in the message.
+    let out = grmine()
+        .args(["mine", p, "--shards", "2", "--memory-budget", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--memory-budget"));
 }
 
 #[test]
