@@ -33,11 +33,22 @@
 //! resident shard pinned) is not a deadlock — and refutes the
 //! evict-under-pin, budget-blind and leaky-release variants.
 //!
+//! [`cancel`] models the cooperative cancellation/drain protocol of
+//! [`parallel.rs`](../../core/src/parallel.rs) and
+//! [`sharded.rs`](../../core/src/sharded.rs): a once-set shared flag
+//! observed at every loop top, drain-exactly-once on every exit path
+//! (cancel, empty queue, and the `catch_unwind` panic path), at most
+//! one stale task start per worker after cancellation. It proves no
+//! counters are lost or double-merged on any interleaving — and
+//! refutes the exit-without-drain, double-drain, and
+//! panic-skips-publish variants.
+//!
 //! Small configurations run in plain `cargo test`; the larger sweeps are
 //! behind the `model-check` feature (CI's deep leg) and all of them run
 //! via `grm-analyze model`.
 
 pub mod bound;
+pub mod cancel;
 pub mod sched;
 pub mod shard;
 pub mod term;
@@ -72,5 +83,6 @@ pub fn full_suite() -> Vec<Report> {
     let mut reports = bound::suite(true);
     reports.extend(term::suite(true));
     reports.extend(shard::suite(true));
+    reports.extend(cancel::suite(true));
     reports
 }

@@ -1,6 +1,7 @@
 //! Mining configuration (the problem parameters of Def. 5).
 
 use crate::metrics::RankMetric;
+use grm_graph::CancelToken;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of a top-k GR mining run.
@@ -60,6 +61,17 @@ pub struct MinerConfig {
     /// bit-identical either way, so this knob exists for the
     /// `scalar_kernel_off` ablation and differential testing only.
     pub use_kernel: bool,
+    /// Wall-clock deadline for the whole mine, in milliseconds measured
+    /// from the engine's start (`None` = unbounded). An expired deadline
+    /// trips the [`MinerConfig::cancel`] token and the mine returns
+    /// `MinerError::Cancelled` with the partial counters drained so far.
+    pub deadline_ms: Option<u64>,
+    /// Cooperative cancellation token, observed at recursion-node and
+    /// shard-load granularity. The default is inert (never cancels,
+    /// costs one branch per probe). Runtime-only shared state: it
+    /// serializes as a placeholder and always deserializes inert.
+    #[serde(default, with = "cancel_serde")]
+    pub cancel: CancelToken,
 }
 
 impl Default for MinerConfig {
@@ -77,6 +89,8 @@ impl Default for MinerConfig {
             allow_empty_lhs: false,
             fuse_partitions: true,
             use_kernel: true,
+            deadline_ms: None,
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -154,6 +168,35 @@ impl MinerConfig {
         self.suppress_trivial = metric.excludes_homophily();
         self
     }
+
+    /// Bound the mine's wall-clock time (see [`MinerConfig::deadline_ms`]).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Observe `token` during the mine (see [`MinerConfig::cancel`]).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+}
+
+mod cancel_serde {
+    use grm_graph::CancelToken;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    /// A [`CancelToken`] is live runtime state, not configuration: it
+    /// serializes as a placeholder `false` (so configs with a token
+    /// still round-trip through JSON) and always deserializes inert.
+    pub fn serialize<S: Serializer>(_: &CancelToken, s: S) -> Result<S::Ok, S::Error> {
+        false.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<CancelToken, D::Error> {
+        let _ = bool::deserialize(d)?;
+        Ok(CancelToken::default())
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +234,31 @@ mod tests {
         let c = MinerConfig::conf(10, 0.5, 5);
         assert!(!c.suppress_trivial);
         assert_eq!(c.metric, RankMetric::Conf);
+    }
+
+    #[test]
+    fn cancel_and_deadline_builders_set_the_fields() {
+        let t = CancelToken::new();
+        let c = MinerConfig::default()
+            .with_deadline_ms(250)
+            .with_cancel(t.clone());
+        assert_eq!(c.deadline_ms, Some(250));
+        assert_eq!(c.cancel, t);
+        assert!(MinerConfig::default().cancel.is_inert());
+    }
+
+    #[test]
+    fn cancel_token_deserializes_inert() {
+        let c = MinerConfig::default().with_cancel(CancelToken::new());
+        let json = serde_json::to_string(&c).unwrap();
+        let back: MinerConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.cancel.is_inert(), "tokens never survive serialization");
+        // A config JSON without the field at all also parses (default).
+        let json = json
+            .replace("\"cancel\":false,", "")
+            .replace(",\"cancel\":false", "");
+        let back: MinerConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.cancel.is_inert());
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Typed failure modes of the mining engines.
+//!
+//! Every fallible entry point (`GrMiner::try_mine`,
+//! `parallel::try_mine_parallel_with_opts`, `sharded::mine_sharded`)
+//! returns [`MinerError`]. Cancellation and worker panics are *not*
+//! silent: both variants carry the partial [`MinerStats`] drained from
+//! every worker that exited cleanly, so an operator can see how far the
+//! mine got before it stopped.
+
+use crate::metrics::RankMetric;
+use crate::stats::MinerStats;
+use grm_graph::GraphError;
+
+/// Why a mine did not produce a result.
+#[derive(Debug)]
+pub enum MinerError {
+    /// The run's [`CancelToken`](grm_graph::CancelToken) was tripped —
+    /// by a caller, or by an expired
+    /// [`deadline_ms`](crate::MinerConfig::deadline_ms). Workers
+    /// drained their counters before exiting; the merge is in
+    /// `partial_stats`.
+    Cancelled {
+        /// Counters merged from every worker that observed the flag and
+        /// exited cleanly (the drain-exactly-once protocol proved in
+        /// `grm_analyze::model::cancel`).
+        partial_stats: Box<MinerStats>,
+    },
+    /// A worker panicked. The panic was contained (`catch_unwind`), the
+    /// siblings were cancelled through the shared token, and their
+    /// drained counters were merged — the process never aborts and no
+    /// result is silently incomplete.
+    WorkerPanicked {
+        /// The panic payload, stringified (`&str` / `String` payloads
+        /// verbatim, anything else a placeholder).
+        message: String,
+        /// Counters drained from the surviving workers.
+        partial_stats: Box<MinerStats>,
+    },
+    /// The configured metric needs global RHS marginals, which the
+    /// out-of-core engine does not maintain — use nhp, conf, laplace or
+    /// gain, or mine in-core.
+    UnsupportedMetric(RankMetric),
+    /// Storage-layer failure (I/O, capacity, memory budget, spill
+    /// corruption).
+    Graph(GraphError),
+}
+
+impl MinerError {
+    /// The partial counters a cancelled or panicked mine drained, when
+    /// this error carries them.
+    pub fn partial_stats(&self) -> Option<&MinerStats> {
+        match self {
+            MinerError::Cancelled { partial_stats }
+            | MinerError::WorkerPanicked { partial_stats, .. } => Some(partial_stats),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for MinerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MinerError::Cancelled { partial_stats } => write!(
+                f,
+                "mine cancelled after {:?} ({} GRs examined, {} cancel checks)",
+                partial_stats.elapsed, partial_stats.grs_examined, partial_stats.cancel_checks
+            ),
+            MinerError::WorkerPanicked {
+                message,
+                partial_stats,
+            } => write!(
+                f,
+                "mining worker panicked: {message} (siblings drained after {:?})",
+                partial_stats.elapsed
+            ),
+            MinerError::UnsupportedMetric(m) => write!(
+                f,
+                "metric {m:?} needs global RHS marginals, which sharded \
+                 out-of-core mining does not maintain; use nhp, conf, \
+                 laplace or gain, or mine in-core"
+            ),
+            MinerError::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MinerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MinerError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for MinerError {
+    fn from(e: GraphError) -> Self {
+        MinerError::Graph(e)
+    }
+}
+
+/// Stringify a `catch_unwind` payload: `&str` / `String` panics (the
+/// overwhelmingly common kinds) verbatim, anything else a placeholder.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_operator_facing_context() {
+        let stats = MinerStats {
+            grs_examined: 7,
+            cancel_checks: 41,
+            ..MinerStats::default()
+        };
+        let e = MinerError::Cancelled {
+            partial_stats: Box::new(stats),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cancelled"), "{s}");
+        assert!(s.contains("7 GRs examined"), "{s}");
+        assert!(s.contains("41 cancel checks"), "{s}");
+        assert!(e.partial_stats().is_some());
+
+        let e = MinerError::WorkerPanicked {
+            message: "boom".into(),
+            partial_stats: Box::new(MinerStats::default()),
+        };
+        assert!(e.to_string().contains("boom"));
+        assert!(e.partial_stats().is_some());
+
+        let e = MinerError::UnsupportedMetric(RankMetric::Lift);
+        assert!(e.to_string().contains("global RHS marginals"));
+        assert!(e.partial_stats().is_none());
+    }
+
+    #[test]
+    fn panic_payloads_stringify() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(p), "static str");
+        let p: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(p), "owned");
+        let p: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        assert_eq!(panic_message(p), "non-string panic payload");
+    }
+}

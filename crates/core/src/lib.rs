@@ -58,6 +58,7 @@ pub mod config;
 pub mod context;
 pub mod descriptor;
 pub mod enumerate;
+pub mod error;
 pub mod generality;
 pub mod gr;
 pub mod influence;
@@ -75,6 +76,7 @@ pub mod topk;
 pub use config::MinerConfig;
 pub use context::MiningContext;
 pub use descriptor::{EdgeDescriptor, NodeDescriptor};
+pub use error::MinerError;
 pub use gr::{Gr, GrBuilder, ScoredGr};
 pub use metrics::{MetricInputs, RankMetric};
 pub use miner::{GrMiner, MineResult};

@@ -30,6 +30,7 @@ use crate::beta::{beta, heff_table_into, BetaSet, MAX_GROUPBY_ATTRS, MAX_NODE_AT
 use crate::config::MinerConfig;
 use crate::context::MiningContext;
 use crate::descriptor::{EdgeDescriptor, NodeDescriptor};
+use crate::error::MinerError;
 use crate::generality::GeneralityIndex;
 use crate::gr::{Gr, ScoredGr};
 use crate::metrics::{MetricInputs, RankMetric};
@@ -37,9 +38,9 @@ use crate::stats::MinerStats;
 use crate::tail::Dims;
 use crate::topk::{SharedBound, TopK};
 use grm_graph::sort::{Frame, FusedHist, FusedLevel, PartitionArena};
-use grm_graph::{AttrValue, NodeAttrId, Schema, SocialGraph, NULL};
+use grm_graph::{AttrValue, CancelToken, NodeAttrId, Schema, SocialGraph, NULL};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Cost model of the fused two-level passes (purely a heuristic — outputs
 /// are bit-identical regardless, and both inputs are deterministic across
@@ -66,6 +67,12 @@ const FUSE_COST_RATIO: usize = 4;
 
 /// Widest parent pass that fuses (see [`FUSE_COST_RATIO`] docs).
 const FUSE_MAX_PARENT_BUCKETS: usize = 64;
+
+/// Cancellation probes between two wall-clock reads on deadline-bounded
+/// runs: token probes are an atomic load and run at recursion-node
+/// granularity, but `Instant::now` is a syscall-class cost, so the
+/// deadline is re-checked only every this many probes.
+const DEADLINE_PROBE_INTERVAL: u32 = 1024;
 
 /// Outcome of a mining run: the top-k GRs (best first) and instrumentation.
 #[derive(Debug, Clone)]
@@ -137,10 +144,34 @@ impl<'g> GrMiner<'g> {
     }
 
     /// Run Algorithm 1 and return the top-k GRs.
+    ///
+    /// The infallible entry: a config whose [`MinerConfig::cancel`]
+    /// token trips (or whose [`MinerConfig::deadline_ms`] expires)
+    /// mid-run is a caller contract violation here — use
+    /// [`GrMiner::try_mine`] for cancellable mines.
     pub fn mine(&self) -> MineResult {
+        match self.try_mine() {
+            Ok(r) => r,
+            // lint: allow(panic-in-hot-path) — the infallible entry was
+            // called with a cancellable config and the mine stopped;
+            // swallowing that would return a silently partial result.
+            Err(e) => panic!("GrMiner::mine cannot report cancellation ({e}); use try_mine"),
+        }
+    }
+
+    /// Run Algorithm 1, observing the config's cancellation token and
+    /// deadline. A mine stopped early returns
+    /// [`MinerError::Cancelled`] carrying the counters accumulated so
+    /// far; an undisturbed run is identical to [`GrMiner::mine`].
+    pub fn try_mine(&self) -> Result<MineResult, MinerError> {
         let start = Instant::now();
+        let deadline = self
+            .config
+            .deadline_ms
+            .map(|ms| start + Duration::from_millis(ms));
         let ctx = MiningContext::build(self.graph, self.config.metric.needs_r_marginal());
-        let mut run = Run::new(&ctx, self.graph.schema(), &self.dims, &self.config, None);
+        let mut run = Run::new(&ctx, self.graph.schema(), &self.dims, &self.config, None)
+            .with_cancellation(self.config.cancel.clone(), deadline);
 
         if run.edges_total > 0 {
             // Algorithm 1, Main: RIGHT, EDGE, LEFT over the full data with
@@ -158,13 +189,19 @@ impl<'g> GrMiner<'g> {
             }
         }
 
+        let cancelled = run.was_cancelled();
         let mut stats = run.stats;
         stats.elapsed = start.elapsed();
-        MineResult {
+        if cancelled {
+            return Err(MinerError::Cancelled {
+                partial_stats: Box::new(stats),
+            });
+        }
+        Ok(MineResult {
             top: run.topk.into_sorted(),
             stats,
             edge_count: self.graph.edge_count() as u64,
-        }
+        })
     }
 }
 
@@ -324,6 +361,19 @@ pub(crate) struct Run<'a, 'g> {
     /// events consecutive); drained by the parallel engine for the
     /// exactness-verified post-pass.
     pub(crate) pruned_lw: Vec<(NodeDescriptor, EdgeDescriptor)>,
+    /// Cooperative cancellation flag, probed at recursion-node
+    /// granularity ([`Run::check_cancelled`]). Inert by default.
+    cancel: CancelToken,
+    /// Wall-clock deadline; an expired deadline trips `cancel` (so
+    /// sibling workers sharing the token stop too) and ends this run.
+    deadline: Option<Instant>,
+    /// Latched once a probe observes cancellation: the recursion
+    /// unwinds through cheap early returns without re-probing the
+    /// shared flag.
+    cancelled: bool,
+    /// Probes until the next wall-clock deadline read
+    /// ([`DEADLINE_PROBE_INTERVAL`]).
+    deadline_probe: u32,
 }
 
 impl<'a, 'g> Run<'a, 'g> {
@@ -352,7 +402,64 @@ impl<'a, 'g> Run<'a, 'g> {
             // lint: allow(alloc-in-arena) — Run construction site; the
             // buffer warms up once and is reused across the run.
             pruned_lw: Vec::new(),
+            cancel: cfg.cancel.clone(),
+            deadline: None,
+            cancelled: false,
+            // The first probe reads the clock (so an already-expired
+            // deadline stops even a tiny run), later ones every
+            // DEADLINE_PROBE_INTERVAL.
+            deadline_probe: 1,
         }
+    }
+
+    /// Observe `token` (overriding the config's — engines materialize a
+    /// real token so deadlines and panicking siblings have a flag to
+    /// trip) and optionally a wall-clock deadline.
+    pub(crate) fn with_cancellation(
+        mut self,
+        token: CancelToken,
+        deadline: Option<Instant>,
+    ) -> Self {
+        self.cancel = token;
+        self.deadline = deadline;
+        self
+    }
+
+    /// Did a probe observe cancellation (flag tripped or deadline
+    /// expired) during this run?
+    pub(crate) fn was_cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    /// The loop-top cancellation probe (the protocol step proved in
+    /// `grm_analyze::model::cancel`): latched once true, one branch when
+    /// no token or deadline is installed, one `Acquire` load otherwise.
+    /// An expired deadline trips the token so every clone sharing it —
+    /// sibling workers, the pool's blocked waiters — stops too.
+    fn check_cancelled(&mut self) -> bool {
+        if self.cancelled {
+            return true;
+        }
+        if self.cancel.is_inert() && self.deadline.is_none() {
+            return false;
+        }
+        self.stats.cancel_checks += 1;
+        if self.cancel.is_cancelled() {
+            self.cancelled = true;
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            self.deadline_probe -= 1;
+            if self.deadline_probe == 0 {
+                self.deadline_probe = DEADLINE_PROBE_INTERVAL;
+                if Instant::now() >= d {
+                    self.cancel.cancel();
+                    self.cancelled = true;
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Adopt an already-warm [`MinerScratch`] (parallel workers reuse one
@@ -390,6 +497,9 @@ impl<'a, 'g> Run<'a, 'g> {
 
     /// Execute one top-level task over `data` (the full position set).
     pub(crate) fn run_root(&mut self, data: &mut [u32], task: RootTask) {
+        if self.check_cancelled() {
+            return;
+        }
         let l0 = NodeDescriptor::empty();
         let w0 = EdgeDescriptor::empty();
         match task {
@@ -414,6 +524,9 @@ impl<'a, 'g> Run<'a, 'g> {
         w: &EdgeDescriptor,
         kind: SubtreeKind,
     ) {
+        if self.check_cancelled() {
+            return;
+        }
         match kind {
             SubtreeKind::Left { l_tail } => {
                 debug_assert!(w.is_empty(), "LEFT partitions precede all EDGE dimensions");
@@ -569,6 +682,9 @@ impl<'a, 'g> Run<'a, 'g> {
         let fuse = self.right_fuse_target(child_mask, data.len(), buckets);
         let (frame, level) = self.partition_pass(data, buckets, col, None, fuse);
         for idx in frame.indices() {
+            if self.check_cancelled() {
+                break;
+            }
             let part = self.scratch.arena.record(idx);
             if part.value == NULL {
                 continue;
@@ -631,6 +747,9 @@ impl<'a, 'g> Run<'a, 'g> {
         let model = self.ctx.model();
         let l_mask = l.attrs().fold(0u64, |m, a| m | (1u64 << a.0));
         for i in range {
+            if self.check_cancelled() {
+                return;
+            }
             let d = self.dims.w[i];
             let buckets = self.schema.edge_attr(d).bucket_count();
             let col = model.w_col(d);
@@ -639,6 +758,9 @@ impl<'a, 'g> Run<'a, 'g> {
             let fuse = self.right_fuse_target(l_mask, data.len(), buckets);
             let (frame, level) = self.partition_pass(data, buckets, col, None, fuse);
             for idx in frame.indices() {
+                if self.check_cancelled() {
+                    break;
+                }
                 let part = self.scratch.arena.record(idx);
                 if part.value == NULL {
                     continue;
@@ -904,6 +1026,9 @@ impl<'a, 'g> Run<'a, 'g> {
             };
             let (frame, level) = self.partition_pass(data, buckets, col, pass_pre, fuse);
             for idx in frame.indices() {
+                if self.check_cancelled() {
+                    break;
+                }
                 let part = self.scratch.arena.record(idx);
                 if part.value == NULL {
                     continue;
@@ -1357,6 +1482,41 @@ mod tests {
         // so there can be at most one scan per examined GR's l∧w node —
         // far fewer than the per-β scans the seed performed.
         assert!(fast.stats.heff_scans <= fast.stats.grs_examined);
+    }
+
+    #[test]
+    fn try_mine_observes_a_tripping_token_and_reports_partial_stats() {
+        let g = toy();
+        let cfg = MinerConfig::nhp(1, 0.0, 100).with_cancel(CancelToken::tripping_after(3));
+        let err = GrMiner::new(&g, cfg).try_mine().unwrap_err();
+        match err {
+            MinerError::Cancelled { partial_stats } => {
+                assert!(partial_stats.cancel_checks >= 3, "{partial_stats:?}");
+            }
+            other => panic!("expected Cancelled, got {other}"),
+        }
+        // Without a token or deadline, try_mine is mine — and probes
+        // cost nothing (no checks are even counted).
+        let cfg = MinerConfig::nhp(1, 0.0, 100);
+        let a = GrMiner::new(&g, cfg.clone()).try_mine().unwrap();
+        let b = GrMiner::new(&g, cfg).mine();
+        assert_eq!(a.top, b.top);
+        assert_eq!(a.stats.cancel_checks, 0);
+    }
+
+    #[test]
+    fn an_expired_deadline_trips_the_shared_token() {
+        let g = toy();
+        let token = CancelToken::new();
+        let cfg = MinerConfig::nhp(1, 0.0, 100)
+            .with_deadline_ms(0)
+            .with_cancel(token.clone());
+        let err = GrMiner::new(&g, cfg).try_mine().unwrap_err();
+        assert!(matches!(err, MinerError::Cancelled { .. }), "{err}");
+        assert!(
+            token.is_cancelled(),
+            "an expired deadline must trip the caller's token too"
+        );
     }
 
     #[test]

@@ -71,6 +71,7 @@
 use crate::config::MinerConfig;
 use crate::context::MiningContext;
 use crate::descriptor::{EdgeDescriptor, NodeDescriptor};
+use crate::error::{panic_message, MinerError};
 use crate::generality::GeneralityIndex;
 use crate::gr::{Gr, ScoredGr};
 use crate::metrics::MetricInputs;
@@ -80,11 +81,11 @@ use crate::stats::MinerStats;
 use crate::tail::Dims;
 use crate::topk::{SharedBound, TopK};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use grm_graph::{Schema, SocialGraph};
+use grm_graph::{failpoint, Schema, SocialGraph};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Default [`ParallelOptions::split_depth`]: subtrees rooted at most this
 /// many descriptor conditions deep may be detached. Depth 2 covers the
@@ -297,13 +298,37 @@ fn next_task(
 }
 
 /// Parallel mining with explicit [`ParallelOptions`].
+///
+/// The infallible entry: a cancellable config (token, deadline) that
+/// actually stops the mine — or a worker panic — is a caller contract
+/// violation here; use [`try_mine_parallel_with_opts`] for those.
 pub fn mine_parallel_with_opts(
     graph: &SocialGraph,
     config: &MinerConfig,
     dims: &Dims,
     opts: ParallelOptions,
 ) -> MineResult {
-    mine_parallel_traced(graph, config, dims, opts).0
+    match try_mine_parallel_traced(graph, config, dims, opts) {
+        Ok((r, _)) => r,
+        // lint: allow(panic-in-hot-path) — the infallible entry cannot
+        // report a cancelled or panicked mine; swallowing it would
+        // return a silently partial result.
+        Err(e) => panic!("mine_parallel cannot report {e}; use try_mine_parallel_with_opts"),
+    }
+}
+
+/// Fallible parallel mining: observes the config's cancellation token
+/// and deadline, and contains worker panics. A mine stopped early
+/// returns [`MinerError::Cancelled`] / [`MinerError::WorkerPanicked`]
+/// carrying the counters every cleanly-exited worker drained; an
+/// undisturbed run is identical to [`mine_parallel_with_opts`].
+pub fn try_mine_parallel_with_opts(
+    graph: &SocialGraph,
+    config: &MinerConfig,
+    dims: &Dims,
+    opts: ParallelOptions,
+) -> Result<MineResult, MinerError> {
+    try_mine_parallel_traced(graph, config, dims, opts).map(|(r, _)| r)
 }
 
 /// [`mine_parallel_with_opts`] that also reports the final value of the
@@ -318,8 +343,31 @@ pub fn mine_parallel_traced(
     dims: &Dims,
     opts: ParallelOptions,
 ) -> (MineResult, Option<f64>) {
+    match try_mine_parallel_traced(graph, config, dims, opts) {
+        Ok(out) => out,
+        // lint: allow(panic-in-hot-path) — same contract as
+        // `mine_parallel_with_opts`.
+        Err(e) => panic!("mine_parallel cannot report {e}; use try_mine_parallel_with_opts"),
+    }
+}
+
+/// The one worker-pool implementation behind every parallel entry.
+fn try_mine_parallel_traced(
+    graph: &SocialGraph,
+    config: &MinerConfig,
+    dims: &Dims,
+    opts: ParallelOptions,
+) -> Result<(MineResult, Option<f64>), MinerError> {
     let start = Instant::now();
     let threads = resolve_threads(opts.threads);
+    // Materialized so an expired deadline or a panicking worker always
+    // has a real flag to trip for its siblings, even when the caller
+    // passed the inert default token.
+    let token = config.cancel.materialize();
+    let deadline = config
+        .deadline_ms
+        .map(|ms| start + Duration::from_millis(ms));
+    let faults_before = failpoint::fired_total();
 
     let ctx = MiningContext::build(graph, config.metric.needs_r_marginal());
     let schema = graph.schema();
@@ -329,6 +377,14 @@ pub fn mine_parallel_traced(
     let mut stats = MinerStats::default();
     let mut pruned_frontiers: HashSet<(NodeDescriptor, EdgeDescriptor)> = HashSet::new();
     let shared_bound = SharedBound::new(config.k);
+    // First worker panic message; its writer also trips `token` so the
+    // siblings drain and exit (the Release in `CancelToken::cancel`
+    // publishes this write to every observer of the flag).
+    let panicked: Mutex<Option<String>> = Mutex::new(None);
+    // Worker loop-top flag probes, merged into `stats.cancel_checks`
+    // after the join so a cancelled mine always reports a non-zero
+    // drained probe count even when no task body ran.
+    let loop_probes = AtomicU64::new(0);
 
     if edge_count > 0 {
         let tasks = root_tasks(dims, schema, opts.split_dominant, threads);
@@ -370,6 +426,9 @@ pub fn mine_parallel_traced(
                 let frontiers = &frontiers;
                 let ctx = &ctx;
                 let shared = &shared_bound;
+                let token = &token;
+                let panicked = &panicked;
+                let loop_probes = &loop_probes;
                 scope.spawn(move |_| {
                     // One reusable position buffer per worker, filled
                     // from the shared context on the first root task and
@@ -411,6 +470,25 @@ pub fn mine_parallel_traced(
                     // real work.
                     let mut idle_rounds = 0u32;
                     loop {
+                        // The model's loop-top flag check (see
+                        // grm_analyze::model::cancel): at most one stale
+                        // task starts after the flag is set, and the
+                        // drain below runs exactly once on every exit
+                        // path.
+                        // ordering: Release — a pure work counter the
+                        // scope join already orders before the merge
+                        // reads it; Release (over Relaxed) because the
+                        // atomics audit treats any Relaxed RMW as a
+                        // protocol smell, and this runs once per
+                        // loop iteration — off any hot inner path.
+                        loop_probes.fetch_add(1, Ordering::Release);
+                        if token.is_cancelled() {
+                            break;
+                        }
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            token.cancel();
+                            break;
+                        }
                         let Some(task) =
                             next_task(&local, injector, stealers, wid, opts.steal, &mut stolen)
                         else {
@@ -444,46 +522,77 @@ pub fn mine_parallel_traced(
                             continue;
                         };
                         idle_rounds = 0;
-                        let task_start = Instant::now();
-                        let mut run = Run::new(ctx, schema, dims, config, Some(Vec::new()))
-                            .with_scratch(std::mem::take(&mut scratch));
-                        if let Some(policy) = split_policy {
-                            run = run.with_spawner(policy, &spawn_task);
-                        }
-                        if config.dynamic_topk {
-                            run = run.with_shared_bound(shared);
-                        }
-                        match task {
-                            PoolTask::Root(t) => {
-                                if data.is_empty() {
-                                    ctx.fill_positions(&mut data);
+                        // Containment envelope: a panic inside the task
+                        // body (the miner, or an injected "worker.body"
+                        // fault) is caught, latched, and converted into
+                        // a cancellation of the siblings — never a
+                        // process abort, never a silently incomplete
+                        // merge. AssertUnwindSafe is sound because on
+                        // the Err path this worker publishes only `out`
+                        // (completed tasks) and exits; the possibly
+                        // inconsistent run/scratch of the panicked task
+                        // are dropped.
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            if let Some(failpoint::FaultKind::Panic) = failpoint::hit("worker.body")
+                            {
+                                // lint: allow(panic-in-hot-path) — deliberate injected fault, caught by this very envelope.
+                                panic!("injected panic at worker.body");
+                            }
+                            let task_start = Instant::now();
+                            let mut run = Run::new(ctx, schema, dims, config, Some(Vec::new()))
+                                .with_scratch(std::mem::take(&mut scratch))
+                                .with_cancellation(token.clone(), deadline);
+                            if let Some(policy) = split_policy {
+                                run = run.with_spawner(policy, &spawn_task);
+                            }
+                            if config.dynamic_topk {
+                                run = run.with_shared_bound(shared);
+                            }
+                            match task {
+                                PoolTask::Root(t) => {
+                                    if data.is_empty() {
+                                        ctx.fill_positions(&mut data);
+                                    }
+                                    run.run_root(&mut data, t);
                                 }
-                                run.run_root(&mut data, t);
+                                PoolTask::Subtree(st) => {
+                                    let SubtreeTask {
+                                        data: mut sub,
+                                        l,
+                                        w,
+                                        kind,
+                                    } = st;
+                                    run.run_subtree(&mut sub, &l, &w, kind);
+                                }
                             }
-                            PoolTask::Subtree(st) => {
-                                let SubtreeTask {
-                                    data: mut sub,
-                                    l,
-                                    w,
-                                    kind,
-                                } = st;
-                                run.run_subtree(&mut sub, &l, &w, kind);
+                            let mut s = std::mem::take(&mut run.stats);
+                            s.elapsed = task_start.elapsed();
+                            pruned_lw.append(&mut run.pruned_lw);
+                            let (collected, warm) = run.into_collected_and_scratch();
+                            scratch = warm;
+                            out.push((collected, s));
+                            // ordering: SeqCst completion decrement.
+                            // Needs at least Release so the task's
+                            // effects (and the registrations of
+                            // everything it spawned — a task's own
+                            // registration outlives its spawns)
+                            // happen-before any zero-read; SeqCst
+                            // for the same single-total-order
+                            // reasoning as the registration above.
+                            pending.fetch_sub(1, Ordering::SeqCst);
+                        }));
+                        if let Err(payload) = caught {
+                            // Latch the first message *before* tripping
+                            // the flag (`cancel`'s Release publishes
+                            // it), then exit through the normal drain.
+                            let mut first = panicked.lock();
+                            if first.is_none() {
+                                *first = Some(panic_message(payload));
                             }
+                            drop(first);
+                            token.cancel();
+                            break;
                         }
-                        let mut s = std::mem::take(&mut run.stats);
-                        s.elapsed = task_start.elapsed();
-                        pruned_lw.append(&mut run.pruned_lw);
-                        let (collected, warm) = run.into_collected_and_scratch();
-                        scratch = warm;
-                        out.push((collected, s));
-                        // ordering: SeqCst completion decrement. Needs
-                        // at least Release so the task's effects (and
-                        // the registrations of everything it spawned —
-                        // a task's own registration outlives its
-                        // spawns) happen-before any zero-read; SeqCst
-                        // for the same single-total-order reasoning as
-                        // the registration above.
-                        pending.fetch_sub(1, Ordering::SeqCst);
                     }
                     if stolen > 0 {
                         out.push((
@@ -501,16 +610,36 @@ pub fn mine_parallel_traced(
                 });
             }
         })
-        // lint: allow(panic-in-hot-path) — re-raising a worker panic is
-        // the only correct move: swallowing it would return a silently
-        // incomplete mine.
-        .expect("worker panicked");
+        // lint: allow(panic-in-hot-path) — task panics are contained by
+        // the catch_unwind envelope above, so this fires only if the
+        // containment bookkeeping itself panicked; re-raising that is
+        // the only correct move.
+        .expect("worker panicked outside the containment envelope");
 
         for (mut grs, s) in results.into_inner() {
             stats.merge(&s);
             candidates.append(&mut grs);
         }
         pruned_frontiers.extend(frontiers.into_inner());
+        stats.faults_injected += failpoint::fired_total().saturating_sub(faults_before);
+        // ordering: Relaxed — all workers joined above; see the bump.
+        stats.cancel_checks += loop_probes.load(Ordering::Relaxed);
+
+        // Typed exits, after the drain: every worker that exited
+        // cleanly has published its counters into `stats`.
+        if let Some(message) = panicked.into_inner() {
+            stats.elapsed = start.elapsed();
+            return Err(MinerError::WorkerPanicked {
+                message,
+                partial_stats: Box::new(stats),
+            });
+        }
+        if token.is_cancelled() {
+            stats.elapsed = start.elapsed();
+            return Err(MinerError::Cancelled {
+                partial_stats: Box::new(stats),
+            });
+        }
     }
 
     // Sequential post-pass. When the shared bound never published (or
@@ -538,14 +667,14 @@ pub fn mine_parallel_traced(
     };
 
     stats.elapsed = start.elapsed();
-    (
+    Ok((
         MineResult {
             top,
             stats,
             edge_count,
         },
         final_bound,
-    )
+    ))
 }
 
 /// The classic collect-mode merge: generality most-general-first (size
@@ -1089,6 +1218,48 @@ mod tests {
         if dynamic.stats.bound_tightenings > 0 {
             assert!(dynamic.stats.pruned_by_score >= stat.stats.pruned_by_score);
         }
+    }
+
+    #[test]
+    fn cancelled_parallel_mine_returns_typed_error_with_drained_counters() {
+        use grm_graph::CancelToken;
+        let g = sample(6, 40, 300);
+        let dims = Dims::all(g.schema());
+        let opts = ParallelOptions {
+            threads: 4,
+            ..ParallelOptions::default()
+        };
+        let cfg = MinerConfig::nhp(1, 0.0, 50).with_cancel(CancelToken::tripping_after(5));
+        let err = try_mine_parallel_with_opts(&g, &cfg, &dims, opts).unwrap_err();
+        match err {
+            MinerError::Cancelled { partial_stats } => {
+                assert!(partial_stats.cancel_checks > 0, "{partial_stats:?}");
+            }
+            other => panic!("expected Cancelled, got {other}"),
+        }
+        // The same mine without the token completes and matches the
+        // sequential oracle — cancellation left no residue.
+        let cfg = MinerConfig::nhp(1, 0.0, 50).without_dynamic_topk();
+        let par = try_mine_parallel_with_opts(&g, &cfg, &dims, opts).unwrap();
+        let seq = GrMiner::new(&g, cfg).mine();
+        assert_eq!(keys(&seq), keys(&par));
+    }
+
+    #[test]
+    fn an_expired_deadline_cancels_every_worker() {
+        let g = sample(2, 40, 300);
+        let cfg = MinerConfig::nhp(1, 0.0, 50).with_deadline_ms(0);
+        let err = try_mine_parallel_with_opts(
+            &g,
+            &cfg,
+            &Dims::all(g.schema()),
+            ParallelOptions {
+                threads: 4,
+                ..ParallelOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, MinerError::Cancelled { .. }), "{err}");
     }
 
     #[test]

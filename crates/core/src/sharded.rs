@@ -54,15 +54,24 @@
 //! without ever holding the whole graph.
 //!
 //! Metrics that need global RHS marginal tables (lift,
-//! Piatetsky-Shapiro, conviction — [`RankMetric::needs_r_marginal`])
-//! are rejected with [`ShardedError::UnsupportedMetric`]: their
+//! Piatetsky-Shapiro, conviction —
+//! [`RankMetric::needs_r_marginal`](crate::metrics::RankMetric::needs_r_marginal))
+//! are rejected with [`MinerError::UnsupportedMetric`]: their
 //! per-descriptor marginal memo assumes one resident model.
+//!
+//! ## Fault tolerance
+//!
+//! The engine observes the config's [`CancelToken`] and deadline at
+//! unit and recursion-node granularity (the pool's blocked waiters
+//! observe the same token), contains worker panics with
+//! `catch_unwind`, and drains every cleanly-exited worker's counters
+//! into the typed error — see [`MinerError`].
 
 use crate::config::MinerConfig;
 use crate::context::MiningContext;
 use crate::descriptor::{EdgeDescriptor, NodeDescriptor};
+use crate::error::{panic_message, MinerError};
 use crate::gr::ScoredGr;
-use crate::metrics::RankMetric;
 use crate::miner::{MineResult, MinerScratch, RootTask, Run};
 use crate::parallel::{classic_select_topk, resolve_threads, select_topk_verified};
 use crate::query;
@@ -70,11 +79,13 @@ use crate::stats::MinerStats;
 use crate::tail::Dims;
 use crate::topk::SharedBound;
 use grm_graph::shard::{resident_cost, ShardPool, ShardStore, SliceKey, SliceSet};
-use grm_graph::{check_edge_capacity, AttrValue, CompactModel, GraphError, SocialGraph};
+use grm_graph::{
+    check_edge_capacity, failpoint, AttrValue, CancelToken, CompactModel, GraphError, SocialGraph,
+};
 use parking_lot::Mutex;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`mine_sharded`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,45 +102,10 @@ pub struct ShardedOptions {
     pub memory_budget: Option<u64>,
 }
 
-/// Failure modes of a sharded mine.
-#[derive(Debug)]
-pub enum ShardedError {
-    /// The configured metric needs global RHS marginals, which the
-    /// out-of-core engine does not maintain — use nhp, conf, laplace or
-    /// gain, or mine in-core.
-    UnsupportedMetric(RankMetric),
-    /// Storage-layer failure (I/O, capacity, memory budget).
-    Graph(GraphError),
-}
-
-impl std::fmt::Display for ShardedError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ShardedError::UnsupportedMetric(m) => write!(
-                f,
-                "metric {m:?} needs global RHS marginals, which sharded \
-                 out-of-core mining does not maintain; use nhp, conf, \
-                 laplace or gain, or mine in-core"
-            ),
-            ShardedError::Graph(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for ShardedError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            ShardedError::Graph(e) => Some(e),
-            ShardedError::UnsupportedMetric(_) => None,
-        }
-    }
-}
-
-impl From<GraphError> for ShardedError {
-    fn from(e: GraphError) -> Self {
-        ShardedError::Graph(e)
-    }
-}
+/// Failure modes of a sharded mine — the crate-wide [`MinerError`]
+/// (this alias predates the unified type and keeps existing `match`
+/// paths compiling).
+pub type ShardedError = MinerError;
 
 /// One independent unit of sharded work: a root task over one resident
 /// edge set (module docs).
@@ -169,6 +145,14 @@ pub fn mine_sharded(
     let dims = Dims::all(schema);
     let total_edges = store.total_edges();
     let threads = resolve_threads(opts.threads);
+    // Materialized so an expired deadline or a panicking worker always
+    // has a real flag to trip for its siblings (and for the pool's
+    // blocked waiters), even when the caller passed the inert default.
+    let token = config.cancel.materialize();
+    let deadline = config
+        .deadline_ms
+        .map(|ms| start + Duration::from_millis(ms));
+    let faults_before = failpoint::fired_total();
 
     // Build the slice sets and the unit list in the sequential Main
     // order (RIGHT, EDGE dimensions, LEFT dimensions). Every slice is
@@ -211,7 +195,7 @@ pub fn mine_sharded(
         }
     }
 
-    let pool = ShardPool::new(store, opts.memory_budget);
+    let pool = ShardPool::new(store, opts.memory_budget)?.with_cancel(token.clone());
     let shared = SharedBound::new(config.k);
     let mut stats = MinerStats::default();
     let mut candidates: Vec<ScoredGr> = Vec::new();
@@ -223,6 +207,13 @@ pub fn mine_sharded(
         let slots: Mutex<Vec<Option<UnitOut>>> =
             Mutex::new((0..units.len()).map(|_| None).collect());
         let first_error: Mutex<Option<ShardedError>> = Mutex::new(None);
+        // First worker panic message; its writer also trips `token` so
+        // the siblings (and the pool's blocked waiters) drain and exit.
+        let panicked: Mutex<Option<String>> = Mutex::new(None);
+        // Worker loop-top flag probes, merged into `stats.cancel_checks`
+        // after the join so a cancelled mine always reports a non-zero
+        // drained probe count even when no unit body ran.
+        let loop_probes = AtomicU64::new(0);
         let next = AtomicUsize::new(0);
         let workers = threads.min(units.len()).max(1);
 
@@ -233,13 +224,33 @@ pub fn mine_sharded(
                 let pool = &pool;
                 let slots = &slots;
                 let first_error = &first_error;
+                let panicked = &panicked;
                 let next = &next;
                 let shared = &shared;
                 let dims = &dims;
+                let token = &token;
+                let loop_probes = &loop_probes;
                 scope.spawn(move |_| {
                     let mut scratch = MinerScratch::default();
                     loop {
                         if first_error.lock().is_some() {
+                            break;
+                        }
+                        // ordering: Release — a pure work counter the
+                        // scope join already orders before the merge
+                        // reads it; Release (over Relaxed) because the
+                        // atomics audit treats any Relaxed RMW as a
+                        // protocol smell, and this runs once per
+                        // unit — off any hot inner path.
+                        loop_probes.fetch_add(1, Ordering::Release);
+                        // The model's loop-top flag check (see
+                        // grm_analyze::model::cancel): at most one
+                        // stale unit starts after the flag is set.
+                        if token.is_cancelled() {
+                            break;
+                        }
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            token.cancel();
                             break;
                         }
                         // ordering: SeqCst unit dispenser. The only
@@ -255,23 +266,52 @@ pub fn mine_sharded(
                         if u >= units.len() {
                             break;
                         }
-                        match run_unit(
-                            store,
-                            sets,
-                            pool,
-                            units[u],
-                            config,
-                            dims,
-                            shared,
-                            total_edges,
-                            &mut scratch,
-                        ) {
-                            Ok(out) => slots.lock()[u] = Some(out),
-                            Err(e) => {
+                        // Containment envelope: a panic inside the unit
+                        // (the miner, a storage layer bug, or an
+                        // injected "worker.body" fault) is caught,
+                        // latched, and converted into a cancellation of
+                        // the siblings. AssertUnwindSafe is sound
+                        // because on the Err path this worker publishes
+                        // nothing from the broken unit and exits.
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            if let Some(failpoint::FaultKind::Panic) = failpoint::hit("worker.body")
+                            {
+                                // lint: allow(panic-in-hot-path) — deliberate injected fault, caught by this very envelope.
+                                panic!("injected panic at worker.body");
+                            }
+                            run_unit(
+                                store,
+                                sets,
+                                pool,
+                                units[u],
+                                config,
+                                dims,
+                                shared,
+                                total_edges,
+                                token,
+                                deadline,
+                                &mut scratch,
+                            )
+                        }));
+                        match caught {
+                            Ok(Ok(out)) => slots.lock()[u] = Some(out),
+                            Ok(Err(e)) => {
                                 let mut g = first_error.lock();
                                 if g.is_none() {
                                     *g = Some(e);
                                 }
+                                break;
+                            }
+                            Err(payload) => {
+                                // Latch the message *before* tripping
+                                // the flag (`cancel`'s Release publishes
+                                // it to every observer).
+                                let mut first = panicked.lock();
+                                if first.is_none() {
+                                    *first = Some(panic_message(payload));
+                                }
+                                drop(first);
+                                token.cancel();
                                 break;
                             }
                         }
@@ -279,20 +319,42 @@ pub fn mine_sharded(
                 });
             }
         })
-        // lint: allow(panic-in-hot-path) — re-raising a worker panic is
-        // the only correct move: swallowing it would return a silently
-        // incomplete mine.
-        .expect("worker panicked");
+        // lint: allow(panic-in-hot-path) — unit panics are contained by
+        // the catch_unwind envelope above, so this fires only if the
+        // containment bookkeeping itself panicked; re-raising that is
+        // the only correct move.
+        .expect("worker panicked outside the containment envelope");
 
-        if let Some(e) = first_error.into_inner() {
-            return Err(e);
-        }
-        // Every slot is Some here: a None would mean its worker exited
-        // early, which only happens on an error returned above.
+        // Drain every completed unit's counters and candidates — also
+        // on the failure paths below, where the counters ride out in
+        // the typed error.
         for (mut grs, s, pruned) in slots.into_inner().into_iter().flatten() {
             stats.merge(&s);
             candidates.append(&mut grs);
             pruned_frontiers.extend(pruned);
+        }
+        // ordering: Relaxed — all workers joined above; see the bump.
+        stats.cancel_checks += loop_probes.load(Ordering::Relaxed);
+
+        let panic_msg = panicked.into_inner();
+        let first = first_error.into_inner();
+        if panic_msg.is_some() || first.is_some() || token.is_cancelled() {
+            collect_engine_stats(&mut stats, &pool, store, &sets, faults_before);
+            stats.elapsed = start.elapsed();
+            let partial_stats = Box::new(stats);
+            return Err(match (panic_msg, first) {
+                (Some(message), _) => MinerError::WorkerPanicked {
+                    message,
+                    partial_stats,
+                },
+                // A worker that lost a pool-acquire race to the flag
+                // surfaces GraphError::Cancelled — the same condition
+                // as the flag itself.
+                (None, Some(MinerError::Graph(GraphError::Cancelled))) | (None, None) => {
+                    MinerError::Cancelled { partial_stats }
+                }
+                (None, Some(e)) => e,
+            });
         }
     }
 
@@ -339,20 +401,44 @@ pub fn mine_sharded(
         classic_select_topk(config, candidates, &mut stats)
     };
     if let Some(e) = eval_err {
+        if matches!(e, GraphError::Cancelled) {
+            collect_engine_stats(&mut stats, &pool, store, &sets, faults_before);
+            stats.elapsed = start.elapsed();
+            return Err(MinerError::Cancelled {
+                partial_stats: Box::new(stats),
+            });
+        }
         return Err(e.into());
     }
 
-    let pool_stats = pool.stats();
-    stats.shards_built = store.shard_count() as u64;
-    stats.shard_loads = pool_stats.loads;
-    stats.shard_evictions = pool_stats.evictions;
-    stats.shard_resident_bytes_peak = pool_stats.resident_bytes_peak;
+    collect_engine_stats(&mut stats, &pool, store, &sets, faults_before);
     stats.elapsed = start.elapsed();
     Ok(MineResult {
         top,
         stats,
         edge_count: total_edges,
     })
+}
+
+/// Fold the storage-layer counters into `stats`: pool residency, the
+/// bounded spill retries the store and the slice sets performed, and
+/// the fault-injection delta since the mine began (always zero without
+/// the `fault-inject` feature).
+fn collect_engine_stats(
+    stats: &mut MinerStats,
+    pool: &ShardPool,
+    store: &ShardStore,
+    sets: &[SliceSet],
+    faults_before: u64,
+) {
+    let pool_stats = pool.stats();
+    stats.shards_built = store.shard_count() as u64;
+    stats.shard_loads = pool_stats.loads;
+    stats.shard_evictions = pool_stats.evictions;
+    stats.shard_resident_bytes_peak = pool_stats.resident_bytes_peak;
+    stats.spill_retries +=
+        store.spill_retries() + sets.iter().map(|s| s.spill_retries()).sum::<u64>();
+    stats.faults_injected += failpoint::fired_total().saturating_sub(faults_before);
 }
 
 /// Build the [`SliceSet`] for `key` and append one [`Unit::Slice`] per
@@ -402,6 +488,8 @@ fn run_unit(
     dims: &Dims,
     shared: &SharedBound,
     total_edges: u64,
+    token: &CancelToken,
+    deadline: Option<Instant>,
     scratch: &mut MinerScratch,
 ) -> Result<UnitOut, ShardedError> {
     match unit {
@@ -414,6 +502,8 @@ fn run_unit(
                 dims,
                 shared,
                 total_edges,
+                token,
+                deadline,
                 scratch,
             )
         }
@@ -428,13 +518,24 @@ fn run_unit(
             // graph when this unit finishes.
             let _hold = pool.reserve(cost)?;
             let graph = slice.load(value)?;
-            run_task(&graph, task, config, dims, shared, total_edges, scratch)
+            run_task(
+                &graph,
+                task,
+                config,
+                dims,
+                shared,
+                total_edges,
+                token,
+                deadline,
+                scratch,
+            )
         }
     }
 }
 
 /// One collect-mode [`Run`] over a resident graph (see
 /// [`MiningContext::with_edges_total`] for the denominator override).
+#[allow(clippy::too_many_arguments)]
 fn run_task(
     graph: &SocialGraph,
     task: RootTask,
@@ -442,13 +543,16 @@ fn run_task(
     dims: &Dims,
     shared: &SharedBound,
     total_edges: u64,
+    token: &CancelToken,
+    deadline: Option<Instant>,
     scratch: &mut MinerScratch,
 ) -> Result<UnitOut, ShardedError> {
     let unit_start = Instant::now();
     let model = CompactModel::try_build(graph)?;
     let ctx = MiningContext::with_edges_total(model, false, total_edges);
     let mut run = Run::new(&ctx, graph.schema(), dims, config, Some(Vec::new()))
-        .with_scratch(std::mem::take(scratch));
+        .with_scratch(std::mem::take(scratch))
+        .with_cancellation(token.clone(), deadline);
     if config.dynamic_topk {
         run = run.with_shared_bound(shared);
     }

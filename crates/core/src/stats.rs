@@ -85,6 +85,22 @@ pub struct MinerStats {
     /// sharded miner's pool (`≤` the configured memory budget by
     /// construction). Merged with `max`, like `scratch_bytes_peak`.
     pub shard_resident_bytes_peak: u64,
+    /// Cancellation-flag probes performed (worker loop-top,
+    /// recursion-node and shard-load granularity; see
+    /// `grm_graph::cancel`). A *work* counter: varies with task
+    /// splitting and thread count. Zero for a sequential mine without a
+    /// token or deadline; the parallel and sharded engines always
+    /// materialize a token for their workers, so they always probe.
+    pub cancel_checks: u64,
+    /// Faults injected by the deterministic failpoint registry
+    /// (`grm_graph::failpoint`). Always zero without the `fault-inject`
+    /// feature; a *work* counter driven entirely by the test schedule.
+    pub faults_injected: u64,
+    /// Transient spill-write failures that were retried (and recovered
+    /// from) while writing shard/slice files — bounded to one retry per
+    /// chunk. A *work* counter: zero for in-core runs and fault-free
+    /// sharded runs.
+    pub spill_retries: u64,
     /// Wall-clock time of the run.
     #[serde(with = "duration_serde")]
     pub elapsed: Duration,
@@ -115,6 +131,9 @@ impl MinerStats {
         self.shard_resident_bytes_peak = self
             .shard_resident_bytes_peak
             .max(other.shard_resident_bytes_peak);
+        self.cancel_checks += other.cancel_checks;
+        self.faults_injected += other.faults_injected;
+        self.spill_retries += other.spill_retries;
         self.elapsed = self.elapsed.max(other.elapsed);
     }
 
@@ -152,6 +171,9 @@ impl MinerStats {
             shard_loads: 0,
             shard_evictions: 0,
             shard_resident_bytes_peak: 0,
+            cancel_checks: 0,
+            faults_injected: 0,
+            spill_retries: 0,
             elapsed: Duration::ZERO,
         }
     }
@@ -161,7 +183,7 @@ impl std::fmt::Display for MinerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "partitions={} grs={} pruned_supp={} pruned_score={} trivial={} general={} accepted={} heff_scans={} passes={} fused={} kernel_batches={} scratch_peak={} stolen={} splits={} tightenings={} shards={} shard_loads={} shard_evictions={} shard_peak={} elapsed={:?}",
+            "partitions={} grs={} pruned_supp={} pruned_score={} trivial={} general={} accepted={} heff_scans={} passes={} fused={} kernel_batches={} scratch_peak={} stolen={} splits={} tightenings={} shards={} shard_loads={} shard_evictions={} shard_peak={} cancel_checks={} faults_injected={} spill_retries={} elapsed={:?}",
             self.partitions_examined,
             self.grs_examined,
             self.pruned_by_supp,
@@ -181,6 +203,9 @@ impl std::fmt::Display for MinerStats {
             self.shard_loads,
             self.shard_evictions,
             self.shard_resident_bytes_peak,
+            self.cancel_checks,
+            self.faults_injected,
+            self.spill_retries,
             self.elapsed
         )
     }
@@ -328,6 +353,30 @@ mod tests {
         assert_eq!(a.tasks_stolen, 7);
         assert_eq!(a.subtree_splits, 5);
         assert_eq!(a.bound_tightenings, 4);
+    }
+
+    #[test]
+    fn merge_adds_fault_tolerance_counters_and_semantic_clears_them() {
+        let mut a = MinerStats {
+            cancel_checks: 10,
+            faults_injected: 1,
+            spill_retries: 2,
+            ..Default::default()
+        };
+        let b = MinerStats {
+            cancel_checks: 5,
+            faults_injected: 2,
+            spill_retries: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cancel_checks, 15);
+        assert_eq!(a.faults_injected, 3);
+        assert_eq!(a.spill_retries, 3);
+        let sem = a.semantic();
+        assert_eq!(sem.cancel_checks, 0);
+        assert_eq!(sem.faults_injected, 0);
+        assert_eq!(sem.spill_retries, 0);
     }
 
     #[test]

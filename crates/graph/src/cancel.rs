@@ -1,0 +1,205 @@
+//! Cooperative cancellation for long-running mines.
+//!
+//! A [`CancelToken`] is a shared once-set flag: any holder may
+//! [`cancel`](CancelToken::cancel) it, and cooperative loops probe
+//! [`is_cancelled`](CancelToken::is_cancelled) at recursion-node and
+//! shard-load granularity, drain their partial counters, and unwind
+//! with a typed error instead of leaking workers. The protocol — flag
+//! checked at every loop top, drain-exactly-once on every exit path,
+//! at most one stale task start per worker after the flag is set — is
+//! proved in `grm_analyze::model::cancel`.
+//!
+//! The default token is *inert*: it holds no allocation and every probe
+//! is a branch on `None`, so un-cancellable mines pay nothing.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+struct Inner {
+    /// The once-set cancel flag (never cleared).
+    cancelled: AtomicBool,
+    /// Probes remaining before the token trips itself; negative when
+    /// self-tripping is disabled. A deterministic test aid: see
+    /// [`CancelToken::tripping_after`].
+    trip_after: AtomicI64,
+}
+
+/// A shared, cloneable cancellation flag. Clones observe the same flag;
+/// the [`Default`] token is inert (never cancels, costs one branch).
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A real token: starts clear, trips when any clone calls
+    /// [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                trip_after: AtomicI64::new(-1),
+            })),
+        }
+    }
+
+    /// A real token that additionally trips itself on the `checks`-th
+    /// [`is_cancelled`](Self::is_cancelled) probe (counted across all
+    /// clones). Deterministic by construction — the trip point is a
+    /// probe count, not a clock — so tests can cancel "at recursion
+    /// depth N" reproducibly.
+    pub fn tripping_after(checks: u64) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                trip_after: AtomicI64::new(checks.min(i64::MAX as u64) as i64),
+            })),
+        }
+    }
+
+    /// Is this the inert default token (no allocation, never cancels)?
+    pub fn is_inert(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// This token if it is real, otherwise a fresh real token. Engines
+    /// call this so a deadline or a panicking worker always has a flag
+    /// to trip for its siblings, even when the caller passed the inert
+    /// default.
+    pub fn materialize(&self) -> CancelToken {
+        if self.is_inert() {
+            CancelToken::new()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Trip the flag. Idempotent; a no-op on the inert token.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            // ordering: Release pairs with the Acquire load in
+            // `is_cancelled`: everything the cancelling thread did
+            // before tripping the flag (e.g. storing a panic message
+            // for `MinerError::WorkerPanicked`) happens-before any
+            // observer's drain-and-exit. The once-set flag semantics
+            // are what `grm_analyze::model::cancel` assumes of the
+            // canceller step.
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Probe the flag. Cheap enough for recursion-node granularity:
+    /// inert tokens take one branch, real tokens one `Acquire` load
+    /// (the self-trip counter costs an RMW only on tokens armed by
+    /// [`tripping_after`](Self::tripping_after)).
+    pub fn is_cancelled(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        // ordering: Acquire pairs with the Release store in `cancel`
+        // (see there); observing `true` is the model's "cancelled →
+        // drain once, exit" loop-top step.
+        if inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        // ordering: Acquire load to skip the RMW entirely on tokens
+        // without a scripted trip; the counter is a test aid and
+        // publishes nothing.
+        if inner.trip_after.load(Ordering::Acquire) < 0 {
+            return false;
+        }
+        // ordering: AcqRel makes the probe counter a single total
+        // order across threads, so exactly one probe (the `checks`-th)
+        // observes the 1 → 0 transition and trips the flag — the
+        // deterministic-trip guarantee documented on `tripping_after`.
+        if inner.trip_after.fetch_sub(1, Ordering::AcqRel) <= 1 {
+            self.cancel();
+            return true;
+        }
+        false
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "CancelToken(inert)"),
+            Some(inner) => write!(
+                f,
+                "CancelToken(cancelled: {})",
+                // ordering: Acquire as in `is_cancelled`; Debug output
+                // must not report a flag staler than the caller's own
+                // probes.
+                inner.cancelled.load(Ordering::Acquire)
+            ),
+        }
+    }
+}
+
+/// Two tokens are equal when they observe the same flag: both inert, or
+/// both handles to the same shared state. (Needed so `MinerConfig`
+/// keeps its derived `PartialEq`.)
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_token_never_cancels() {
+        let t = CancelToken::default();
+        assert!(t.is_inert());
+        t.cancel();
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn tripping_after_trips_on_the_nth_probe() {
+        let t = CancelToken::tripping_after(3);
+        assert!(!t.is_cancelled());
+        assert!(!t.is_cancelled());
+        assert!(t.is_cancelled());
+        assert!(t.is_cancelled());
+
+        let now = CancelToken::tripping_after(0);
+        assert!(now.is_cancelled());
+    }
+
+    #[test]
+    fn materialize_preserves_real_tokens_and_replaces_inert_ones() {
+        let real = CancelToken::new();
+        assert_eq!(real.materialize(), real);
+        let inert = CancelToken::default();
+        let m = inert.materialize();
+        assert!(!m.is_inert());
+        assert_ne!(m, inert);
+    }
+
+    #[test]
+    fn equality_is_identity_of_the_shared_flag() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        assert_ne!(a, b);
+        assert_eq!(a, a.clone());
+        assert_eq!(CancelToken::default(), CancelToken::default());
+    }
+}

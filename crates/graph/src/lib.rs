@@ -19,7 +19,12 @@
 //!   edge-list dataset pairs (the shape of the SNAP Pokec dump);
 //! * [`shard`] — sharded, memory-budgeted out-of-core edge storage that
 //!   breaks the compact model's u32 edge cap: columnar per-shard spill
-//!   files plus an LRU shard-residency pool.
+//!   files (checksummed, written via temp-and-rename) plus an LRU
+//!   shard-residency pool;
+//! * [`cancel`] — the cooperative [`CancelToken`] the mining engines
+//!   observe at recursion-node and shard-load granularity;
+//! * [`failpoint`] — deterministic fault injection behind the
+//!   `fault-inject` feature (zero-cost otherwise).
 //!
 //! Mining itself lives in the `grm-core` crate; synthetic workloads in
 //! `grm-datagen`.
@@ -36,9 +41,11 @@
 #![cfg_attr(all(feature = "simd", grm_nightly_simd), feature(portable_simd))]
 
 mod builder;
+pub mod cancel;
 mod compact;
 pub mod csv;
 mod error;
+pub mod failpoint;
 mod graph;
 pub mod io;
 pub mod kernel;
@@ -50,8 +57,9 @@ pub mod stats;
 mod value;
 
 pub use builder::GraphBuilder;
+pub use cancel::CancelToken;
 pub use compact::{check_edge_capacity, CompactModel};
-pub use error::{GraphError, Result};
+pub use error::{GraphError, Result, ShardIoError};
 pub use graph::SocialGraph;
 pub use schema::{AttrDef, Schema, SchemaBuilder};
 pub use single_table::SingleTable;

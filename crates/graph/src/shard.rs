@@ -34,8 +34,10 @@
 //! construction whenever the pool hands out a lease.
 
 use crate::builder::GraphBuilder;
+use crate::cancel::CancelToken;
 use crate::compact::check_edge_capacity;
-use crate::error::{GraphError, Result};
+use crate::error::{GraphError, Result, ShardIoError};
+use crate::failpoint;
 use crate::graph::SocialGraph;
 use crate::schema::Schema;
 use crate::value::{AttrValue, EdgeAttrId, NodeAttrId, NodeId, NULL};
@@ -131,24 +133,29 @@ impl ShardSpec {
 /// the slice builder: routes edges into per-bucket columnar files.
 struct ChunkRouter {
     dir: PathBuf,
+    prefix: &'static str,
     writers: Vec<BufWriter<fs::File>>,
     srcs: Vec<Vec<NodeId>>,
     dsts: Vec<Vec<NodeId>>,
     attrs: Vec<Vec<Vec<AttrValue>>>,
     counts: Vec<u64>,
+    spill_retries: u64,
 }
 
 impl ChunkRouter {
     fn create(dir: &Path, prefix: &'static str, buckets: usize, ea: usize) -> Result<Self> {
         fs::create_dir_all(dir)?;
+        Self::sweep_stale_temps(dir, prefix);
         let mut writers = Vec::with_capacity(buckets);
         let mut srcs = Vec::with_capacity(buckets);
         let mut dsts = Vec::with_capacity(buckets);
         let mut attrs = Vec::with_capacity(buckets);
         let mut counts = Vec::with_capacity(buckets);
         for b in 0..buckets {
-            let f = fs::File::create(Self::file_at(dir, prefix, b))?;
-            writers.push(BufWriter::new(f));
+            let f = fs::File::create(Self::tmp_file_at(dir, prefix, b))?;
+            let mut w = BufWriter::new(f);
+            crate::io::write_spill_header(&mut w)?;
+            writers.push(w);
             srcs.push(Vec::with_capacity(CHUNK_EDGES));
             dsts.push(Vec::with_capacity(CHUNK_EDGES));
             let mut cols = Vec::with_capacity(ea);
@@ -160,16 +167,40 @@ impl ChunkRouter {
         }
         Ok(ChunkRouter {
             dir: dir.to_path_buf(),
+            prefix,
             writers,
             srcs,
             dsts,
             attrs,
             counts,
+            spill_retries: 0,
         })
     }
 
     fn file_at(dir: &Path, prefix: &str, bucket: usize) -> PathBuf {
         dir.join(format!("{prefix}-{bucket}.edges"))
+    }
+
+    /// In-progress spills live at a `.tmp` sibling until
+    /// [`Self::finish`] renames them into place, so a crash mid-write
+    /// never leaves a file a reader would mistake for a complete spill.
+    fn tmp_file_at(dir: &Path, prefix: &str, bucket: usize) -> PathBuf {
+        dir.join(format!("{prefix}-{bucket}.edges.tmp"))
+    }
+
+    /// Remove temp files a crashed earlier run left under `dir` for
+    /// this prefix (best-effort; they are garbage by construction).
+    fn sweep_stale_temps(dir: &Path, prefix: &str) {
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with(prefix) && name.ends_with(".edges.tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
     }
 
     fn push(&mut self, b: usize, src: NodeId, dst: NodeId, vals: &[AttrValue]) -> Result<()> {
@@ -189,12 +220,16 @@ impl ChunkRouter {
         if self.srcs[b].is_empty() {
             return Ok(());
         }
-        crate::io::write_edge_chunk(
-            &mut self.writers[b],
-            &self.srcs[b],
-            &self.dsts[b],
-            &self.attrs[b],
-        )?;
+        let chunk = crate::io::encode_edge_chunk(&self.srcs[b], &self.dsts[b], &self.attrs[b]);
+        if let Err(first) = Self::write_chunk(&mut self.writers[b], &chunk) {
+            // One bounded retry for transient spill failures. A retry
+            // after a real partial write can append a garbled chunk,
+            // but the on-read checksum rejects it — a doubly-failed
+            // spill may surface as a typed integrity error, never as
+            // silently wrong data.
+            self.spill_retries += 1;
+            Self::write_chunk(&mut self.writers[b], &chunk).map_err(|_| first)?;
+        }
         self.srcs[b].clear();
         self.dsts[b].clear();
         for col in &mut self.attrs[b] {
@@ -203,15 +238,36 @@ impl ChunkRouter {
         Ok(())
     }
 
-    /// Flush everything and return `(dir, per-bucket edge counts)`.
-    fn finish(mut self) -> Result<(PathBuf, Vec<u64>)> {
+    fn write_chunk(w: &mut BufWriter<fs::File>, chunk: &[u8]) -> Result<()> {
+        if let Some(failpoint::FaultKind::IoError) = failpoint::hit("spill.write") {
+            return Err(GraphError::Io {
+                message: "injected fault at spill.write".into(),
+            });
+        }
+        w.write_all(chunk)?;
+        Ok(())
+    }
+
+    /// Flush everything, rename each temp file into its final place,
+    /// and return `(dir, per-bucket edge counts, spill retries)`.
+    fn finish(mut self) -> Result<(PathBuf, Vec<u64>, u64)> {
         for b in 0..self.writers.len() {
             self.flush_bucket(b)?;
         }
         for w in &mut self.writers {
             w.flush()?;
         }
-        Ok((self.dir, self.counts))
+        // Close every temp file before renaming it into place: a
+        // reader that can open `{prefix}-{b}.edges` therefore always
+        // sees a complete, flushed spill.
+        drop(std::mem::take(&mut self.writers));
+        for b in 0..self.counts.len() {
+            fs::rename(
+                Self::tmp_file_at(&self.dir, self.prefix, b),
+                Self::file_at(&self.dir, self.prefix, b),
+            )?;
+        }
+        Ok((self.dir, self.counts, self.spill_retries))
     }
 }
 
@@ -223,6 +279,7 @@ pub type EdgeVisitor<'a> = dyn FnMut(NodeId, NodeId, &[AttrValue]) -> Result<()>
 fn for_each_edge_in(path: &Path, ea: usize, f: &mut EdgeVisitor) -> Result<()> {
     let file = fs::File::open(path)?;
     let mut r = BufReader::new(file);
+    crate::io::read_spill_header(&mut r)?;
     let mut row = Vec::with_capacity(ea);
     while let Some(chunk) = crate::io::read_edge_chunk(&mut r, ea)? {
         for i in 0..chunk.len() {
@@ -342,7 +399,7 @@ impl ShardStoreWriter {
             max_edges_per_shard,
             total_edges,
         } = self;
-        let (dir, edge_counts) = router.finish()?;
+        let (dir, edge_counts, spill_retries) = router.finish()?;
         for &c in &edge_counts {
             check_edge_capacity(c as usize, max_edges_per_shard)?;
         }
@@ -354,6 +411,7 @@ impl ShardStoreWriter {
             edge_counts,
             total_edges,
             max_edges_per_shard,
+            spill_retries,
         })
     }
 }
@@ -369,6 +427,7 @@ pub struct ShardStore {
     edge_counts: Vec<u64>,
     total_edges: u64,
     max_edges_per_shard: usize,
+    spill_retries: u64,
 }
 
 impl ShardStore {
@@ -437,6 +496,12 @@ impl ShardStore {
         self.max_edges_per_shard
     }
 
+    /// Transient spill-write failures retried (and recovered from)
+    /// while the store was written; bounded to one retry per chunk.
+    pub fn spill_retries(&self) -> u64 {
+        self.spill_retries
+    }
+
     /// Directory holding the spill files.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -457,6 +522,20 @@ impl ShardStore {
     /// Load shard `s` as a standalone graph: every node row plus the
     /// shard's edges, re-validated by the builder.
     pub fn load_shard(&self, s: usize) -> Result<SocialGraph> {
+        match failpoint::hit("shard.load") {
+            Some(failpoint::FaultKind::IoError) => {
+                return Err(GraphError::Io {
+                    message: "injected fault at shard.load".into(),
+                });
+            }
+            Some(failpoint::FaultKind::ShortRead) => {
+                return Err(ShardIoError::ShortRead {
+                    context: "injected fault at shard.load",
+                }
+                .into());
+            }
+            _ => {}
+        }
         check_edge_capacity(self.edge_counts[s] as usize, self.max_edges_per_shard)?;
         let mut b = GraphBuilder::with_capacity(
             (*self.schema).clone(),
@@ -517,6 +596,7 @@ pub struct SliceSet<'s> {
     key: SliceKey,
     dir: PathBuf,
     edge_counts: Vec<u64>,
+    spill_retries: u64,
 }
 
 impl<'s> SliceSet<'s> {
@@ -540,18 +620,25 @@ impl<'s> SliceSet<'s> {
                 router.push(v as usize - 1, src, dst, vals)
             })?;
         }
-        let (dir, edge_counts) = router.finish()?;
+        let (dir, edge_counts, spill_retries) = router.finish()?;
         Ok(SliceSet {
             store,
             key,
             dir,
             edge_counts,
+            spill_retries,
         })
     }
 
     /// The key attribute.
     pub fn key(&self) -> SliceKey {
         self.key
+    }
+
+    /// Transient spill-write failures retried (and recovered from)
+    /// while this slice set was built; bounded to one retry per chunk.
+    pub fn spill_retries(&self) -> u64 {
+        self.spill_retries
     }
 
     /// Number of non-null values (slices).
@@ -705,9 +792,25 @@ struct PoolState {
 /// `grm_analyze::model::shard`).
 pub struct ShardPool<'s> {
     store: &'s ShardStore,
-    budget: u64,
+    /// Accounted-byte budget. Atomic only because the `pool.evict`
+    /// failpoint can shrink it mid-mine under `fault-inject`; in a
+    /// production build it is written once, at construction.
+    budget: AtomicU64,
+    /// Observed in the blocked waits of [`Self::acquire`] and
+    /// [`Self::reserve`], so a cancelled mine never spins forever
+    /// waiting for pins that will not be released.
+    cancel: CancelToken,
     state: Mutex<PoolState>,
     meter: ResidencyMeter,
+}
+
+impl std::fmt::Debug for ShardPool<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("budget", &self.budget())
+            .field("resident_bytes", &self.meter.current())
+            .finish()
+    }
 }
 
 /// A pinned resident shard: the graph stays loaded until the lease
@@ -775,15 +878,31 @@ impl Drop for Reservation<'_, '_> {
 
 impl<'s> ShardPool<'s> {
     /// A pool over `store` with `budget` accounted bytes (`None` =
-    /// unbounded).
-    pub fn new(store: &'s ShardStore, budget: Option<u64>) -> Self {
+    /// unbounded). Fails eagerly — before any mining starts — when the
+    /// budget cannot hold the store's largest shard, since no eviction
+    /// schedule could ever make such a shard resident; the error
+    /// reports the minimum viable budget.
+    pub fn new(store: &'s ShardStore, budget: Option<u64>) -> Result<Self> {
+        let budget = budget.unwrap_or(u64::MAX);
+        let mut needed = 0u64;
+        for s in 0..store.shard_count() {
+            needed = needed.max(resident_cost(
+                store.schema(),
+                store.node_count(),
+                store.edge_count(s) as usize,
+            ));
+        }
+        if budget < needed {
+            return Err(GraphError::MemoryBudgetTooSmall { needed, budget });
+        }
         let mut resident = Vec::with_capacity(store.shard_count());
         for _ in 0..store.shard_count() {
             resident.push(None);
         }
-        ShardPool {
+        Ok(ShardPool {
             store,
-            budget: budget.unwrap_or(u64::MAX),
+            budget: AtomicU64::new(budget),
+            cancel: CancelToken::default(),
             state: Mutex::new(PoolState {
                 resident,
                 tick: 0,
@@ -792,12 +911,24 @@ impl<'s> ShardPool<'s> {
                 evictions: 0,
             }),
             meter: ResidencyMeter::default(),
-        }
+        })
+    }
+
+    /// Observe `token` in the pool's blocked waits: once it trips,
+    /// [`Self::acquire`] and [`Self::reserve`] return
+    /// [`GraphError::Cancelled`] instead of waiting for room.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
     }
 
     /// The effective byte budget.
     pub fn budget(&self) -> u64 {
-        self.budget
+        // ordering: Acquire pairs with the Release store in
+        // `make_room`'s ShrinkBudget failpoint; without `fault-inject`
+        // the budget is immutable after construction and any ordering
+        // would do.
+        self.budget.load(Ordering::Acquire)
     }
 
     /// The lock-free accounting mirror.
@@ -826,7 +957,14 @@ impl<'s> ShardPool<'s> {
     /// `Ok(true)`: fits now. `Ok(false)`: blocked on pins — drop the
     /// lock and retry. `Err`: no schedule can ever fit `need`.
     fn make_room(&self, state: &mut PoolState, need: u64) -> Result<bool> {
-        while Self::accounted(state) + need > self.budget {
+        if let Some(failpoint::FaultKind::ShrinkBudget(b)) = failpoint::hit("pool.evict") {
+            // ordering: Release pairs with the Acquire in `budget()`;
+            // the injected shrink must be visible to every later
+            // budget read. Fault-injection only — the budget never
+            // changes otherwise.
+            self.budget.store(self.budget().min(b), Ordering::Release);
+        }
+        while Self::accounted(state) + need > self.budget() {
             let mut victim: Option<(usize, u64)> = None;
             for (i, slot) in state.resident.iter().enumerate() {
                 if let Some(r) = slot {
@@ -850,7 +988,7 @@ impl<'s> ShardPool<'s> {
                     if !held {
                         return Err(GraphError::MemoryBudgetTooSmall {
                             needed: need,
-                            budget: self.budget,
+                            budget: self.budget(),
                         });
                     }
                     return Ok(false);
@@ -866,6 +1004,9 @@ impl<'s> ShardPool<'s> {
     /// self-loop proves this wait is not a deadlock.
     pub fn acquire(&self, s: usize) -> Result<ShardLease<'_, 's>> {
         loop {
+            if self.cancel.is_cancelled() {
+                return Err(GraphError::Cancelled);
+            }
             {
                 let mut st = self.state.lock();
                 st.tick += 1;
@@ -920,6 +1061,9 @@ impl<'s> ShardPool<'s> {
     /// semantics as [`Self::acquire`]).
     pub fn reserve(&self, bytes: u64) -> Result<Reservation<'_, 's>> {
         loop {
+            if self.cancel.is_cancelled() {
+                return Err(GraphError::Cancelled);
+            }
             {
                 let mut st = self.state.lock();
                 if self.make_room(&mut st, bytes)? {
@@ -1137,7 +1281,7 @@ mod tests {
         let store = ShardStore::build_from_graph(&g, &dir, 2, CompactModel::MAX_EDGES).unwrap();
         let one = resident_cost(store.schema(), store.node_count(), 8);
         // Budget fits one shard at a time.
-        let pool = ShardPool::new(&store, Some(one));
+        let pool = ShardPool::new(&store, Some(one)).unwrap();
         {
             let a = pool.acquire(0).unwrap();
             assert!(a.graph().edge_count() > 0 || store.edge_count(0) == 0);
@@ -1169,16 +1313,131 @@ mod tests {
     }
 
     #[test]
-    fn pool_rejects_an_impossible_budget() {
+    fn pool_rejects_an_impossible_budget_eagerly() {
         let g = sample();
         let dir = tdir("pool_tiny");
         let store = ShardStore::build_from_graph(&g, &dir, 2, CompactModel::MAX_EDGES).unwrap();
-        let pool = ShardPool::new(&store, Some(1));
-        let err = pool.acquire(0).unwrap_err();
+        // Construction fails before any acquire: the budget cannot
+        // hold the largest shard and no eviction schedule ever will.
+        let err = ShardPool::new(&store, Some(1)).unwrap_err();
+        let max_shard = (0..store.shard_count())
+            .map(|s| {
+                resident_cost(
+                    store.schema(),
+                    store.node_count(),
+                    store.edge_count(s) as usize,
+                )
+            })
+            .max()
+            .unwrap();
+        assert!(
+            matches!(err, GraphError::MemoryBudgetTooSmall { needed, budget: 1 } if needed == max_shard),
+            "{err:?}"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("--memory-budget") && msg.contains("minimum viable"),
+            "{msg}"
+        );
+        // A budget that holds every shard but not an oversized
+        // transient reservation still fails deep, at the reservation.
+        let pool = ShardPool::new(&store, Some(max_shard)).unwrap();
+        let err = pool.reserve(max_shard + 1).unwrap_err();
         assert!(matches!(err, GraphError::MemoryBudgetTooSmall { .. }));
-        assert!(err.to_string().contains("--memory-budget"), "{err}");
-        let err = pool.reserve(2).unwrap_err();
-        assert!(matches!(err, GraphError::MemoryBudgetTooSmall { .. }));
+    }
+
+    #[test]
+    fn blocked_pool_waits_observe_cancellation() {
+        let g = sample();
+        let dir = tdir("pool_cancel");
+        let store = ShardStore::build_from_graph(&g, &dir, 2, CompactModel::MAX_EDGES).unwrap();
+        let one = (0..store.shard_count())
+            .map(|s| {
+                resident_cost(
+                    store.schema(),
+                    store.node_count(),
+                    store.edge_count(s) as usize,
+                )
+            })
+            .max()
+            .unwrap();
+        let token = CancelToken::new();
+        let pool = ShardPool::new(&store, Some(one))
+            .unwrap()
+            .with_cancel(token.clone());
+        let _pinned = pool.acquire(0).unwrap();
+        token.cancel();
+        // Shard 1 cannot fit while shard 0 stays pinned; instead of
+        // spinning forever the blocked wait returns the typed error.
+        assert!(matches!(
+            pool.acquire(1).unwrap_err(),
+            GraphError::Cancelled
+        ));
+        assert!(matches!(
+            pool.reserve(one).unwrap_err(),
+            GraphError::Cancelled
+        ));
+    }
+
+    #[test]
+    fn finish_renames_temps_and_sweeps_stale_ones() {
+        let g = sample();
+        let dir = tdir("tmp_rename");
+        // A stale temp from a crashed earlier run is swept on create.
+        fs::write(dir.join("shard-0.edges.tmp"), b"junk").unwrap();
+        let store = ShardStore::build_from_graph(&g, &dir, 2, CompactModel::MAX_EDGES).unwrap();
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert!(
+            names.iter().all(|n| !n.ends_with(".tmp")),
+            "no temps survive finish: {names:?}"
+        );
+        assert_eq!(names.len(), 2, "one spill file per shard: {names:?}");
+        assert_eq!(store.spill_retries(), 0);
+    }
+
+    #[test]
+    fn corrupted_spill_files_surface_typed_errors_on_load() {
+        let g = sample();
+        let dir = tdir("corrupt");
+        let store = ShardStore::build_from_graph(&g, &dir, 1, CompactModel::MAX_EDGES).unwrap();
+        let path = dir.join("shard-0.edges");
+        let pristine = fs::read(&path).unwrap();
+        // Flip one payload byte (header is 12 bytes, chunk length
+        // prefix 4 — byte 20 is inside the columns): checksum
+        // mismatch.
+        let mut bytes = pristine.clone();
+        bytes[20] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = store.load_shard(0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GraphError::ShardIo(ShardIoError::ChecksumMismatch { .. })
+            ),
+            "{err}"
+        );
+        // Truncate mid-structure: short read.
+        let mut bytes = pristine.clone();
+        bytes.truncate(bytes.len() - 3);
+        fs::write(&path, &bytes).unwrap();
+        let err = store.load_shard(0).unwrap_err();
+        assert!(
+            matches!(err, GraphError::ShardIo(ShardIoError::ShortRead { .. })),
+            "{err}"
+        );
+        // Destroy the header: bad magic.
+        fs::write(&path, b"NOTSPILLxxxx").unwrap();
+        let err = store.load_shard(0).unwrap_err();
+        assert!(
+            matches!(err, GraphError::ShardIo(ShardIoError::BadMagic)),
+            "{err}"
+        );
+        // Restore and the load works again — the store itself is fine.
+        fs::write(&path, &pristine).unwrap();
+        assert_eq!(edge_set(&store.load_shard(0).unwrap()), edge_set(&g));
     }
 
     #[test]
@@ -1187,7 +1446,7 @@ mod tests {
         let dir = tdir("pool_reserve");
         let store = ShardStore::build_from_graph(&g, &dir, 2, CompactModel::MAX_EDGES).unwrap();
         let one = resident_cost(store.schema(), store.node_count(), 8);
-        let pool = ShardPool::new(&store, Some(one));
+        let pool = ShardPool::new(&store, Some(one)).unwrap();
         {
             let _l = pool.acquire(0).unwrap();
         }

@@ -7,7 +7,7 @@
 //!              [--threads N | --parallel N]
 //!              [--no-steal] [--split-depth N]
 //!              [--shards N [--memory-budget BYTES]]
-//!              [--json] [--stats-json]
+//!              [--timeout MS] [--json] [--stats-json]
 //! grmine query <graph.grm> "<GR>"            # e.g. "(SEX:F) -> (EDU:Grad)"
 //! grmine gen   <pokec|dblp> <out.grm> [--scale F] [--seed N]
 //! grmine info  <graph.grm>
@@ -28,12 +28,20 @@
 //! work-stealing knobs `--no-steal`/`--split-depth` and the sequential
 //! baselines do not.
 //!
+//! `--timeout MS` bounds the mine's wall-clock time: when the deadline
+//! expires every engine drains its counters and exits with a typed
+//! `cancelled` error (exit code 1, partial `--stats-json` counters still
+//! on stdout). `--timeout 0` is a deadline that is already expired — it
+//! deterministically exercises the cancellation drain path. The
+//! baselines do not observe deadlines, so `--timeout` rejects
+//! `--baseline-bl1`/`--baseline-bl2` rather than silently ignoring them.
+//!
 //! The graph format is the self-describing GRMGRAPH text format written by
 //! `grm_graph::io` (and by `grmine gen`).
 
 use social_ties::core::baseline::{mine_baseline, BaselineKind};
-use social_ties::core::parallel::{mine_parallel_with_opts, ParallelOptions};
-use social_ties::core::{mine_sharded, parse_gr, query, Dims, ShardedError, ShardedOptions};
+use social_ties::core::parallel::{try_mine_parallel_with_opts, ParallelOptions};
+use social_ties::core::{mine_sharded, parse_gr, query, Dims, MinerError, ShardedOptions};
 use social_ties::graph::io;
 use social_ties::graph::shard::ShardStore;
 use social_ties::{generate, GrMiner, MinerConfig, RankMetric};
@@ -178,10 +186,21 @@ fn cmd_mine(args: &[String]) -> i32 {
         eprintln!("--memory-budget must be at least 1 byte (0 could hold no shard)");
         return 2;
     }
+    // `--timeout 0` is deliberately legal: a deadline that is already
+    // expired, the deterministic way to exercise the cancellation drain
+    // path (module docs).
+    let timeout_ms = match parse_flag::<u64>(args, "--timeout") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
     let mut cfg = MinerConfig {
         min_supp,
         min_score,
         k,
+        deadline_ms: timeout_ms,
         ..MinerConfig::default().with_metric(metric)
     };
     if has_flag(args, "--no-dynamic") {
@@ -227,13 +246,21 @@ fn cmd_mine(args: &[String]) -> i32 {
         eprintln!("--baseline-bl1/--baseline-bl2 are in-core; drop --shards");
         return 2;
     }
+    if timeout_ms.is_some()
+        && (has_flag(args, "--baseline-bl1") || has_flag(args, "--baseline-bl2"))
+    {
+        // The baselines never probe the deadline; accepting the flag
+        // would silently mine without a time bound.
+        eprintln!("--timeout needs a cancellable engine; drop --baseline-bl1/--baseline-bl2");
+        return 2;
+    }
     let engine = parallel.map(|threads| ParallelOptions {
         threads,
         steal: !has_flag(args, "--no-steal"),
         split_depth: split_depth.unwrap_or(social_ties::core::parallel::DEFAULT_SPLIT_DEPTH),
         ..ParallelOptions::default()
     });
-    let result = if let Some(shards) = shards {
+    let outcome = if let Some(shards) = shards {
         // Out-of-core path: spill the graph into an N-way shard store in
         // a scratch directory, mine it under the budget, and clean up.
         // The store's own files go with its `Drop`; the directory after.
@@ -259,29 +286,42 @@ fn cmd_mine(args: &[String]) -> i32 {
         let dir = store.dir().to_path_buf();
         drop(store);
         let _ = std::fs::remove_dir_all(dir);
-        match out {
-            Ok(r) => r,
-            Err(e @ ShardedError::UnsupportedMetric(_)) => {
-                eprintln!("{e}");
-                return 2;
-            }
-            Err(e) => {
-                eprintln!("sharded mine failed: {e}");
-                return 1;
-            }
-        }
+        out
     } else if let Some(opts) = engine {
         // The work-stealing engine honors `dynamic_topk` (shared bound +
         // exactness-verified post-pass), so the config passes through
         // unchanged — `--no-dynamic` controls it, exactly as
         // sequentially.
-        mine_parallel_with_opts(&graph, &cfg, &Dims::all(graph.schema()), opts)
+        try_mine_parallel_with_opts(&graph, &cfg, &Dims::all(graph.schema()), opts)
     } else if has_flag(args, "--baseline-bl1") {
-        mine_baseline(&graph, &cfg, BaselineKind::Bl1)
+        Ok(mine_baseline(&graph, &cfg, BaselineKind::Bl1))
     } else if has_flag(args, "--baseline-bl2") {
-        mine_baseline(&graph, &cfg, BaselineKind::Bl2)
+        Ok(mine_baseline(&graph, &cfg, BaselineKind::Bl2))
     } else {
-        GrMiner::new(&graph, cfg.clone()).mine()
+        GrMiner::new(&graph, cfg.clone()).try_mine()
+    };
+    let result = match outcome {
+        Ok(r) => r,
+        Err(e @ MinerError::UnsupportedMetric(_)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+        Err(e) => {
+            // Cancellation / deadline expiry / a contained worker panic:
+            // the run still drained its counters, so `--stats-json` keeps
+            // its stdout contract (one JSON stats document) while the
+            // typed error goes to stderr with a failing exit code.
+            if stats_json {
+                if let Some(partial) = e.partial_stats() {
+                    println!(
+                        "{}",
+                        serde_json::to_string(partial).expect("stats serialize")
+                    );
+                }
+            }
+            eprintln!("mine failed: {e}");
+            return 1;
+        }
     };
 
     if stats_json {

@@ -159,7 +159,9 @@ fn cli_stats_json_pins_the_counter_schema() {
         vec![
             "accepted",
             "bound_tightenings",
+            "cancel_checks",
             "elapsed",
+            "faults_injected",
             "fused_passes",
             "grs_examined",
             "heff_scans",
@@ -175,6 +177,7 @@ fn cli_stats_json_pins_the_counter_schema() {
             "shard_loads",
             "shard_resident_bytes_peak",
             "shards_built",
+            "spill_retries",
             "subtree_splits",
             "tasks_stolen",
         ],
@@ -398,13 +401,16 @@ fn cli_sharded_flag_validation() {
         assert!(!out.status.success(), "expected failure for {bad:?}");
         assert!(!out.stderr.is_empty(), "expected stderr for {bad:?}");
     }
-    // An impossible budget fails with the remedy in the message.
+    // An impossible budget fails *eagerly* — at pool construction, before
+    // any worker runs — with the minimum viable budget in the message.
     let out = grmine()
         .args(["mine", p, "--shards", "2", "--memory-budget", "1"])
         .output()
         .unwrap();
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("--memory-budget"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--memory-budget"), "got: {stderr}");
+    assert!(stderr.contains("minimum viable budget"), "got: {stderr}");
 }
 
 #[test]
@@ -511,6 +517,80 @@ fn cli_threads_zero_is_documented_auto_detect() {
     assert!(out.status.success(), "--threads 0 must run: {out:?}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("engine: threads=auto"), "got: {stderr}");
+}
+
+#[test]
+fn cli_timeout_cancels_each_engine_and_validates_strictly() {
+    let path = tmp("timeout.grm");
+    assert!(grmine()
+        .args(["gen", "dblp", path.to_str().unwrap(), "--scale", "0.03"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let p = path.to_str().unwrap();
+
+    // Malformed / conflicting uses fail loudly (exit 2, usage error).
+    for bad in [
+        vec!["mine", p, "--timeout", "soon"],
+        vec!["mine", p, "--timeout", "-5"],
+        vec!["mine", p, "--timeout"],
+        vec!["mine", p, "--timeout", "100", "--baseline-bl1"],
+        vec!["mine", p, "--timeout", "100", "--baseline-bl2"],
+    ] {
+        let out = grmine().args(&bad).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "expected usage error for {bad:?}"
+        );
+        assert!(!out.stderr.is_empty(), "expected stderr for {bad:?}");
+    }
+
+    // `--timeout 0` is an already-expired deadline: every cancellable
+    // engine must return the typed cancellation (exit 1, "cancelled" on
+    // stderr) instead of panicking or mining to completion.
+    for engine in [
+        vec![],
+        vec!["--threads", "2"],
+        vec!["--shards", "2"],
+        vec!["--shards", "2", "--threads", "2"],
+    ] {
+        let mut args = vec!["mine", p, "--min-supp", "3", "--timeout", "0"];
+        args.extend_from_slice(&engine);
+        let out = grmine().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "engine {engine:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("cancelled"), "engine {engine:?}: {stderr}");
+    }
+
+    // In --stats-json mode a cancelled mine still honors the stdout
+    // contract: one JSON document with the drained partial counters.
+    let out = grmine()
+        .args([
+            "mine",
+            p,
+            "--min-supp",
+            "3",
+            "--timeout",
+            "0",
+            "--stats-json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let partial: social_ties::MinerStats = serde_json::from_slice(&out.stdout).unwrap();
+    assert!(partial.cancel_checks > 0, "the drain carried its counters");
+
+    // A generous deadline changes nothing: same results as no deadline.
+    let run = |extra: &[&str]| -> Vec<social_ties::ScoredGr> {
+        let mut args = vec!["mine", p, "--k", "5", "--min-supp", "3", "--json"];
+        args.extend_from_slice(extra);
+        let out = grmine().args(&args).output().unwrap();
+        assert!(out.status.success(), "{out:?}");
+        serde_json::from_slice(&out.stdout).unwrap()
+    };
+    assert_eq!(run(&[]), run(&["--timeout", "600000"]));
 }
 
 #[test]
