@@ -1,0 +1,438 @@
+//! Model of the service admission-control protocol
+//! (crates/core/src/service.rs): a fixed pool of `capacity` slots
+//! guarded by one mutex, a bounded wait queue of depth `queue_depth`,
+//! and RAII release. A request's admission decision is one critical
+//! section: take a free slot, or join the queue if it has room, or be
+//! shed with a typed `Overloaded` response. A queued request leaves by
+//! taking a freed slot or by cancelling (client disconnect, deadline,
+//! daemon shutdown); a slot holder leaves by completing, cancelling
+//! mid-mine, or panicking — and on *every* one of those paths the slot
+//! returns to the pool exactly once, because the release lives in a
+//! guard's `Drop` and the panic unwinds through `catch_unwind`.
+//!
+//! The model's atomic actions mirror the code's critical sections: the
+//! arrive/decide step is one action (one `Mutex` lock), the queue take
+//! is one action (the post-condvar-wake recheck under the same lock),
+//! and each exit path is one action (the guard drop). Worker outcomes
+//! (complete / cancel / panic) are scripted per requester so every
+//! combination of exit paths is explored against every interleaving.
+//!
+//! Checked invariants:
+//! 1. **Slot conservation**: `available + holders == capacity` in every
+//!    reachable state — a slot is never minted and never lost. The
+//!    [`Variant::LeakOnPanic`] and [`Variant::DoubleRelease`]
+//!    teeth-checks break this in opposite directions.
+//! 2. **Queue accounting**: the waiting counter equals the number of
+//!    queued requesters, so shedding decisions are made against the
+//!    true queue depth. The [`Variant::LeakQueueOnCancel`] teeth-check
+//!    leaves a phantom waiter behind and is refuted.
+//! 3. **Shed only under pressure**: a request is shed only when no slot
+//!    was free *and* the queue was full at its decision point.
+//! 4. **No lost slot at quiescence** (terminal): every requester
+//!    reached a decision (served, cancelled, or shed), the pool is
+//!    back to `available == capacity`, and the queue is empty.
+
+use super::sched::{self, Model};
+use super::Report;
+
+/// Which protocol to check.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Variant {
+    /// The shipped RAII slot-accounting protocol.
+    Correct,
+    /// A panicking worker's unwind path skips the slot release — the
+    /// pool shrinks by one on every panic.
+    LeakOnPanic,
+    /// A queued requester that cancels forgets to decrement the waiting
+    /// counter — later arrivals are shed against a phantom queue.
+    LeakQueueOnCancel,
+    /// The cancel path releases the slot explicitly *and* the guard
+    /// releases it again — the pool grows past capacity.
+    DoubleRelease,
+}
+
+/// What a requester is scripted to do once it holds a slot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Outcome {
+    /// Mine to completion, release via guard drop.
+    Complete,
+    /// Observe its cancel token mid-mine, drain, release via guard drop.
+    Cancel,
+    /// Panic mid-mine, release via the unwind path.
+    Panic,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Pc {
+    /// About to run the arrive/decide critical section.
+    Arrive,
+    /// In the bounded queue, waiting for a freed slot (or cancelling).
+    Queued,
+    /// Holding a slot, mining.
+    Holding,
+    /// Decided: served, cancelled, or shed.
+    Done,
+}
+
+/// Model state.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AdmissionModel {
+    variant: Variant,
+    capacity: u8,
+    queue_depth: u8,
+    /// Free slots (the mutex-guarded counter).
+    available: u8,
+    /// The mutex-guarded waiting counter the shed decision reads.
+    waiting: u8,
+    pc: Vec<Pc>,
+    /// Scripted slot-holder outcome per requester.
+    script: Vec<Outcome>,
+    /// Requesters shed with `Overloaded`.
+    shed: u8,
+    /// Sticky witness: a shed happened while a slot was free or the
+    /// true queue had room (checked against pc, not `waiting`).
+    bad_shed: bool,
+}
+
+impl AdmissionModel {
+    /// `scripts.len()` requesters over `capacity` slots and a queue of
+    /// depth `queue_depth`; each requester follows its scripted outcome
+    /// if and when it gets a slot.
+    pub fn new(variant: Variant, capacity: u8, queue_depth: u8, scripts: &[Outcome]) -> Self {
+        AdmissionModel {
+            variant,
+            capacity,
+            queue_depth,
+            available: capacity,
+            waiting: 0,
+            pc: vec![Pc::Arrive; scripts.len()],
+            script: scripts.to_vec(),
+            shed: 0,
+            bad_shed: false,
+        }
+    }
+
+    fn holders(&self) -> u8 {
+        self.pc.iter().filter(|p| **p == Pc::Holding).count() as u8
+    }
+
+    fn queued(&self) -> u8 {
+        self.pc.iter().filter(|p| **p == Pc::Queued).count() as u8
+    }
+}
+
+impl Model for AdmissionModel {
+    fn threads(&self) -> usize {
+        self.pc.len()
+    }
+
+    fn runnable(&self, tid: usize) -> bool {
+        match self.pc[tid] {
+            Pc::Done => false,
+            // A queued requester can always cancel (disconnect can
+            // happen any time), so the condvar wait is never a
+            // deadlock in the model; taking a slot additionally needs
+            // one free.
+            _ => true,
+        }
+    }
+
+    fn step(&self, tid: usize) -> Vec<(String, Self)> {
+        match self.pc[tid] {
+            Pc::Done => Vec::new(),
+            Pc::Arrive => {
+                // One critical section: take / queue / shed.
+                let mut s = self.clone();
+                if self.available > 0 {
+                    s.available -= 1;
+                    s.pc[tid] = Pc::Holding;
+                    vec![(format!("r{tid}:admit (slot taken)"), s)]
+                } else if self.waiting < self.queue_depth {
+                    s.waiting += 1;
+                    s.pc[tid] = Pc::Queued;
+                    vec![(format!("r{tid}:queue"), s)]
+                } else {
+                    s.shed += 1;
+                    s.pc[tid] = Pc::Done;
+                    // Shed legitimacy is judged against the *true*
+                    // occupancy, not the (possibly leaked) counter.
+                    if self.available > 0 || self.queued() < self.queue_depth {
+                        s.bad_shed = true;
+                    }
+                    vec![(format!("r{tid}:shed (Overloaded)"), s)]
+                }
+            }
+            Pc::Queued => {
+                let mut next = Vec::with_capacity(2);
+                if self.available > 0 {
+                    // The post-wake recheck under the lock.
+                    let mut s = self.clone();
+                    s.available -= 1;
+                    s.waiting -= 1;
+                    s.pc[tid] = Pc::Holding;
+                    next.push((format!("r{tid}:wake → take slot"), s));
+                }
+                // Cancellation is always possible while queued.
+                let mut s = self.clone();
+                if self.variant != Variant::LeakQueueOnCancel {
+                    s.waiting -= 1;
+                }
+                s.pc[tid] = Pc::Done;
+                let label = if self.variant == Variant::LeakQueueOnCancel {
+                    format!("r{tid}:cancel in queue WITHOUT leaving the count")
+                } else {
+                    format!("r{tid}:cancel in queue")
+                };
+                next.push((label, s));
+                next
+            }
+            Pc::Holding => {
+                let mut s = self.clone();
+                let label = match self.script[tid] {
+                    Outcome::Complete => {
+                        s.available += 1;
+                        format!("r{tid}:complete → guard releases slot")
+                    }
+                    Outcome::Cancel => {
+                        s.available += 1;
+                        if self.variant == Variant::DoubleRelease {
+                            // Broken: explicit release on the cancel
+                            // path *plus* the guard's.
+                            s.available += 1;
+                        }
+                        format!("r{tid}:cancelled mid-mine → drain, release")
+                    }
+                    Outcome::Panic => {
+                        if self.variant != Variant::LeakOnPanic {
+                            s.available += 1;
+                        }
+                        if self.variant == Variant::LeakOnPanic {
+                            format!("r{tid}:panic → unwind WITHOUT release")
+                        } else {
+                            format!("r{tid}:panic → unwind releases slot")
+                        }
+                    }
+                };
+                s.pc[tid] = Pc::Done;
+                vec![(label, s)]
+            }
+        }
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        if self.available > self.capacity {
+            return Err(format!(
+                "slot minted: {} available with capacity {}",
+                self.available, self.capacity
+            ));
+        }
+        if self.available + self.holders() != self.capacity {
+            return Err(format!(
+                "slot leaked: available={} + holders={} != capacity={}",
+                self.available,
+                self.holders(),
+                self.capacity
+            ));
+        }
+        if self.waiting != self.queued() {
+            return Err(format!(
+                "queue accounting drift: waiting counter {} but {} requesters queued",
+                self.waiting,
+                self.queued()
+            ));
+        }
+        if self.bad_shed {
+            return Err(
+                "shed without pressure: Overloaded while a slot or queue spot was free".to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    fn expects_termination(&self) -> bool {
+        // A stuck state with an undecided requester would be a lost
+        // wakeup; the cancel edge keeps `Queued` always runnable, so
+        // the shipped protocol never deadlocks — but a variant must
+        // not get away with one either.
+        self.pc.iter().all(|p| *p == Pc::Done)
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        if self.pc.iter().any(|p| *p != Pc::Done) {
+            return Err("terminal state with an undecided requester".to_string());
+        }
+        if self.available != self.capacity {
+            return Err(format!(
+                "lost slot at quiescence: {} of {} slots returned",
+                self.available, self.capacity
+            ));
+        }
+        if self.waiting != 0 {
+            return Err(format!(
+                "phantom waiter at quiescence: waiting counter stuck at {}",
+                self.waiting
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The verification runs: the shipped protocol proved across every exit
+/// path (complete / cancel / panic) under contention and queue pressure
+/// (plus, when `deep`, a larger configuration), and all three broken
+/// variants refuted.
+pub fn suite(deep: bool) -> Vec<Report> {
+    use Outcome::{Cancel, Complete, Panic};
+    let mut reports = vec![
+        Report {
+            name: "admission: correct, 1 slot, queue 1, complete/panic/cancel burst",
+            expect_flaw: false,
+            outcome: sched::explore(
+                AdmissionModel::new(Variant::Correct, 1, 1, &[Complete, Panic, Cancel]),
+                2_000_000,
+            ),
+        },
+        Report {
+            name: "admission: correct, 2 slots, queue 1, all exit paths",
+            expect_flaw: false,
+            outcome: sched::explore(
+                AdmissionModel::new(Variant::Correct, 2, 1, &[Panic, Cancel, Complete, Panic]),
+                2_000_000,
+            ),
+        },
+        Report {
+            name: "admission: leak-on-panic is refuted",
+            expect_flaw: true,
+            outcome: sched::explore(
+                AdmissionModel::new(Variant::LeakOnPanic, 1, 1, &[Panic, Complete, Complete]),
+                2_000_000,
+            ),
+        },
+        Report {
+            name: "admission: leak-queue-on-cancel is refuted",
+            expect_flaw: true,
+            outcome: sched::explore(
+                AdmissionModel::new(
+                    Variant::LeakQueueOnCancel,
+                    1,
+                    1,
+                    &[Complete, Cancel, Complete],
+                ),
+                2_000_000,
+            ),
+        },
+        Report {
+            name: "admission: double-release is refuted",
+            expect_flaw: true,
+            outcome: sched::explore(
+                AdmissionModel::new(Variant::DoubleRelease, 1, 1, &[Cancel, Complete, Complete]),
+                2_000_000,
+            ),
+        },
+    ];
+    if deep {
+        reports.push(Report {
+            name: "admission: correct, 2 slots, queue 2, 5-requester burst",
+            expect_flaw: false,
+            outcome: sched::explore(
+                AdmissionModel::new(
+                    Variant::Correct,
+                    2,
+                    2,
+                    &[Complete, Panic, Cancel, Complete, Panic],
+                ),
+                8_000_000,
+            ),
+        });
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::sched::Outcome as Verdict;
+    use super::*;
+
+    #[test]
+    fn fast_suite_holds() {
+        for r in suite(false) {
+            assert!(
+                r.ok(),
+                "{}: unexpected outcome {:?}",
+                r.name,
+                match r.outcome {
+                    Verdict::Proved { states } => format!("proved ({states})"),
+                    Verdict::Flaw(ref ce) => format!("flaw: {} via {:?}", ce.reason, ce.trace),
+                    Verdict::Truncated { states } => format!("truncated ({states})"),
+                }
+            );
+        }
+    }
+
+    #[cfg(feature = "model-check")]
+    #[test]
+    fn deep_suite_holds() {
+        for r in suite(true) {
+            assert!(r.ok(), "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn panic_leak_counterexample_names_the_bug() {
+        let out = sched::explore(
+            AdmissionModel::new(
+                Variant::LeakOnPanic,
+                1,
+                1,
+                &[Outcome::Panic, Outcome::Complete],
+            ),
+            2_000_000,
+        );
+        match out {
+            Verdict::Flaw(ce) => assert!(ce.reason.contains("slot leaked"), "{}", ce.reason),
+            other => panic!("expected slot-leak flaw, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_leak_counterexample_names_the_bug() {
+        let out = sched::explore(
+            AdmissionModel::new(
+                Variant::LeakQueueOnCancel,
+                1,
+                1,
+                &[Outcome::Complete, Outcome::Cancel],
+            ),
+            2_000_000,
+        );
+        match out {
+            Verdict::Flaw(ce) => assert!(
+                ce.reason.contains("queue accounting drift") || ce.reason.contains("phantom"),
+                "{}",
+                ce.reason
+            ),
+            other => panic!("expected queue-drift flaw, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_release_counterexample_names_the_bug() {
+        let out = sched::explore(
+            AdmissionModel::new(
+                Variant::DoubleRelease,
+                1,
+                0,
+                &[Outcome::Cancel, Outcome::Complete],
+            ),
+            2_000_000,
+        );
+        match out {
+            Verdict::Flaw(ce) => assert!(
+                ce.reason.contains("slot minted") || ce.reason.contains("slot leaked"),
+                "{}",
+                ce.reason
+            ),
+            other => panic!("expected minted-slot flaw, got {other:?}"),
+        }
+    }
+}

@@ -43,14 +43,35 @@
 //! refutes the exit-without-drain, double-drain, and
 //! panic-skips-publish variants.
 //!
+//! [`admission`] models the service admission-control protocol of
+//! [`service.rs`](../../core/src/service.rs): one mutex-guarded slot
+//! pool with a bounded wait queue, typed `Overloaded` shedding, and
+//! RAII release on every exit path (complete, cancel, panic). It
+//! proves slot conservation (`available + holders == capacity`
+//! always), true queue accounting, shed-only-under-pressure, and a
+//! full pool at quiescence — and refutes the leak-on-panic,
+//! leak-queue-on-cancel, and double-release variants.
+//!
+//! [`singleflight`] models the result cache's single-flight
+//! publication protocol of [`service.rs`](../../core/src/service.rs):
+//! probe/install under one lock, leader mines, publish-or-abandon with
+//! `notify_all`, followers recheck under the lock on every wake. It
+//! proves at most one leader mines a key at a time, every served value
+//! is the published one, a failed leader hands off to exactly one
+//! follower, and coalescing is real (one mine per key absent failures)
+//! — and refutes the late-insert (double mine), fail-leaves-InFlight
+//! (stuck followers), and serve-without-recheck variants.
+//!
 //! Small configurations run in plain `cargo test`; the larger sweeps are
 //! behind the `model-check` feature (CI's deep leg) and all of them run
 //! via `grm-analyze model`.
 
+pub mod admission;
 pub mod bound;
 pub mod cancel;
 pub mod sched;
 pub mod shard;
+pub mod singleflight;
 pub mod term;
 
 use sched::Outcome;
@@ -84,5 +105,7 @@ pub fn full_suite() -> Vec<Report> {
     reports.extend(term::suite(true));
     reports.extend(shard::suite(true));
     reports.extend(cancel::suite(true));
+    reports.extend(admission::suite(true));
+    reports.extend(singleflight::suite(true));
     reports
 }

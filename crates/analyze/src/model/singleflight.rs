@@ -1,0 +1,394 @@
+//! Model of the result-cache single-flight publication protocol
+//! (crates/core/src/service.rs): concurrent identical mine requests
+//! coalesce onto one mine. The cache slot for a key is `Absent`,
+//! `InFlight`, or `Ready(value)` under one mutex; a requester that
+//! finds it `Absent` installs `InFlight` and becomes the *leader* (it
+//! mines); one that finds `InFlight` becomes a *follower* and waits on
+//! the condvar; one that finds `Ready` is served the published value. A
+//! leader that completes publishes `Ready` and wakes every follower; a
+//! leader that fails (cancel, panic, typed error) *abandons* — removes
+//! the `InFlight` entry and wakes every follower, so exactly one of
+//! them re-takes leadership and the rest keep waiting. Followers
+//! re-check the slot under the lock on every wake (no trust in the
+//! wake itself).
+//!
+//! The model's atomic actions mirror the code's critical sections: the
+//! probe/install step is one action (one `Mutex` lock), the publish /
+//! abandon is one action (lock, update, `notify_all`), and a follower
+//! wake is one action (the post-wake recheck under the lock — runnable
+//! only once the slot has left `InFlight`, which is exactly the
+//! condvar-with-recheck discipline; a lost wakeup would show up as a
+//! model deadlock).
+//!
+//! Checked invariants:
+//! 1. **Single flight**: at most one requester is mining a key at any
+//!    moment. The [`Variant::LateInsert`] teeth-check installs the
+//!    entry only at publish time and lets two leaders mine at once.
+//! 2. **Served values are published values**: every served requester
+//!    observed the mined value, never an unset slot. The
+//!    [`Variant::ServeWithoutRecheck`] teeth-check trusts the wake and
+//!    serves whatever is there.
+//! 3. **Failure frees the key**: after a leader fails, followers make
+//!    progress (one re-leads). The [`Variant::FailLeavesInFlight`]
+//!    teeth-check leaves the tombstone `InFlight` and deadlocks its
+//!    followers — caught by the explorer's stuck-state detection.
+//! 4. **Coalescing is real** (terminal): with no scripted failures,
+//!    exactly one mine ran no matter how many requesters raced.
+
+use super::sched::{self, Model};
+use super::Report;
+
+/// Which protocol to check.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Variant {
+    /// The shipped single-flight protocol.
+    Correct,
+    /// The leader installs the `InFlight` entry only when it publishes
+    /// — two racing requesters both find `Absent` and both mine.
+    LateInsert,
+    /// A failing leader leaves the `InFlight` entry behind — followers
+    /// wait forever on a mine nobody is running.
+    FailLeavesInFlight,
+    /// A woken follower serves the slot without rechecking it — after a
+    /// leader failure it serves an unset value.
+    ServeWithoutRecheck,
+}
+
+/// The cache slot for the (single modeled) key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Slot {
+    Absent,
+    InFlight,
+    Ready(u8),
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Pc {
+    /// About to run the probe/install critical section.
+    Probe,
+    /// Leading: mining the value.
+    Mine,
+    /// Following: waiting for the slot to leave `InFlight`.
+    Wait,
+    /// Served (`Some(value)`) or failed (`None`).
+    Done(Option<u8>),
+}
+
+/// Model state.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SingleFlightModel {
+    variant: Variant,
+    slot: Slot,
+    pc: Vec<Pc>,
+    /// Scripted failure: requester `tid` fails if it ever leads.
+    fails: Vec<bool>,
+    /// Mines started (the expensive operation being deduplicated).
+    mines: u8,
+}
+
+impl SingleFlightModel {
+    /// One requester per entry of `fails`; requester `tid` is scripted
+    /// to fail (cancel/panic/typed error) if it ever becomes leader.
+    pub fn new(variant: Variant, fails: &[bool]) -> Self {
+        SingleFlightModel {
+            variant,
+            slot: Slot::Absent,
+            pc: vec![Pc::Probe; fails.len()],
+            fails: fails.to_vec(),
+            mines: 0,
+        }
+    }
+
+    /// The deterministic mined value (a mine is a pure function of the
+    /// config, so every successful leader produces the same value).
+    const VALUE: u8 = 7;
+
+    fn miners(&self) -> usize {
+        self.pc.iter().filter(|p| **p == Pc::Mine).count()
+    }
+}
+
+impl Model for SingleFlightModel {
+    fn threads(&self) -> usize {
+        self.pc.len()
+    }
+
+    fn runnable(&self, tid: usize) -> bool {
+        match self.pc[tid] {
+            Pc::Done(_) => false,
+            // The condvar-with-recheck discipline: a follower only runs
+            // once the slot has left `InFlight` (publish or abandon
+            // notified it). If the slot is stuck `InFlight` with no
+            // leader, the model deadlocks — which is the bug.
+            Pc::Wait => self.slot != Slot::InFlight,
+            _ => true,
+        }
+    }
+
+    fn step(&self, tid: usize) -> Vec<(String, Self)> {
+        match self.pc[tid] {
+            Pc::Done(_) => Vec::new(),
+            Pc::Probe => {
+                let mut s = self.clone();
+                match self.slot {
+                    Slot::Ready(v) => {
+                        s.pc[tid] = Pc::Done(Some(v));
+                        vec![(format!("r{tid}:probe → hit"), s)]
+                    }
+                    Slot::InFlight => {
+                        s.pc[tid] = Pc::Wait;
+                        vec![(format!("r{tid}:probe → coalesce, wait"), s)]
+                    }
+                    Slot::Absent => {
+                        if self.variant != Variant::LateInsert {
+                            s.slot = Slot::InFlight;
+                        }
+                        s.pc[tid] = Pc::Mine;
+                        let label = if self.variant == Variant::LateInsert {
+                            format!("r{tid}:probe → lead WITHOUT installing InFlight")
+                        } else {
+                            format!("r{tid}:probe → install InFlight, lead")
+                        };
+                        vec![(label, s)]
+                    }
+                }
+            }
+            Pc::Mine => {
+                let mut s = self.clone();
+                s.mines += 1;
+                if self.fails[tid] {
+                    // The leader's mine fails (cancel / panic / typed
+                    // error): abandon the entry and wake the followers.
+                    if self.variant != Variant::FailLeavesInFlight {
+                        s.slot = Slot::Absent;
+                    }
+                    s.pc[tid] = Pc::Done(None);
+                    let label = if self.variant == Variant::FailLeavesInFlight {
+                        format!("r{tid}:mine fails → exit LEAVING InFlight")
+                    } else {
+                        format!("r{tid}:mine fails → abandon entry, notify")
+                    };
+                    vec![(label, s)]
+                } else {
+                    s.slot = Slot::Ready(Self::VALUE);
+                    s.pc[tid] = Pc::Done(Some(Self::VALUE));
+                    vec![(format!("r{tid}:mine → publish Ready, notify"), s)]
+                }
+            }
+            Pc::Wait => {
+                let mut s = self.clone();
+                match self.slot {
+                    Slot::Ready(v) => {
+                        s.pc[tid] = Pc::Done(Some(v));
+                        vec![(format!("r{tid}:wake → recheck, hit"), s)]
+                    }
+                    Slot::Absent => {
+                        if self.variant == Variant::ServeWithoutRecheck {
+                            // Broken: trust the wake, serve the unset
+                            // slot.
+                            s.pc[tid] = Pc::Done(Some(0));
+                            vec![(format!("r{tid}:wake → serve WITHOUT recheck"), s)]
+                        } else {
+                            // The leader failed: exactly this follower
+                            // (the first to re-acquire the lock)
+                            // re-takes leadership.
+                            s.slot = Slot::InFlight;
+                            s.pc[tid] = Pc::Mine;
+                            vec![(format!("r{tid}:wake → entry gone, re-lead"), s)]
+                        }
+                    }
+                    // Unreachable under `runnable`, kept total.
+                    Slot::InFlight => Vec::new(),
+                }
+            }
+        }
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        if self.miners() > 1 {
+            return Err(format!(
+                "single-flight broken: {} requesters mining the same key at once",
+                self.miners()
+            ));
+        }
+        for (tid, pc) in self.pc.iter().enumerate() {
+            if let Pc::Done(Some(v)) = pc {
+                if *v != Self::VALUE {
+                    return Err(format!(
+                        "served unpublished value: r{tid} got {v} (mined value is {})",
+                        Self::VALUE
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn expects_termination(&self) -> bool {
+        // A stuck state with an unserved requester (a follower waiting
+        // on an `InFlight` nobody is mining) is a deadlock, not a
+        // legitimate terminal.
+        self.pc.iter().all(|p| matches!(p, Pc::Done(_)))
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        if self.pc.iter().any(|p| !matches!(p, Pc::Done(_))) {
+            return Err("terminal state with an unserved requester".to_string());
+        }
+        // Every requester either failed as a leader or was served the
+        // published value (checked by the invariant); and coalescing is
+        // real: successful mines beyond the failures are exactly one.
+        let failures = self
+            .pc
+            .iter()
+            .filter(|p| matches!(p, Pc::Done(None)))
+            .count() as u8;
+        let any_served = self.pc.iter().any(|p| matches!(p, Pc::Done(Some(_))));
+        if any_served && self.mines != failures + 1 {
+            return Err(format!(
+                "coalescing failed: {} mines for {} leader failures (want {})",
+                self.mines,
+                failures,
+                failures + 1
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The verification runs: the shipped protocol proved with clean and
+/// failing leaders under contention (plus, when `deep`, a larger
+/// configuration), and all three broken variants refuted.
+pub fn suite(deep: bool) -> Vec<Report> {
+    let mut reports = vec![
+        Report {
+            name: "single-flight: correct, 3 requesters, clean leader",
+            expect_flaw: false,
+            outcome: sched::explore(
+                SingleFlightModel::new(Variant::Correct, &[false, false, false]),
+                2_000_000,
+            ),
+        },
+        Report {
+            name: "single-flight: correct, failing leader hands off to a follower",
+            expect_flaw: false,
+            outcome: sched::explore(
+                SingleFlightModel::new(Variant::Correct, &[true, false, false]),
+                2_000_000,
+            ),
+        },
+        Report {
+            name: "single-flight: late-insert (double mine) is refuted",
+            expect_flaw: true,
+            outcome: sched::explore(
+                SingleFlightModel::new(Variant::LateInsert, &[false, false]),
+                2_000_000,
+            ),
+        },
+        Report {
+            name: "single-flight: fail-leaves-InFlight (stuck followers) is refuted",
+            expect_flaw: true,
+            outcome: sched::explore(
+                SingleFlightModel::new(Variant::FailLeavesInFlight, &[true, false]),
+                2_000_000,
+            ),
+        },
+        Report {
+            name: "single-flight: serve-without-recheck is refuted",
+            expect_flaw: true,
+            outcome: sched::explore(
+                SingleFlightModel::new(Variant::ServeWithoutRecheck, &[true, false]),
+                2_000_000,
+            ),
+        },
+    ];
+    if deep {
+        reports.push(Report {
+            name: "single-flight: correct, 4 requesters, two failing leaders",
+            expect_flaw: false,
+            outcome: sched::explore(
+                SingleFlightModel::new(Variant::Correct, &[true, true, false, false]),
+                8_000_000,
+            ),
+        });
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::sched::Outcome as Verdict;
+    use super::*;
+
+    #[test]
+    fn fast_suite_holds() {
+        for r in suite(false) {
+            assert!(
+                r.ok(),
+                "{}: unexpected outcome {:?}",
+                r.name,
+                match r.outcome {
+                    Verdict::Proved { states } => format!("proved ({states})"),
+                    Verdict::Flaw(ref ce) => format!("flaw: {} via {:?}", ce.reason, ce.trace),
+                    Verdict::Truncated { states } => format!("truncated ({states})"),
+                }
+            );
+        }
+    }
+
+    #[cfg(feature = "model-check")]
+    #[test]
+    fn deep_suite_holds() {
+        for r in suite(true) {
+            assert!(r.ok(), "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn double_mine_counterexample_names_the_bug() {
+        let out = sched::explore(
+            SingleFlightModel::new(Variant::LateInsert, &[false, false]),
+            2_000_000,
+        );
+        match out {
+            Verdict::Flaw(ce) => assert!(
+                ce.reason.contains("single-flight broken") || ce.reason.contains("coalescing"),
+                "{}",
+                ce.reason
+            ),
+            other => panic!("expected single-flight flaw, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stuck_followers_counterexample_is_a_deadlock() {
+        let out = sched::explore(
+            SingleFlightModel::new(Variant::FailLeavesInFlight, &[true, false]),
+            2_000_000,
+        );
+        match out {
+            Verdict::Flaw(ce) => assert!(
+                ce.reason.contains("deadlock") || ce.reason.contains("stuck"),
+                "{}",
+                ce.reason
+            ),
+            other => panic!("expected deadlock flaw, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unset_serve_counterexample_names_the_bug() {
+        let out = sched::explore(
+            SingleFlightModel::new(Variant::ServeWithoutRecheck, &[true, false]),
+            2_000_000,
+        );
+        match out {
+            Verdict::Flaw(ce) => assert!(
+                ce.reason.contains("served unpublished value"),
+                "{}",
+                ce.reason
+            ),
+            other => panic!("expected unpublished-value flaw, got {other:?}"),
+        }
+    }
+}

@@ -68,6 +68,7 @@ pub mod parallel;
 pub mod parse;
 pub mod query;
 pub mod reference;
+pub mod service;
 pub mod sharded;
 pub mod stats;
 pub mod tail;
@@ -81,6 +82,7 @@ pub use gr::{Gr, GrBuilder, ScoredGr};
 pub use metrics::{MetricInputs, RankMetric};
 pub use miner::{GrMiner, MineResult};
 pub use parse::parse_gr;
+pub use service::{Service, ServiceConfig};
 pub use sharded::{mine_sharded, ShardedError, ShardedOptions};
 pub use stats::MinerStats;
 pub use tail::Dims;

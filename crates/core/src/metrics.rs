@@ -152,6 +152,23 @@ impl RankMetric {
     pub fn excludes_homophily(self) -> bool {
         matches!(self, RankMetric::Nhp)
     }
+
+    /// Parse the user-facing metric name shared by the `grmine` CLI and
+    /// the `grmined` request protocol (`None` for an unknown name).
+    /// Parameterized metrics get the paper's constants (`laplace` k=2,
+    /// `gain` θ=0.5).
+    pub fn from_name(name: &str) -> Option<RankMetric> {
+        Some(match name {
+            "nhp" => RankMetric::Nhp,
+            "conf" => RankMetric::Conf,
+            "laplace" => RankMetric::Laplace { k: 2 },
+            "gain" => RankMetric::Gain { theta: 0.5 },
+            "ps" => RankMetric::PiatetskyShapiro,
+            "conviction" => RankMetric::Conviction,
+            "lift" => RankMetric::Lift,
+            _ => return None,
+        })
+    }
 }
 
 impl std::fmt::Display for RankMetric {

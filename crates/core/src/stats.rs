@@ -101,6 +101,24 @@ pub struct MinerStats {
     /// chunk. A *work* counter: zero for in-core runs and fault-free
     /// sharded runs.
     pub spill_retries: u64,
+    /// Requests the GR service (`grm_core::service`) answered with a
+    /// success response — any request type, over the daemon's lifetime.
+    /// A *work* counter: zero outside service mode, and aggregated in
+    /// the service's long-lived stats, never in a single mine's.
+    pub requests_served: u64,
+    /// Requests the service's admission controller shed with a typed
+    /// `Overloaded` response (no slot free, bounded queue full). A
+    /// *work* counter: purely a function of concurrent load.
+    pub requests_shed: u64,
+    /// Mine requests served straight from the deterministic result
+    /// cache (a mine is a pure function of its config). A *work*
+    /// counter: depends on request history, not mining semantics.
+    pub cache_hits: u64,
+    /// Mine requests that coalesced onto another request's in-flight
+    /// identical mine (single-flight deduplication) instead of mining
+    /// themselves. A *work* counter: purely a function of request
+    /// timing.
+    pub cache_coalesced: u64,
     /// Wall-clock time of the run.
     #[serde(with = "duration_serde")]
     pub elapsed: Duration,
@@ -134,6 +152,10 @@ impl MinerStats {
         self.cancel_checks += other.cancel_checks;
         self.faults_injected += other.faults_injected;
         self.spill_retries += other.spill_retries;
+        self.requests_served += other.requests_served;
+        self.requests_shed += other.requests_shed;
+        self.cache_hits += other.cache_hits;
+        self.cache_coalesced += other.cache_coalesced;
         self.elapsed = self.elapsed.max(other.elapsed);
     }
 
@@ -174,6 +196,10 @@ impl MinerStats {
             cancel_checks: 0,
             faults_injected: 0,
             spill_retries: 0,
+            requests_served: 0,
+            requests_shed: 0,
+            cache_hits: 0,
+            cache_coalesced: 0,
             elapsed: Duration::ZERO,
         }
     }
@@ -183,7 +209,7 @@ impl std::fmt::Display for MinerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "partitions={} grs={} pruned_supp={} pruned_score={} trivial={} general={} accepted={} heff_scans={} passes={} fused={} kernel_batches={} scratch_peak={} stolen={} splits={} tightenings={} shards={} shard_loads={} shard_evictions={} shard_peak={} cancel_checks={} faults_injected={} spill_retries={} elapsed={:?}",
+            "partitions={} grs={} pruned_supp={} pruned_score={} trivial={} general={} accepted={} heff_scans={} passes={} fused={} kernel_batches={} scratch_peak={} stolen={} splits={} tightenings={} shards={} shard_loads={} shard_evictions={} shard_peak={} cancel_checks={} faults_injected={} spill_retries={} requests_served={} requests_shed={} cache_hits={} cache_coalesced={} elapsed={:?}",
             self.partitions_examined,
             self.grs_examined,
             self.pruned_by_supp,
@@ -206,6 +232,10 @@ impl std::fmt::Display for MinerStats {
             self.cancel_checks,
             self.faults_injected,
             self.spill_retries,
+            self.requests_served,
+            self.requests_shed,
+            self.cache_hits,
+            self.cache_coalesced,
             self.elapsed
         )
     }
@@ -377,6 +407,34 @@ mod tests {
         assert_eq!(sem.cancel_checks, 0);
         assert_eq!(sem.faults_injected, 0);
         assert_eq!(sem.spill_retries, 0);
+    }
+
+    #[test]
+    fn merge_adds_service_counters_and_semantic_clears_them() {
+        let mut a = MinerStats {
+            requests_served: 10,
+            requests_shed: 2,
+            cache_hits: 4,
+            cache_coalesced: 1,
+            ..Default::default()
+        };
+        let b = MinerStats {
+            requests_served: 5,
+            requests_shed: 1,
+            cache_hits: 2,
+            cache_coalesced: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.requests_served, 15);
+        assert_eq!(a.requests_shed, 3);
+        assert_eq!(a.cache_hits, 6);
+        assert_eq!(a.cache_coalesced, 4);
+        let sem = a.semantic();
+        assert_eq!(sem.requests_served, 0);
+        assert_eq!(sem.requests_shed, 0);
+        assert_eq!(sem.cache_hits, 0);
+        assert_eq!(sem.cache_coalesced, 0);
     }
 
     #[test]

@@ -23,6 +23,21 @@ struct Inner {
     /// self-tripping is disabled. A deterministic test aid: see
     /// [`CancelToken::tripping_after`].
     trip_after: AtomicI64,
+    /// The parent this token is linked to (see
+    /// [`CancelToken::child`]): a probe that finds the own flag clear
+    /// walks up the chain, so tripping any ancestor cancels the whole
+    /// subtree while a child's own flag never propagates upward.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn new(trip_after: i64, parent: Option<Arc<Inner>>) -> Arc<Inner> {
+        Arc::new(Inner {
+            cancelled: AtomicBool::new(false),
+            trip_after: AtomicI64::new(trip_after),
+            parent,
+        })
+    }
 }
 
 /// A shared, cloneable cancellation flag. Clones observe the same flag;
@@ -37,10 +52,7 @@ impl CancelToken {
     /// [`cancel`](Self::cancel).
     pub fn new() -> Self {
         CancelToken {
-            inner: Some(Arc::new(Inner {
-                cancelled: AtomicBool::new(false),
-                trip_after: AtomicI64::new(-1),
-            })),
+            inner: Some(Inner::new(-1, None)),
         }
     }
 
@@ -51,10 +63,27 @@ impl CancelToken {
     /// depth N" reproducibly.
     pub fn tripping_after(checks: u64) -> Self {
         CancelToken {
-            inner: Some(Arc::new(Inner {
-                cancelled: AtomicBool::new(false),
-                trip_after: AtomicI64::new(checks.min(i64::MAX as u64) as i64),
-            })),
+            inner: Some(Inner::new(checks.min(i64::MAX as u64) as i64, None)),
+        }
+    }
+
+    /// A *linked* child token: tripping the parent (or any ancestor)
+    /// cancels the child, but cancelling the child never touches the
+    /// parent. This is the daemon's request fan-out shape — daemon
+    /// shutdown token → per-connection token → per-request token → the
+    /// engine's deadline/panic trips — where a panicking worker must
+    /// cancel its own request's siblings without killing the
+    /// connection or the daemon.
+    ///
+    /// A child of the inert token is a fresh independent real token
+    /// (there is no parent flag to link to). Parent chains are walked
+    /// on probe with plain `Acquire` loads; an ancestor's
+    /// [`tripping_after`](Self::tripping_after) counter is *not*
+    /// consumed by child probes — the scripted trip stays deterministic
+    /// in the clone set it was armed on.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Some(Inner::new(-1, self.inner.clone())),
         }
     }
 
@@ -102,6 +131,26 @@ impl CancelToken {
         // drain once, exit" loop-top step.
         if inner.cancelled.load(Ordering::Acquire) {
             return true;
+        }
+        // Walk the ancestor chain of a linked token (see `child`): a
+        // tripped ancestor cancels the whole subtree.
+        let mut up = inner.parent.as_ref();
+        while let Some(ancestor) = up {
+            // ordering: Acquire pairs with the Release store in the
+            // ancestor's `cancel`, exactly as the own-flag load above —
+            // whatever the cancelling thread published before tripping
+            // the ancestor happens-before this probe's drain-and-exit.
+            if ancestor.cancelled.load(Ordering::Acquire) {
+                // Cache the observation in the own flag so later probes
+                // stop at one load. Idempotent once-set semantics make
+                // this safe: a child of a cancelled ancestor is
+                // cancelled forever.
+                // ordering: Release as in `cancel` (the flag's only
+                // writer ordering); pairs with the Acquire load above.
+                inner.cancelled.store(true, Ordering::Release);
+                return true;
+            }
+            up = ancestor.parent.as_ref();
         }
         // ordering: Acquire load to skip the RMW entirely on tokens
         // without a scripted trip; the counter is a test aid and
@@ -192,6 +241,76 @@ mod tests {
         let m = inert.materialize();
         assert!(!m.is_inert());
         assert_ne!(m, inert);
+    }
+
+    #[test]
+    fn parent_cancel_propagates_to_children() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        let grandchild = child.child();
+        assert!(!child.is_cancelled());
+        assert!(!grandchild.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled());
+        assert!(grandchild.is_cancelled());
+        // The observation is sticky (cached in the child's own flag).
+        assert!(child.is_cancelled());
+    }
+
+    #[test]
+    fn child_cancel_does_not_touch_the_parent_or_siblings() {
+        let parent = CancelToken::new();
+        let a = parent.child();
+        let b = parent.child();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!parent.is_cancelled());
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn mid_chain_cancel_splits_the_tree() {
+        let root = CancelToken::new();
+        let conn = root.child();
+        let req = conn.child();
+        conn.cancel();
+        assert!(req.is_cancelled());
+        assert!(!root.is_cancelled());
+    }
+
+    #[test]
+    fn child_of_inert_is_a_fresh_real_token() {
+        let inert = CancelToken::default();
+        let child = inert.child();
+        assert!(!child.is_inert());
+        assert!(!child.is_cancelled());
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!inert.is_cancelled());
+    }
+
+    #[test]
+    fn child_probes_do_not_consume_a_parents_scripted_trip() {
+        let parent = CancelToken::tripping_after(2);
+        let child = parent.child();
+        // Child probes walk the parent's flag, not its counter.
+        assert!(!child.is_cancelled());
+        assert!(!child.is_cancelled());
+        assert!(!child.is_cancelled());
+        // The parent's own probes still trip on schedule…
+        assert!(!parent.is_cancelled());
+        assert!(parent.is_cancelled());
+        // …and the trip now propagates down.
+        assert!(child.is_cancelled());
+    }
+
+    #[test]
+    fn children_are_distinct_tokens() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        assert_ne!(parent, child);
+        assert_ne!(parent.child(), parent.child());
+        assert_eq!(child, child.clone());
     }
 
     #[test]

@@ -31,7 +31,13 @@ pub enum FaultKind {
 
 /// Known failpoint sites, for discoverability (the API takes plain
 /// strings so call sites stay dependency-free).
-pub const SITES: &[&str] = &["spill.write", "shard.load", "pool.evict", "worker.body"];
+pub const SITES: &[&str] = &[
+    "spill.write",
+    "shard.load",
+    "pool.evict",
+    "worker.body",
+    "request.handle",
+];
 
 #[cfg(feature = "fault-inject")]
 mod imp {

@@ -519,9 +519,10 @@ impl ShardStore {
         for_each_edge_in(&self.edge_file(s), self.schema.edge_attr_count(), &mut f)
     }
 
-    /// Load shard `s` as a standalone graph: every node row plus the
-    /// shard's edges, re-validated by the builder.
-    pub fn load_shard(&self, s: usize) -> Result<SocialGraph> {
+    /// Shared load prelude: the `shard.load` failpoint probe and the
+    /// per-shard capacity check, identical for the validating and
+    /// trusted paths.
+    fn load_prelude(&self, s: usize) -> Result<()> {
         match failpoint::hit("shard.load") {
             Some(failpoint::FaultKind::IoError) => {
                 return Err(GraphError::Io {
@@ -536,7 +537,13 @@ impl ShardStore {
             }
             _ => {}
         }
-        check_edge_capacity(self.edge_counts[s] as usize, self.max_edges_per_shard)?;
+        check_edge_capacity(self.edge_counts[s] as usize, self.max_edges_per_shard)
+    }
+
+    /// Load shard `s` as a standalone graph: every node row plus the
+    /// shard's edges, re-validated by the builder.
+    pub fn load_shard(&self, s: usize) -> Result<SocialGraph> {
+        self.load_prelude(s)?;
         let mut b = GraphBuilder::with_capacity(
             (*self.schema).clone(),
             self.node_count(),
@@ -551,6 +558,42 @@ impl ShardStore {
             Ok(())
         })?;
         b.build()
+    }
+
+    /// Load shard `s` *trusting* the spill: skip the per-row
+    /// `GraphBuilder` re-validation and assemble the graph columns
+    /// straight from the chunk stream.
+    ///
+    /// Safe for spills this process (or an honest peer) wrote: every
+    /// row was validated by `add_node`/`add_edge` before it was
+    /// spilled, the chunk reader verifies the per-chunk checksums and
+    /// the magic+version header on the way back in, and the capacity
+    /// check still runs — so corruption, truncation, and format drift
+    /// are rejected exactly as on the validating path; only the
+    /// semantic row checks (attribute arity/domain, endpoint range)
+    /// are skipped. [`load_shard`](Self::load_shard) remains the path
+    /// for spills of unknown provenance; the unit tests below pin the
+    /// two paths bit-identical and corruption still caught.
+    pub fn load_shard_trusted(&self, s: usize) -> Result<SocialGraph> {
+        self.load_prelude(s)?;
+        let edges = self.edge_counts[s] as usize;
+        let ea = self.schema.edge_attr_count();
+        let mut srcs: Vec<NodeId> = Vec::with_capacity(edges);
+        let mut dsts: Vec<NodeId> = Vec::with_capacity(edges);
+        let mut edge_values: Vec<AttrValue> = Vec::with_capacity(edges * ea);
+        self.for_each_edge(s, |src, dst, vals| {
+            srcs.push(src);
+            dsts.push(dst);
+            edge_values.extend_from_slice(vals);
+            Ok(())
+        })?;
+        Ok(SocialGraph::from_parts(
+            Arc::clone(&self.schema),
+            self.node_values.clone(),
+            srcs,
+            dsts,
+            edge_values,
+        ))
     }
 }
 
@@ -1028,8 +1071,12 @@ impl<'s> ShardPool<'s> {
                     // holding the mutex through the load keeps the
                     // budget check and the insertion indivisible — a
                     // concurrent acquirer can neither double-load nor
-                    // observe the budget mid-update.
-                    let graph = Arc::new(self.store.load_shard(s)?);
+                    // observe the budget mid-update. The trusted path
+                    // is sound here: the pool only ever re-reads spills
+                    // its own store wrote (checksummed, writer-validated
+                    // rows), so the builder re-validation is pure
+                    // overhead on this hot path.
+                    let graph = Arc::new(self.store.load_shard_trusted(s)?);
                     self.meter.add(need);
                     st.loads += 1;
                     st.resident[s] = Some(Resident {
@@ -1438,6 +1485,64 @@ mod tests {
         // Restore and the load works again — the store itself is fine.
         fs::write(&path, &pristine).unwrap();
         assert_eq!(edge_set(&store.load_shard(0).unwrap()), edge_set(&g));
+    }
+
+    #[test]
+    fn trusted_load_is_bit_identical_to_the_validating_load() {
+        let g = sample();
+        for shards in [1, 2, 3] {
+            let dir = tdir(&format!("trusted{shards}"));
+            let store =
+                ShardStore::build_from_graph(&g, &dir, shards, CompactModel::MAX_EDGES).unwrap();
+            for s in 0..shards {
+                let validated = store.load_shard(s).unwrap();
+                let trusted = store.load_shard_trusted(s).unwrap();
+                // Bit-identical columns, not just the same edge set:
+                // the serialized form covers schema, node rows,
+                // endpoint arrays (in spill order), and edge rows.
+                assert_eq!(
+                    serde_json::to_string(&validated).unwrap(),
+                    serde_json::to_string(&trusted).unwrap(),
+                    "shard {s} of {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trusted_load_still_rejects_corruption_and_capacity() {
+        let g = sample();
+        let dir = tdir("trusted_corrupt");
+        let store = ShardStore::build_from_graph(&g, &dir, 1, CompactModel::MAX_EDGES).unwrap();
+        let path = dir.join("shard-0.edges");
+        let pristine = fs::read(&path).unwrap();
+        // The trusted path skips row re-validation, not integrity: a
+        // flipped payload byte is still a checksum mismatch…
+        let mut bytes = pristine.clone();
+        bytes[20] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = store.load_shard_trusted(0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                GraphError::ShardIo(ShardIoError::ChecksumMismatch { .. })
+            ),
+            "{err}"
+        );
+        // …and truncation is still a short read.
+        let mut bytes = pristine.clone();
+        bytes.truncate(bytes.len() - 3);
+        fs::write(&path, &bytes).unwrap();
+        let err = store.load_shard_trusted(0).unwrap_err();
+        assert!(
+            matches!(err, GraphError::ShardIo(ShardIoError::ShortRead { .. })),
+            "{err}"
+        );
+        fs::write(&path, &pristine).unwrap();
+        assert_eq!(
+            edge_set(&store.load_shard_trusted(0).unwrap()),
+            edge_set(&g)
+        );
     }
 
     #[test]

@@ -105,18 +105,9 @@ fn cmd_mine(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let metric = match metric_name.as_str() {
-        "nhp" => RankMetric::Nhp,
-        "conf" => RankMetric::Conf,
-        "laplace" => RankMetric::Laplace { k: 2 },
-        "gain" => RankMetric::Gain { theta: 0.5 },
-        "ps" => RankMetric::PiatetskyShapiro,
-        "conviction" => RankMetric::Conviction,
-        "lift" => RankMetric::Lift,
-        other => {
-            eprintln!("unknown metric `{other}`");
-            return 2;
-        }
+    let Some(metric) = RankMetric::from_name(&metric_name) else {
+        eprintln!("unknown metric `{metric_name}`");
+        return 2;
     };
     let default_score = if metric.anti_monotone() {
         0.5

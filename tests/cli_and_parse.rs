@@ -159,6 +159,8 @@ fn cli_stats_json_pins_the_counter_schema() {
         vec![
             "accepted",
             "bound_tightenings",
+            "cache_coalesced",
+            "cache_hits",
             "cancel_checks",
             "elapsed",
             "faults_injected",
@@ -172,6 +174,8 @@ fn cli_stats_json_pins_the_counter_schema() {
             "pruned_by_supp",
             "rejected_generality",
             "rejected_trivial",
+            "requests_served",
+            "requests_shed",
             "scratch_bytes_peak",
             "shard_evictions",
             "shard_loads",

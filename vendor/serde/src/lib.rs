@@ -185,6 +185,20 @@ pub fn missing_field<E: de::Error>(ty: &str, field: &str) -> E {
 // Primitive and container impls
 // ---------------------------------------------------------------------------
 
+/// `Content` is its own (de)serialization fixpoint, so generic JSON
+/// values (`serde_json::Value`) round-trip like any other type.
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_content()
+    }
+}
+
 macro_rules! ser_de_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
