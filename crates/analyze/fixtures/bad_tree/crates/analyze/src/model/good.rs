@@ -1,0 +1,3 @@
+//! Fixture model: declared and wired.
+
+pub fn suite() {}

@@ -1,0 +1,3 @@
+//! Fixture model: declared but not reachable from full_suite().
+
+pub fn suite() {}

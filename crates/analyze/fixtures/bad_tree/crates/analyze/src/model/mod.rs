@@ -1,0 +1,9 @@
+//! Fixture model registry: one module exists on disk but is never
+//! declared, another is declared but never wired into the suite.
+
+mod good;
+mod lonely;
+
+pub fn full_suite() {
+    good::suite();
+}

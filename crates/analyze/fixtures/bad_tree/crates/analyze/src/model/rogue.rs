@@ -1,0 +1,3 @@
+//! Fixture model: present on disk, never declared.
+
+pub fn suite() {}

@@ -1,0 +1,50 @@
+//! Fixture: lock-order cycles, contradicted declarations, condvar
+//! misuse. Proven by model::ghost; for background see phantom model.
+
+use std::sync::{Condvar, Mutex};
+
+// lock-order: Svc.a < Svc.b
+// lock-order: Svc.a < Svc.ghost
+// lock-order: Svc.a <
+
+struct Svc {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    state: Mutex<u32>,
+    // condvar: Svc.gate pairs Svc.state
+    gate: Condvar,
+    ready: Condvar,
+}
+
+impl Svc {
+    fn ab(&self) -> u32 {
+        let g1 = self.a.lock();
+        let g2 = self.b.lock();
+        *g1 + *g2
+    }
+
+    fn ba(&self) -> u32 {
+        let g2 = self.b.lock();
+        let g1 = self.a.lock();
+        *g1 + *g2
+    }
+
+    fn wait_if(&self) {
+        let g = self.state.lock();
+        if *g == 0 {
+            let _g = self.gate.wait(g);
+        }
+    }
+
+    fn wait_wrong_guard(&self) {
+        loop {
+            let g = self.a.lock();
+            let _g = self.gate.wait(g);
+        }
+    }
+
+    fn poke(&self) {
+        self.ready.notify_one();
+        self.gate.notify_all();
+    }
+}

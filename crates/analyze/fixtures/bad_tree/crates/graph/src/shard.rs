@@ -1,0 +1,9 @@
+//! Fixture: truncating index arithmetic in the shard scratch.
+
+pub fn pack(nodes: &[u64], x: usize) -> u32 {
+    let id = nodes.len() as u32;
+    let lo = x as u32; // cast:
+    // cast: x < the u32 edge cap, checked by the caller
+    let hi = x as u32;
+    id + lo + hi
+}

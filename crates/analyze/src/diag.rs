@@ -43,3 +43,51 @@ impl fmt::Display for Diagnostic {
 pub fn sort(diags: &mut [Diagnostic]) {
     diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
 }
+
+/// Render a `check` run as machine-readable JSON (hand-rolled — the
+/// analyzer stays dependency-free). Schema, pinned by test:
+///
+/// ```json
+/// {"version":1,
+///  "summary":{"files":N,"rules":N,"diagnostics":N},
+///  "diagnostics":[{"rule":"…","path":"…","line":N,"message":"…"},…]}
+/// ```
+pub fn render_json(files: usize, rules: usize, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"version\":1,\"summary\":{{\"files\":{files},\"rules\":{rules},\"diagnostics\":{}}},\"diagnostics\":[",
+        diags.len()
+    ));
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            json_string(d.rule),
+            json_string(&d.path),
+            d.line,
+            json_string(&d.message)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

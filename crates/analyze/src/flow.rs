@@ -1,0 +1,895 @@
+//! Statement-flow layer over the [`crate::lexer`] views: a brace/block
+//! scope tree, a workspace type map (struct fields, `type` aliases,
+//! method return types), and guard-binding hold-range tracking.
+//!
+//! The line-level rules of PR 6 ask "does this line contain X"; the
+//! flow rules of this layer ask "is this `Condvar::wait` inside a
+//! predicate loop", "which mutex guards are live at this `notify_all`",
+//! and "what integer type does this cast narrow from". All of it stays
+//! dependency-free: the lexer's code view (comments and literal bodies
+//! blanked, ASCII-squashed so bytes == chars) is the only input, and
+//! the tracker is deliberately a *scope* model, not a full parser —
+//! exactly the token forms that decide block structure, bindings, and
+//! simple type navigation are handled, everything else degrades to
+//! `Unknown` (which the rules treat conservatively per rule).
+
+use std::collections::HashMap;
+
+/// A position in the line-parallel code view: 0-based line, byte column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 0-based line index.
+    pub line: usize,
+    /// Byte column within the line.
+    pub col: usize,
+}
+
+/// What introduced a `{ ... }` block, decided by the tokens between the
+/// previous statement boundary and the open brace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A function body; carries the function name.
+    Fn(String),
+    /// `loop { ... }`
+    Loop,
+    /// `while …` / `while let …`
+    While,
+    /// `for … in …`
+    For,
+    /// `if …` / `if let …`
+    If,
+    /// `else` / `else if …`
+    Else,
+    /// `match … { … }`
+    Match,
+    /// A `pat => { … }` match arm body.
+    Arm,
+    /// `impl T` / `impl Tr for T`; carries the self type.
+    Impl(String),
+    /// `struct T { … }`; carries the type name.
+    Struct(String),
+    /// `enum T { … }`
+    Enum(String),
+    /// `trait T { … }`
+    Trait(String),
+    /// `mod name { … }`
+    Mod(String),
+    /// `unsafe { … }`
+    Unsafe,
+    /// Anything else: bare scopes, struct literals, closure bodies.
+    Expr,
+}
+
+/// One brace-delimited block in the scope tree.
+#[derive(Debug)]
+pub struct Block {
+    /// Position of the opening `{`.
+    pub open: Pos,
+    /// Position of the closing `}` (end of file if unbalanced).
+    pub close: Pos,
+    /// Index of the enclosing block, if any.
+    pub parent: Option<usize>,
+    /// What introduced the block.
+    pub kind: BlockKind,
+}
+
+/// The scope tree of one file's code view.
+pub struct Flow {
+    /// All blocks, in order of their opening brace.
+    pub blocks: Vec<Block>,
+}
+
+const HEADER_KEYWORDS: &[&str] = &[
+    "fn", "loop", "while", "for", "if", "else", "match", "impl", "struct", "enum", "trait", "mod",
+    "unsafe",
+];
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+impl Flow {
+    /// Build the scope tree from a code view (comments/literals already
+    /// blanked by the lexer, so every brace is structural).
+    pub fn new(code: &[String]) -> Flow {
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for (line, text) in code.iter().enumerate() {
+            for (col, b) in text.bytes().enumerate() {
+                match b {
+                    b'{' => {
+                        let kind = block_kind(code, Pos { line, col });
+                        blocks.push(Block {
+                            open: Pos { line, col },
+                            close: Pos {
+                                line: code.len().saturating_sub(1),
+                                col: 0,
+                            },
+                            parent: stack.last().copied(),
+                            kind,
+                        });
+                        stack.push(blocks.len() - 1);
+                    }
+                    b'}' => {
+                        if let Some(idx) = stack.pop() {
+                            blocks[idx].close = Pos { line, col };
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Flow { blocks }
+    }
+
+    /// Innermost block containing `pos` (a block contains its braces'
+    /// interior, not the braces themselves).
+    pub fn block_at(&self, pos: Pos) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, b) in self.blocks.iter().enumerate() {
+            let after_open = (pos.line, pos.col) > (b.open.line, b.open.col);
+            let before_close = (pos.line, pos.col) < (b.close.line, b.close.col);
+            if after_open && before_close {
+                best = Some(i); // blocks are ordered by open; later = inner
+            }
+        }
+        best
+    }
+
+    /// Walk `idx` and its ancestors, innermost first.
+    pub fn ancestors(&self, idx: usize) -> impl Iterator<Item = &Block> {
+        let mut cur = Some(idx);
+        std::iter::from_fn(move || {
+            let i = cur?;
+            cur = self.blocks[i].parent;
+            Some(&self.blocks[i])
+        })
+    }
+
+    /// The function body block enclosing `pos`, if any.
+    pub fn enclosing_fn(&self, pos: Pos) -> Option<&Block> {
+        let idx = self.block_at(pos)?;
+        self.ancestors(idx)
+            .find(|b| matches!(b.kind, BlockKind::Fn(_)))
+    }
+
+    /// The `impl` self type enclosing `pos`, if any.
+    pub fn enclosing_impl(&self, pos: Pos) -> Option<&str> {
+        let idx = self.block_at(pos)?;
+        self.ancestors(idx).find_map(|b| match &b.kind {
+            BlockKind::Impl(t) => Some(t.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Whether `pos` sits inside a `loop`/`while`/`for` block *within*
+    /// its enclosing function (the predicate-loop test for
+    /// `Condvar::wait`).
+    pub fn in_loop(&self, pos: Pos) -> bool {
+        let Some(idx) = self.block_at(pos) else {
+            return false;
+        };
+        for b in self.ancestors(idx) {
+            match b.kind {
+                BlockKind::Loop | BlockKind::While | BlockKind::For => return true,
+                BlockKind::Fn(_) => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+}
+
+/// Decide what introduced the block opening at `open`: scan backwards
+/// over the code view (newlines are whitespace) to the previous
+/// statement boundary, then take the first keyword of that header.
+fn block_kind(code: &[String], open: Pos) -> BlockKind {
+    let mut header_rev: Vec<u8> = Vec::new();
+    let mut depth = 0i32;
+    let mut line = open.line;
+    let mut col = open.col;
+    'scan: loop {
+        let bytes = code[line].as_bytes();
+        while col > 0 {
+            col -= 1;
+            let b = bytes[col];
+            match b {
+                b')' | b']' => depth += 1,
+                b'(' | b'[' => {
+                    if depth == 0 {
+                        break 'scan;
+                    }
+                    depth -= 1;
+                }
+                b';' | b'{' | b'}' if depth == 0 => break 'scan,
+                b';' | b'{' | b'}' => {}
+                b',' if depth == 0 => break 'scan,
+                _ => {}
+            }
+            header_rev.push(b);
+            if header_rev.len() > 400 {
+                break 'scan;
+            }
+        }
+        if line == 0 {
+            break;
+        }
+        line -= 1;
+        col = code[line].len();
+        header_rev.push(b' ');
+    }
+    header_rev.reverse();
+    let header = String::from_utf8_lossy(&header_rev).into_owned();
+    if header.trim_end().ends_with("=>") {
+        return BlockKind::Arm;
+    }
+    let tokens: Vec<&str> = header
+        .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|t| !t.is_empty())
+        .collect();
+    let Some(kpos) = tokens
+        .iter()
+        .position(|t| HEADER_KEYWORDS.contains(t) && *t != "unsafe")
+        .or_else(|| tokens.iter().position(|t| *t == "unsafe"))
+    else {
+        return BlockKind::Expr;
+    };
+    let name_after = |kw: &str| -> String {
+        tokens
+            .iter()
+            .skip_while(|t| **t != kw)
+            .nth(1)
+            .unwrap_or(&"")
+            .to_string()
+    };
+    match tokens[kpos] {
+        "fn" => BlockKind::Fn(name_after("fn")),
+        "loop" => BlockKind::Loop,
+        "while" => BlockKind::While,
+        "for" => BlockKind::For,
+        "if" => BlockKind::If,
+        "else" => BlockKind::Else,
+        "match" => BlockKind::Match,
+        "impl" => {
+            // `impl Tr for T` names T; `impl T` names T. Generic params
+            // were already split away by the tokenizer.
+            let t = if tokens.contains(&"for") {
+                name_after("for")
+            } else {
+                name_after("impl")
+            };
+            BlockKind::Impl(t)
+        }
+        "struct" => BlockKind::Struct(name_after("struct")),
+        "enum" => BlockKind::Enum(name_after("enum")),
+        "trait" => BlockKind::Trait(name_after("trait")),
+        "mod" => BlockKind::Mod(name_after("mod")),
+        "unsafe" => BlockKind::Unsafe,
+        _ => BlockKind::Expr,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace type map
+// ---------------------------------------------------------------------------
+
+/// A primitive integer type, with `usize`/`isize` pinned to 64 bits —
+/// the same assumption the u32 edge cap encodes (the paper-scale arrays
+/// are indexed by u32 precisely because the host is 64-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntTy {
+    /// Signed?
+    pub signed: bool,
+    /// Width in bits.
+    pub bits: u8,
+}
+
+impl IntTy {
+    /// Parse a primitive integer type name.
+    pub fn parse(name: &str) -> Option<IntTy> {
+        let (signed, rest) = match name.as_bytes().first()? {
+            b'u' => (false, &name[1..]),
+            b'i' => (true, &name[1..]),
+            _ => return None,
+        };
+        let bits = match rest {
+            "8" => 8,
+            "16" => 16,
+            "32" => 32,
+            "64" => 64,
+            "128" => 128,
+            "size" => 64,
+            _ => return None,
+        };
+        Some(IntTy { signed, bits })
+    }
+
+    /// Whether a cast from `self` into `target` can lose or reinterpret
+    /// value bits: a narrower target, a signed source into any unsigned
+    /// target, or an unsigned source into a signed target that is not
+    /// strictly wider.
+    pub fn narrows_into(self, target: IntTy) -> bool {
+        if target.bits < self.bits {
+            return true;
+        }
+        match (self.signed, target.signed) {
+            (true, false) => true,                     // sign dropped
+            (false, true) => target.bits <= self.bits, // top bit reused
+            _ => false,
+        }
+    }
+}
+
+/// What the resolver could learn about an expression's type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolved {
+    /// A known primitive integer type.
+    Int(IntTy),
+    /// Several candidate definitions disagree (e.g. a method name with
+    /// both `usize` and `u64` returns in the workspace).
+    Conflict(Vec<IntTy>),
+    /// Known to not be a primitive integer.
+    NonInt,
+    /// Nothing known.
+    Unknown,
+    /// An integer literal with this value (safe iff it fits the target).
+    Literal(u128),
+}
+
+/// Workspace-wide nominal type information, built textually from every
+/// collected source file.
+#[derive(Default)]
+pub struct TypeMap {
+    /// `(type name, field name)` → declared field type text.
+    pub fields: HashMap<(String, String), String>,
+    /// `type X = Y;` aliases.
+    pub aliases: HashMap<String, String>,
+    /// Method/function name → set of return-type texts seen.
+    pub methods: HashMap<String, Vec<String>>,
+}
+
+impl TypeMap {
+    /// Extend the map from one file's code view and scope tree.
+    pub fn absorb(&mut self, code: &[String], flow: &Flow) {
+        // Struct fields: `name: Type,` lines directly inside a struct
+        // block.
+        for b in &flow.blocks {
+            let BlockKind::Struct(ref sname) = b.kind else {
+                continue;
+            };
+            if sname.is_empty() {
+                continue;
+            }
+            let last = b.close.line.min(code.len() - 1);
+            for (line, full) in code.iter().enumerate().take(last + 1).skip(b.open.line) {
+                let full = full.as_str();
+                let lo = if line == b.open.line {
+                    (b.open.col + 1).min(full.len())
+                } else {
+                    0
+                };
+                let hi = if line == b.close.line {
+                    b.close.col.min(full.len())
+                } else {
+                    full.len()
+                };
+                // A single line can hold several `name: Type` fields —
+                // split at generics-aware top-level commas.
+                for part in split_top_commas(&full[lo..hi.max(lo)]) {
+                    if let Some((field, ty)) = parse_field_decl(part) {
+                        self.fields.insert((sname.clone(), field), ty);
+                    }
+                }
+            }
+        }
+        let joined = code.join("\n");
+        // `type X = Y;` aliases.
+        let mut from = 0;
+        while let Some(p) = joined[from..].find("type ") {
+            let at = from + p;
+            from = at + 5;
+            if at > 0 && is_ident_char(joined.as_bytes()[at - 1]) {
+                continue;
+            }
+            let rest = &joined[at + 5..];
+            let Some(eq) = rest.find('=') else { continue };
+            let Some(semi) = rest.find(';') else { continue };
+            if semi < eq {
+                continue;
+            }
+            let name = rest[..eq].trim();
+            let target = rest[eq + 1..semi].trim();
+            if !name.is_empty()
+                && !name.contains('<')
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                self.aliases.insert(name.to_string(), target.to_string());
+            }
+        }
+        // Function return types.
+        for sig in fn_signatures(&joined) {
+            if let Some(ret) = sig.ret {
+                let entry = self.methods.entry(sig.name).or_default();
+                if !entry.contains(&ret) {
+                    entry.push(ret);
+                }
+            }
+        }
+    }
+
+    /// Resolve a type *name* through aliases to a base text.
+    pub fn base_type<'a>(&'a self, name: &'a str) -> &'a str {
+        let mut cur = name;
+        for _ in 0..8 {
+            match self.aliases.get(cur) {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// Classify a type text as integer / non-integer.
+    pub fn classify(&self, text: &str) -> Resolved {
+        let t = strip_type(text);
+        let t = self.base_type(&t);
+        match IntTy::parse(t) {
+            Some(i) => Resolved::Int(i),
+            None => {
+                if t.is_empty() {
+                    Resolved::Unknown
+                } else {
+                    Resolved::NonInt
+                }
+            }
+        }
+    }
+
+    /// Return types recorded for a method name, classified; builtins
+    /// (`len`, `count`, `trailing_zeros`, …) are pinned to std's types.
+    pub fn method_returns(&self, name: &str) -> Resolved {
+        match name {
+            "len" | "count" | "capacity" | "index" => {
+                return Resolved::Int(IntTy {
+                    signed: false,
+                    bits: 64,
+                })
+            }
+            "trailing_zeros" | "leading_zeros" | "count_ones" | "count_zeros" => {
+                return Resolved::Int(IntTy {
+                    signed: false,
+                    bits: 32,
+                })
+            }
+            _ => {}
+        }
+        let Some(rets) = self.methods.get(name) else {
+            return Resolved::Unknown;
+        };
+        let mut ints = Vec::new();
+        for r in rets {
+            match self.classify(r) {
+                Resolved::Int(i) => {
+                    if !ints.contains(&i) {
+                        ints.push(i);
+                    }
+                }
+                // A non-integer overload makes the name ambiguous
+                // beyond repair — give up rather than guess.
+                _ => return Resolved::Unknown,
+            }
+        }
+        match ints.len() {
+            0 => Resolved::Unknown,
+            1 => Resolved::Int(ints[0]),
+            _ => Resolved::Conflict(ints),
+        }
+    }
+
+    /// Element type of a slice/array/`Vec` type text, if recognizable.
+    pub fn element_type(&self, text: &str) -> Option<String> {
+        let t = strip_type(text);
+        let t = self.base_type(&t).trim();
+        if let Some(inner) = t.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let inner = inner.split(';').next().unwrap_or(inner);
+            return Some(inner.trim().to_string());
+        }
+        for wrapper in ["Vec<", "VecDeque<"] {
+            if let Some(rest) = t.strip_prefix(wrapper) {
+                return rest.strip_suffix('>').map(|s| s.trim().to_string());
+            }
+        }
+        None
+    }
+}
+
+/// Strip references, lifetimes and `mut` from a type text, and peel
+/// transparent wrappers (`Arc<…>`, `Box<…>`, `Rc<…>`).
+pub fn strip_type(text: &str) -> String {
+    let mut t = text.trim();
+    loop {
+        let before = t;
+        t = t.trim_start_matches('&').trim_start_matches('*').trim();
+        if let Some(rest) = t.strip_prefix('\'') {
+            // lifetime: skip the ident
+            let end = rest
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .unwrap_or(rest.len());
+            t = rest[end..].trim();
+        }
+        for kw in ["mut ", "dyn ", "const "] {
+            if let Some(rest) = t.strip_prefix(kw) {
+                t = rest.trim();
+            }
+        }
+        for wrapper in ["Arc<", "Box<", "Rc<"] {
+            if let Some(rest) = t.strip_prefix(wrapper) {
+                if let Some(inner) = rest.strip_suffix('>') {
+                    t = inner.trim();
+                }
+            }
+        }
+        if t == before {
+            return t.to_string();
+        }
+    }
+}
+
+/// Split at commas outside `<>`/`()`/`[]` nesting.
+fn split_top_commas(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, b) in text.bytes().enumerate() {
+        match b {
+            b'<' | b'(' | b'[' => depth += 1,
+            b'>' | b')' | b']' => depth -= 1,
+            b',' if depth == 0 => {
+                out.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&text[start..]);
+    out
+}
+
+/// `name: Type,` at the top level of a struct body (visibility allowed,
+/// attributes and doc lines yield nothing).
+fn parse_field_decl(line: &str) -> Option<(String, String)> {
+    let t = line.trim();
+    let t = t.strip_prefix("pub(crate)").unwrap_or(t).trim();
+    let t = t.strip_prefix("pub").unwrap_or(t).trim();
+    let colon = t.find(':')?;
+    let name = t[..colon].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    // `::` (paths) and `:` inside generics are not field separators.
+    if t.as_bytes().get(colon + 1) == Some(&b':') {
+        return None;
+    }
+    let ty = t[colon + 1..].trim().trim_end_matches(',').trim();
+    if ty.is_empty() || ty.contains('{') {
+        return None;
+    }
+    Some((name.to_string(), ty.to_string()))
+}
+
+/// One parsed `fn` signature from the joined code view.
+pub struct FnSig {
+    /// Function name.
+    pub name: String,
+    /// Byte offset of the `fn` keyword in the joined text.
+    pub offset: usize,
+    /// Raw parameter list text (between the signature parens).
+    pub params: String,
+    /// Return type text, if an `->` was present.
+    pub ret: Option<String>,
+}
+
+/// Scan the joined code view for `fn` items and split their signatures.
+pub fn fn_signatures(joined: &str) -> Vec<FnSig> {
+    let bytes = joined.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = joined[from..].find("fn ") {
+        let at = from + p;
+        from = at + 3;
+        if at > 0 && is_ident_char(bytes[at - 1]) {
+            continue;
+        }
+        let rest = &joined[at + 3..];
+        let name_end = rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(rest.len());
+        let name = &rest[..name_end];
+        if name.is_empty() {
+            continue;
+        }
+        // Skip generics, find the parameter parens.
+        let mut i = at + 3 + name_end;
+        let mut angle = 0i32;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'<' => angle += 1,
+                b'>' => angle -= 1,
+                b'(' if angle <= 0 => break,
+                b'{' | b';' => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b'(' {
+            continue;
+        }
+        let popen = i;
+        let mut depth = 0i32;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if i >= bytes.len() {
+            continue;
+        }
+        let params = joined[popen + 1..i].to_string();
+        // Between `)` and the body `{` / `;`: an optional `-> T`,
+        // possibly followed by a `where` clause.
+        let tail_start = i + 1;
+        let mut j = tail_start;
+        let mut angle = 0i32;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'<' => angle += 1,
+                b'>' if angle > 0 => angle -= 1,
+                b'{' | b';' if angle == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let tail = &joined[tail_start..j.min(joined.len())];
+        let ret = tail.find("->").map(|a| {
+            let r = &tail[a + 2..];
+            let r = r.split(" where ").next().unwrap_or(r);
+            r.trim().to_string()
+        });
+        out.push(FnSig {
+            name: name.to_string(),
+            offset: at,
+            params,
+            ret,
+        });
+    }
+    out
+}
+
+/// Split a parameter list at top-level commas into `(name, type)` pairs
+/// (`self` receivers are skipped, patterns keep their first ident).
+pub fn split_params(params: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    let bytes = params.as_bytes();
+    let mut parts = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'<' | b'(' | b'[' => depth += 1,
+            b'>' | b')' | b']' => depth -= 1,
+            b',' if depth == 0 => {
+                parts.push(&params[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&params[start..]);
+    for part in parts {
+        let part = part.trim();
+        let Some(colon) = part.find(':') else {
+            continue;
+        };
+        let name = part[..colon]
+            .trim()
+            .trim_start_matches("mut ")
+            .trim()
+            .to_string();
+        if name.is_empty() || name.contains(|c: char| !(c.is_ascii_alphanumeric() || c == '_')) {
+            continue;
+        }
+        out.push((name, part[colon + 1..].trim().to_string()));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Expression chains
+// ---------------------------------------------------------------------------
+
+/// Extract the postfix chain ending just before byte `end` of `line`:
+/// identifiers, `self`, `.field`, `.method(…)`, `[…]`, `::`, and one
+/// optional leading parenthesized group. Returns the chain text.
+pub fn chain_before(line: &str, end: usize) -> String {
+    let bytes = line.as_bytes();
+    let mut i = end;
+    let mut depth = 0i32;
+    let start = loop {
+        if i == 0 {
+            break 0;
+        }
+        let b = bytes[i - 1];
+        let keep = match b {
+            b')' | b']' => {
+                depth += 1;
+                true
+            }
+            b'(' | b'[' => {
+                if depth == 0 {
+                    break i;
+                }
+                depth -= 1;
+                true
+            }
+            _ if depth > 0 => true,
+            b'.' | b':' => true,
+            _ if is_ident_char(b) => true,
+            _ => break i,
+        };
+        if !keep {
+            break i;
+        }
+        i -= 1;
+    };
+    line[start..end].trim().to_string()
+}
+
+/// Extract the receiver chain ending at `dot` (the `.` of a method
+/// call), e.g. `self.cache.published` for `self.cache.published.wait(…)`.
+pub fn receiver_before(line: &str, dot: usize) -> String {
+    chain_before(line, dot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn flow_of(src: &str) -> (Flow, Vec<String>) {
+        let s = lexer::scan(src);
+        let f = Flow::new(&s.code);
+        (f, s.code)
+    }
+
+    #[test]
+    fn brace_scope_tracker_kinds_and_nesting() {
+        let src = "impl Admission {\n    fn admit(&self) {\n        loop {\n            if x {\n                break;\n            }\n        }\n    }\n}\n";
+        let (f, _) = flow_of(src);
+        let kinds: Vec<&BlockKind> = f.blocks.iter().map(|b| &b.kind).collect();
+        assert_eq!(kinds.len(), 4);
+        assert_eq!(*kinds[0], BlockKind::Impl("Admission".into()));
+        assert_eq!(*kinds[1], BlockKind::Fn("admit".into()));
+        assert_eq!(*kinds[2], BlockKind::Loop);
+        assert_eq!(*kinds[3], BlockKind::If);
+        // The `if` nests in the loop nests in the fn nests in the impl.
+        assert_eq!(f.blocks[3].parent, Some(2));
+        assert_eq!(f.blocks[2].parent, Some(1));
+        assert_eq!(f.blocks[1].parent, Some(0));
+        assert!(f.in_loop(Pos { line: 4, col: 12 }));
+        assert_eq!(
+            f.enclosing_impl(Pos { line: 4, col: 12 }),
+            Some("Admission")
+        );
+    }
+
+    #[test]
+    fn loop_detection_stops_at_fn_boundary() {
+        let src = "fn outer() {\n    loop {\n        fn inner() {\n            wait();\n        }\n    }\n}\n";
+        let (f, _) = flow_of(src);
+        assert!(
+            !f.in_loop(Pos { line: 3, col: 12 }),
+            "inner fn resets loops"
+        );
+    }
+
+    #[test]
+    fn while_let_and_match_arms() {
+        let src = "fn f() {\n    while let Some(x) = it.next() {\n        match x {\n            Some(y) => {\n                y;\n            }\n            _ => {}\n        }\n    }\n}\n";
+        let (f, _) = flow_of(src);
+        let kinds: Vec<&BlockKind> = f.blocks.iter().map(|b| &b.kind).collect();
+        assert!(kinds.contains(&&BlockKind::While));
+        assert!(kinds.contains(&&BlockKind::Match));
+        assert!(kinds.contains(&&BlockKind::Arm));
+        assert!(f.in_loop(Pos { line: 4, col: 16 }));
+    }
+
+    #[test]
+    fn raw_strings_and_literal_braces_do_not_derail_scopes() {
+        let src = "fn f() {\n    let s = r#\"{ not a block }\"#;\n    let t = \"{{\";\n    if s == t {\n        g();\n    }\n}\n";
+        let (f, _) = flow_of(src);
+        // Exactly two blocks: the fn body and the if body.
+        assert_eq!(f.blocks.len(), 2);
+        assert_eq!(f.blocks[1].kind, BlockKind::If);
+        assert_eq!(f.blocks[0].close.line, 6);
+    }
+
+    #[test]
+    fn struct_fields_aliases_and_method_returns() {
+        let src = "pub type NodeId = u32;\npub struct Pool {\n    pub state: Mutex<State>,\n    counts: Vec<u64>,\n}\nimpl Pool {\n    fn len(&self) -> usize { 0 }\n    fn total(&self) -> u64 { 1 }\n}\n";
+        let (f, code) = flow_of(src);
+        let mut tm = TypeMap::default();
+        tm.absorb(&code, &f);
+        assert_eq!(
+            tm.fields.get(&("Pool".into(), "state".into())).unwrap(),
+            "Mutex<State>"
+        );
+        assert_eq!(tm.base_type("NodeId"), "u32");
+        assert_eq!(
+            tm.classify("NodeId"),
+            Resolved::Int(IntTy {
+                signed: false,
+                bits: 32
+            })
+        );
+        assert_eq!(
+            tm.element_type(tm.fields.get(&("Pool".into(), "counts".into())).unwrap()),
+            Some("u64".into())
+        );
+        assert_eq!(
+            tm.method_returns("total"),
+            Resolved::Int(IntTy {
+                signed: false,
+                bits: 64
+            })
+        );
+    }
+
+    #[test]
+    fn conflicting_method_returns_are_conflicts() {
+        let src = "impl A { fn edge_count(&self) -> usize { 0 } }\nimpl B { fn edge_count(&self) -> u32 { 0 } }\n";
+        let (f, code) = flow_of(src);
+        let mut tm = TypeMap::default();
+        tm.absorb(&code, &f);
+        match tm.method_returns("edge_count") {
+            Resolved::Conflict(v) => assert_eq!(v.len(), 2),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn narrowing_matrix() {
+        let u = |bits| IntTy {
+            signed: false,
+            bits,
+        };
+        let i = |bits| IntTy { signed: true, bits };
+        assert!(u(64).narrows_into(u(32)), "usize -> u32");
+        assert!(!u(32).narrows_into(u(64)), "u32 -> u64 widens");
+        assert!(!u(16).narrows_into(u(64)), "u16 -> usize widens");
+        assert!(i(64).narrows_into(u(64)), "i64 -> u64 drops sign");
+        assert!(u(64).narrows_into(i(64)), "u64 -> i64 reuses top bit");
+        assert!(!u(16).narrows_into(i(32)), "u16 -> i32 is lossless");
+        assert!(i(32).narrows_into(i(16)), "i32 -> i16 narrows");
+    }
+
+    #[test]
+    fn chains_are_extracted_balanced() {
+        let line = "        let key = self.node_values[src as usize * na + x].foo();";
+        let end = line.find(".foo").unwrap();
+        assert_eq!(
+            chain_before(line, end),
+            "self.node_values[src as usize * na + x]"
+        );
+        let line2 = "check((a + b) as usize)";
+        let end2 = line2.find(" as usize").unwrap();
+        assert_eq!(chain_before(line2, end2), "(a + b)");
+    }
+}

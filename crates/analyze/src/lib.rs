@@ -16,6 +16,10 @@
 //!   broken).
 //! - [`walk`] — workspace discovery and the
 //!   `// lint: allow(<rule>) — <reason>` annotation grammar.
+//! - [`flow`] — the statement-flow layer on top of the lexer views: a
+//!   brace/block scope tree, a workspace type map, and expression-chain
+//!   resolution, feeding the flow-aware rules (lock order, condvar
+//!   discipline, cast audit).
 //! - [`rules`] — the rule set; see [`rules::RULES`] for ids.
 //! - [`model`] — the loom-lite bounded-interleaving checker and the
 //!   [`model::bound`] / [`model::term`] protocol models.
@@ -26,6 +30,7 @@
 //! (list rule ids).
 
 pub mod diag;
+pub mod flow;
 pub mod lexer;
 pub mod model;
 pub mod rules;

@@ -1,16 +1,16 @@
 //! CLI driver for the repo's static analysis and model checking.
 
 use grm_analyze::model::{self, sched::Outcome};
-use grm_analyze::{rules, walk};
+use grm_analyze::{diag, rules, walk};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: grm-analyze <command>
 
 commands:
-  check [--root <dir>]   lint the workspace; exit 1 if any diagnostic fires
-  model                  run the full concurrency verification suite
-  rules                  list the rule ids and what they enforce";
+  check [--root <dir>] [--json]   lint the workspace; exit 1 if any diagnostic fires
+  model                           run the full concurrency verification suite
+  rules                           list the rule ids and what they enforce";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +33,9 @@ fn main() -> ExitCode {
 /// `grm-analyze check`: lint the tree rooted at `--root` (default: the
 /// enclosing workspace of the current directory).
 fn check(args: &[String]) -> ExitCode {
-    let root = match parse_root(args) {
+    let json = args.iter().any(|a| a == "--json");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--json").cloned().collect();
+    let root = match parse_root(&args) {
         Ok(root) => root,
         Err(msg) => {
             eprintln!("{msg}");
@@ -48,6 +50,17 @@ fn check(args: &[String]) -> ExitCode {
         }
     };
     let diags = rules::run_all(&set);
+    if json {
+        println!(
+            "{}",
+            diag::render_json(set.files.len(), rules::RULES.len(), &diags)
+        );
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     for d in &diags {
         println!("{d}");
     }

@@ -1,0 +1,240 @@
+//! `condvar-discipline`: every `Condvar::wait` must sit inside a
+//! predicate loop (`while`/`loop`, never a bare `if` — wakeups are
+//! spurious and racy by contract), and every `notify_*` must run while
+//! the paired mutex is held, so a waiter cannot check its predicate,
+//! lose the race, and sleep through the only wakeup.
+//!
+//! The pairing is declared next to the condvar with a comment of the
+//! form `condvar: <cv> pairs <mutex>`, using the same identities the
+//! lock rule resolves (e.g. `condvar: Admission.freed pairs
+//! Admission.state`). A condvar field with no declaration is itself a
+//! finding; a deliberate unlocked notify can be justified with a
+//! `condvar: unlocked — <reason>` comment adjacent to the call.
+
+use super::ctx::{Ctx, Place};
+use crate::diag::Diagnostic;
+use crate::flow::{self, Pos};
+use crate::walk::FileSet;
+use std::collections::BTreeMap;
+
+/// Stable rule id.
+pub const RULE: &str = "condvar-discipline";
+
+/// Run the rule over the set.
+pub fn run(set: &FileSet, ctx: &Ctx) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Pairing declarations: cv identity -> mutex identity.
+    let mut pairs: BTreeMap<String, String> = BTreeMap::new();
+    for f in &set.files {
+        for (i, comment) in f.scan.comments.iter().enumerate() {
+            let text = comment
+                .trim()
+                .trim_start_matches('/')
+                .trim_start_matches('!');
+            let Some(rest) = text.trim_start().strip_prefix("condvar:") else {
+                continue;
+            };
+            let rest = rest.trim();
+            if rest.starts_with("unlocked") {
+                continue; // a notify justification, parsed at the call
+            }
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[1] != "pairs" {
+                if !f.allowed(RULE, i) {
+                    diags.push(Diagnostic::new(
+                        RULE,
+                        &f.rel,
+                        i + 1,
+                        "malformed `condvar:` declaration — expected `condvar: <cv> pairs <mutex>`",
+                    ));
+                }
+                continue;
+            }
+            pairs.insert(parts[0].to_string(), parts[2].to_string());
+        }
+    }
+
+    // Every condvar struct field must be declared.
+    for f in &set.files {
+        for (i, code) in f.scan.code.iter().enumerate() {
+            if f.scan.in_test[i] || f.allowed(RULE, i) {
+                continue;
+            }
+            if !code.contains("Condvar") || code.contains("Condvar::new") {
+                continue;
+            }
+            // Find the declaring struct via the scope tree.
+            let fc = file_ctx(set, ctx, &f.rel);
+            let col = code.find("Condvar").unwrap_or(0);
+            let Some(idx) = fc.flow.block_at(Pos { line: i, col }) else {
+                continue;
+            };
+            let owner = fc.flow.ancestors(idx).find_map(|b| match &b.kind {
+                flow::BlockKind::Struct(n) => Some(n.clone()),
+                _ => None,
+            });
+            let Some(owner) = owner else { continue };
+            let Some(field) = code
+                .split(':')
+                .next()
+                .and_then(|s| s.split_whitespace().last())
+                .map(|s| s.to_string())
+            else {
+                continue;
+            };
+            if field.is_empty() || !field.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                continue;
+            }
+            let id = format!("{owner}.{field}");
+            if !pairs.contains_key(&id) {
+                diags.push(Diagnostic::new(
+                    RULE,
+                    &f.rel,
+                    i + 1,
+                    format!("condvar `{id}` has no `condvar: {id} pairs <mutex>` declaration"),
+                ));
+            }
+        }
+    }
+
+    // Wait and notify call sites.
+    for (f, fc) in set.files.iter().zip(&ctx.files) {
+        for (i, code) in f.scan.code.iter().enumerate() {
+            if f.scan.in_test[i] || f.allowed(RULE, i) {
+                continue;
+            }
+            let mut from = 0;
+            while let Some(p) = code[from..].find(".wait") {
+                let at = from + p;
+                from = at + 5;
+                let rest = &code[at + 5..];
+                let looped_by_construction = rest.starts_with("_while(");
+                let is_wait = rest.starts_with('(')
+                    || rest.starts_with("_timeout(")
+                    || looped_by_construction;
+                if !is_wait {
+                    continue;
+                }
+                let recv = receiver_multiline(f, i, at);
+                let pos = Pos { line: i, col: at };
+                let Some(cv_id) = condvar_identity(fc, f, ctx, pos, &recv) else {
+                    continue;
+                };
+                if !looped_by_construction && !fc.flow.in_loop(pos) {
+                    diags.push(Diagnostic::new(
+                        RULE,
+                        &f.rel,
+                        i + 1,
+                        format!(
+                            "`{cv_id}` waited on outside a predicate loop — wrap the wait in \
+                             `while`/`loop` and recheck the predicate"
+                        ),
+                    ));
+                }
+                // The guard argument must belong to the declared mutex.
+                if let Some(paired) = pairs.get(&cv_id) {
+                    let argpos = at + 5 + rest.find('(').unwrap_or(0) + 1;
+                    let arg: String = code[argpos..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    if !arg.is_empty() {
+                        let held = fc.holds.iter().any(|h| {
+                            h.name.as_deref() == Some(arg.as_str())
+                                && h.line <= i
+                                && i <= h.end
+                                && h.id == *paired
+                        });
+                        let known_guard = fc.holds.iter().any(|h| {
+                            h.name.as_deref() == Some(arg.as_str()) && h.line <= i && i <= h.end
+                        });
+                        if known_guard && !held {
+                            diags.push(Diagnostic::new(
+                                RULE,
+                                &f.rel,
+                                i + 1,
+                                format!(
+                                    "`{cv_id}` is declared to pair `{paired}`, but the wait \
+                                     passes a guard of a different mutex"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            for pat in [".notify_one(", ".notify_all("] {
+                let mut from = 0;
+                while let Some(p) = code[from..].find(pat) {
+                    let at = from + p;
+                    from = at + pat.len();
+                    let recv = receiver_multiline(f, i, at);
+                    let pos = Pos { line: i, col: at };
+                    let Some(cv_id) = condvar_identity(fc, f, ctx, pos, &recv) else {
+                        continue;
+                    };
+                    let Some(paired) = pairs.get(&cv_id) else {
+                        continue; // undeclared: already reported at the field
+                    };
+                    let held = fc
+                        .holds
+                        .iter()
+                        .any(|h| h.id == *paired && h.line <= i && i <= h.end);
+                    if !held && !super::justified(f, i, "condvar: unlocked") {
+                        diags.push(Diagnostic::new(
+                            RULE,
+                            &f.rel,
+                            i + 1,
+                            format!(
+                                "`{cv_id}` notified without holding `{paired}` — hold the paired \
+                                 mutex or justify with `condvar: unlocked — <reason>`"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    diags
+}
+
+/// The receiver chain ending at (`line`, `col`), rejoined across a
+/// multi-line method chain (`self␤.freed␤.wait_timeout(…)`).
+fn receiver_multiline(f: &crate::walk::SourceFile, line: usize, col: usize) -> String {
+    let mut acc = f.scan.code[line][..col].trim().to_string();
+    let mut l = line;
+    while acc.starts_with('.') && l > 0 {
+        l -= 1;
+        let above = f.scan.code[l].trim();
+        if above.is_empty() || above.ends_with([';', '{', '}']) {
+            break;
+        }
+        acc = format!("{above}{acc}");
+    }
+    flow::chain_before(&acc, acc.len())
+}
+
+fn file_ctx<'c>(set: &FileSet, ctx: &'c Ctx, rel: &str) -> &'c super::ctx::FileCtx {
+    let idx = set.files.iter().position(|f| f.rel == rel).unwrap_or(0);
+    &ctx.files[idx]
+}
+
+/// Resolve a receiver chain to a condvar identity, if it is one.
+fn condvar_identity(
+    fc: &super::ctx::FileCtx,
+    f: &crate::walk::SourceFile,
+    ctx: &Ctx,
+    pos: Pos,
+    recv: &str,
+) -> Option<String> {
+    match fc.resolve_place(f, &ctx.types, pos, recv) {
+        Place::Field { owner, field, ty } if ty.contains("Condvar") => {
+            Some(format!("{owner}.{field}"))
+        }
+        Place::Local { func, name, ty } if ty.as_deref() == Some("Condvar") => {
+            Some(format!("{}:{func}:{name}", f.rel))
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,808 @@
+//! Shared flow context for the flow-aware rules: the workspace
+//! [`TypeMap`], each file's scope tree, a per-file local-binding
+//! environment, and the guard *hold ranges* of every `Mutex`/`RwLock`
+//! acquisition. Built once per [`run_all`](super::run_all) and consumed
+//! by the lock-order, condvar and cast rules so they agree on what a
+//! lock is called.
+
+use crate::flow::{self, BlockKind, Flow, Pos, Resolved, TypeMap};
+use crate::walk::{FileSet, SourceFile};
+
+/// One parsed postfix segment of an expression chain.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Seg {
+    /// `.name`
+    Field(String),
+    /// `.name(…)`
+    Method(String),
+    /// `[…]`
+    Index,
+    /// `::name`
+    PathConst(String),
+    /// `::name(…)`
+    PathCall(String),
+}
+
+/// A chain split into its head identifier and postfix segments.
+#[derive(Debug)]
+pub struct Chain {
+    /// Leading identifier (`self`, a local, a type name) or a numeric
+    /// literal text.
+    pub head: String,
+    /// Postfix navigation, left to right.
+    pub segs: Vec<Seg>,
+}
+
+/// Parse `self.adm.state`, `counts[k]`, `u32::MAX`, `store.edge_count(s)`
+/// into head + segments. Returns `None` for shapes the resolver does not
+/// model (leading parens are handled by the cast rule before calling).
+pub fn parse_chain(chain: &str) -> Option<Chain> {
+    let bytes = chain.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && (bytes[i] == b'&' || bytes[i] == b' ' || bytes[i] == b'*') {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    if i == start {
+        return None;
+    }
+    let head = chain[start..i].to_string();
+    let mut segs = Vec::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'.' => {
+                i += 1;
+                let s = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if i == s {
+                    return None;
+                }
+                let name = chain[s..i].to_string();
+                if bytes.get(i) == Some(&b'(') {
+                    i = skip_group(bytes, i)?;
+                    segs.push(Seg::Method(name));
+                } else {
+                    segs.push(Seg::Field(name));
+                }
+            }
+            b':' if bytes.get(i + 1) == Some(&b':') => {
+                i += 2;
+                if bytes.get(i) == Some(&b'<') {
+                    i = skip_group(bytes, i)?; // turbofish
+                    continue;
+                }
+                let s = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if i == s {
+                    return None;
+                }
+                let name = chain[s..i].to_string();
+                if bytes.get(i) == Some(&b'(') {
+                    i = skip_group(bytes, i)?;
+                    segs.push(Seg::PathCall(name));
+                } else {
+                    segs.push(Seg::PathConst(name));
+                }
+            }
+            b'[' => {
+                i = skip_group(bytes, i)?;
+                segs.push(Seg::Index);
+            }
+            b' ' => i += 1,
+            _ => return None,
+        }
+    }
+    Some(Chain { head, segs })
+}
+
+fn skip_group(bytes: &[u8], open: usize) -> Option<usize> {
+    let close = match bytes[open] {
+        b'(' => b')',
+        b'[' => b']',
+        b'<' => b'>',
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < bytes.len() {
+        if bytes[i] == bytes[open] {
+            depth += 1;
+        } else if bytes[i] == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// A local binding (or parameter) with a known type text.
+struct LocalDecl {
+    line: usize,
+    fn_block: Option<usize>,
+    name: String,
+    ty: String,
+}
+
+/// One guard hold range: a lock acquired on `line`, live through `end`.
+pub struct Hold {
+    /// Resolved lock identity (see [`FileCtx::lock_identity`]).
+    pub id: String,
+    /// Guard binding name, if let-bound.
+    pub name: Option<String>,
+    /// 0-based acquisition line.
+    pub line: usize,
+    /// Byte column of the acquisition on that line.
+    pub col: usize,
+    /// 0-based last line the guard is live on (inclusive).
+    pub end: usize,
+    /// Scope-tree index of the enclosing fn body, if any.
+    pub fn_block: Option<usize>,
+}
+
+/// Per-file flow context.
+pub struct FileCtx {
+    /// Scope tree.
+    pub flow: Flow,
+    /// Guard hold ranges, in acquisition order.
+    pub holds: Vec<Hold>,
+    locals: Vec<LocalDecl>,
+}
+
+/// The workspace flow context, file-parallel with `FileSet::files`.
+pub struct Ctx {
+    /// Nominal type information for the whole collected set.
+    pub types: TypeMap,
+    /// Per-file contexts, same order as `set.files`.
+    pub files: Vec<FileCtx>,
+}
+
+impl Ctx {
+    /// Build the context: one pass for types, one for locals and holds.
+    pub fn build(set: &FileSet) -> Ctx {
+        let mut types = TypeMap::default();
+        let flows: Vec<Flow> = set
+            .files
+            .iter()
+            .map(|f| {
+                let flow = Flow::new(&f.scan.code);
+                types.absorb(&f.scan.code, &flow);
+                flow
+            })
+            .collect();
+        let mut files = Vec::new();
+        for (f, flow) in set.files.iter().zip(flows) {
+            let locals = collect_locals(f, &flow, &types);
+            let mut fc = FileCtx {
+                flow,
+                holds: Vec::new(),
+                locals,
+            };
+            fc.holds = collect_holds(f, &fc, &types);
+            files.push(fc);
+        }
+        Ctx { types, files }
+    }
+}
+
+/// Where a resolved place lives.
+pub enum Place {
+    /// A field of a named struct: the workspace-stable way to name a
+    /// lock (`Admission.state`) or condvar (`Admission.freed`).
+    Field {
+        /// Owning type name.
+        owner: String,
+        /// Field name.
+        field: String,
+        /// Declared field type text.
+        ty: String,
+    },
+    /// A function-local binding.
+    Local {
+        /// Enclosing function name.
+        func: String,
+        /// Binding name.
+        name: String,
+        /// Declared/inferred type text, if known.
+        ty: Option<String>,
+    },
+    /// Unresolvable: identity falls back to the raw chain text,
+    /// function-qualified so distinct call sites never alias distinct
+    /// locks into a false cycle.
+    Opaque(String),
+}
+
+impl FileCtx {
+    fn fn_name_at(&self, pos: Pos) -> String {
+        match self.flow.enclosing_fn(pos).map(|b| &b.kind) {
+            Some(BlockKind::Fn(n)) => n.clone(),
+            _ => "<top>".to_string(),
+        }
+    }
+
+    fn local_type(&self, pos: Pos, name: &str) -> Option<&str> {
+        let fn_block = self
+            .flow
+            .block_at(pos)
+            .and_then(|i| self.enclosing_fn_idx(i));
+        let mut best: Option<&LocalDecl> = None;
+        for d in &self.locals {
+            if d.name == name && d.line <= pos.line && d.fn_block == fn_block {
+                best = Some(d);
+            }
+        }
+        best.map(|d| d.ty.as_str())
+    }
+
+    fn enclosing_fn_idx(&self, mut idx: usize) -> Option<usize> {
+        loop {
+            if matches!(self.flow.blocks[idx].kind, BlockKind::Fn(_)) {
+                return Some(idx);
+            }
+            idx = self.flow.blocks[idx].parent?;
+        }
+    }
+
+    /// Resolve an expression chain at `pos` to a place, navigating
+    /// `self` → impl type and fields through the struct map.
+    pub fn resolve_place(&self, f: &SourceFile, types: &TypeMap, pos: Pos, chain: &str) -> Place {
+        let func = self.fn_name_at(pos);
+        let opaque = |c: &str| Place::Opaque(format!("{}:{}:{}", f.rel, func, c));
+        let Some(parsed) = parse_chain(chain) else {
+            return opaque(chain);
+        };
+        // Head: `self`, a typed local, or give up.
+        let mut carrier: String;
+        if parsed.head == "self" {
+            match self.flow.enclosing_impl(pos) {
+                Some(t) => carrier = t.to_string(),
+                None => return opaque(chain),
+            }
+        } else if let Some(ty) = self.local_type(pos, &parsed.head) {
+            if parsed.segs.is_empty() {
+                return Place::Local {
+                    func,
+                    name: parsed.head,
+                    ty: Some(ty.to_string()),
+                };
+            }
+            carrier = ty.to_string();
+        } else if parsed.segs.is_empty() {
+            return Place::Local {
+                func,
+                name: parsed.head,
+                ty: None,
+            };
+        } else {
+            return opaque(chain);
+        }
+        // Navigate fields; anything else ends the walk.
+        let mut owner = flow::strip_type(&carrier);
+        for (i, seg) in parsed.segs.iter().enumerate() {
+            match seg {
+                Seg::Field(name) => {
+                    let Some(ty) = types.fields.get(&(owner.clone(), name.clone())) else {
+                        return opaque(chain);
+                    };
+                    if i + 1 == parsed.segs.len() {
+                        return Place::Field {
+                            owner,
+                            field: name.clone(),
+                            ty: ty.clone(),
+                        };
+                    }
+                    carrier = ty.clone();
+                    owner = flow::strip_type(&carrier);
+                }
+                _ => return opaque(chain),
+            }
+        }
+        opaque(chain)
+    }
+
+    /// The workspace-stable identity string for a lock expression.
+    pub fn lock_identity(&self, f: &SourceFile, types: &TypeMap, pos: Pos, chain: &str) -> String {
+        match self.resolve_place(f, types, pos, chain) {
+            Place::Field { owner, field, .. } => format!("{owner}.{field}"),
+            Place::Local { func, name, .. } => format!("{}:{func}:{name}", f.rel),
+            Place::Opaque(s) => s,
+        }
+    }
+
+    /// Resolve the integer type of a cast-source chain at `pos`.
+    pub fn resolve_int(&self, types: &TypeMap, pos: Pos, chain: &str) -> Resolved {
+        // Ranges: `0..n as u32` casts only the right operand.
+        let chain = match chain.rfind("..") {
+            Some(p) => chain[p + 2..].trim(),
+            None => chain.trim(),
+        };
+        if chain.is_empty() {
+            return Resolved::Unknown;
+        }
+        // Parenthesized compound: every integer operand must agree.
+        if chain.starts_with('(') && chain.ends_with(')') {
+            return self.resolve_compound(types, pos, &chain[1..chain.len() - 1]);
+        }
+        if chain.as_bytes()[0].is_ascii_digit() {
+            return resolve_literal(chain);
+        }
+        let Some(parsed) = parse_chain(chain) else {
+            return Resolved::Unknown;
+        };
+        // `u32::MAX`, `AttrValue::BITS`, `u64::from(x)`.
+        if let Resolved::Int(head_ty) = types.classify(&parsed.head) {
+            return match parsed.segs.first() {
+                Some(Seg::PathConst(c)) if c == "BITS" => Resolved::Int(flow::IntTy {
+                    signed: false,
+                    bits: 32,
+                }),
+                Some(Seg::PathConst(c)) if c == "MAX" || c == "MIN" => Resolved::Int(head_ty),
+                Some(Seg::PathCall(c)) if c == "from" || c == "try_from" => Resolved::Int(head_ty),
+                None => Resolved::Unknown, // a bare type name is not a value
+                _ => Resolved::Unknown,
+            };
+        }
+        let mut carrier: Option<String> = if parsed.head == "self" {
+            self.flow.enclosing_impl(pos).map(str::to_string)
+        } else {
+            self.local_type(pos, &parsed.head).map(str::to_string)
+        };
+        if parsed.segs.is_empty() {
+            return match carrier {
+                Some(ty) => types.classify(&ty),
+                None => Resolved::Unknown,
+            };
+        }
+        for (i, seg) in parsed.segs.iter().enumerate() {
+            let last = i + 1 == parsed.segs.len();
+            match seg {
+                Seg::Field(name) => {
+                    let owner = flow::strip_type(carrier.as_deref().unwrap_or(""));
+                    carrier = types.fields.get(&(owner, name.clone())).cloned();
+                    if carrier.is_none() {
+                        return Resolved::Unknown;
+                    }
+                }
+                Seg::Method(name) | Seg::PathCall(name) => match types.method_returns(name) {
+                    Resolved::Int(t) => carrier = Some(int_name(t)),
+                    Resolved::Conflict(v) if last => return Resolved::Conflict(v),
+                    _ => return Resolved::Unknown,
+                },
+                Seg::Index => {
+                    carrier = carrier.and_then(|c| types.element_type(&c));
+                    if carrier.is_none() {
+                        return Resolved::Unknown;
+                    }
+                }
+                Seg::PathConst(_) => return Resolved::Unknown,
+            }
+        }
+        match carrier {
+            Some(ty) => types.classify(&ty),
+            None => Resolved::Unknown,
+        }
+    }
+
+    fn resolve_compound(&self, types: &TypeMap, pos: Pos, inner: &str) -> Resolved {
+        // Shifts: the value type is the left operand's.
+        let inner = inner
+            .split("<<")
+            .next()
+            .unwrap_or(inner)
+            .split(">>")
+            .next()
+            .unwrap_or(inner);
+        let mut found: Option<flow::IntTy> = None;
+        let mut depth = 0i32;
+        let mut start = 0;
+        let bytes = inner.as_bytes();
+        let mut operands = Vec::new();
+        for (i, &b) in bytes.iter().enumerate() {
+            match b {
+                b'(' | b'[' | b'<' => depth += 1,
+                b')' | b']' | b'>' => depth -= 1,
+                b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^' if depth == 0 => {
+                    operands.push(&inner[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        operands.push(&inner[start..]);
+        for op in operands {
+            let op = op.trim();
+            if op.is_empty() || op.as_bytes()[0].is_ascii_digit() {
+                continue; // literal operands adopt the other side's type
+            }
+            match self.resolve_int(types, pos, op) {
+                Resolved::Int(t) => match found {
+                    None => found = Some(t),
+                    Some(prev) if prev == t => {}
+                    Some(_) => return Resolved::Unknown,
+                },
+                Resolved::NonInt => return Resolved::NonInt,
+                _ => return Resolved::Unknown,
+            }
+        }
+        match found {
+            Some(t) => Resolved::Int(t),
+            None => Resolved::Unknown,
+        }
+    }
+}
+
+fn int_name(t: flow::IntTy) -> String {
+    format!("{}{}", if t.signed { 'i' } else { 'u' }, t.bits)
+}
+
+fn resolve_literal(text: &str) -> Resolved {
+    let t: String = text.chars().filter(|c| *c != '_').collect();
+    let (radix, body) = if let Some(r) = t.strip_prefix("0x") {
+        (16, r)
+    } else if let Some(r) = t.strip_prefix("0b") {
+        (2, r)
+    } else {
+        (10, t.as_str())
+    };
+    // Strip a trailing `u32`-style type suffix, if present.
+    let mut digits = body;
+    for (i, _) in body.char_indices() {
+        if flow::IntTy::parse(&body[i..]).is_some() {
+            digits = &body[..i];
+            break;
+        }
+    }
+    match u128::from_str_radix(digits, radix) {
+        Ok(v) => Resolved::Literal(v),
+        Err(_) => Resolved::Unknown,
+    }
+}
+
+/// Collect `let` bindings with recoverable types plus fn parameters.
+fn collect_locals(f: &SourceFile, flow_tree: &Flow, types: &TypeMap) -> Vec<LocalDecl> {
+    let mut out = Vec::new();
+    // Parameters: attach to the fn body block.
+    let joined = f.scan.code.join("\n");
+    let line_starts: Vec<usize> = {
+        let mut v = vec![0usize];
+        for (i, b) in joined.bytes().enumerate() {
+            if b == b'\n' {
+                v.push(i + 1);
+            }
+        }
+        v
+    };
+    for sig in flow::fn_signatures(&joined) {
+        let line = match line_starts.binary_search(&sig.offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        // The body block is the first Fn block opening at/after the
+        // signature with this name.
+        let fn_block = flow_tree.blocks.iter().position(|b| {
+            matches!(&b.kind, BlockKind::Fn(n) if *n == sig.name) && b.open.line >= line
+        });
+        for (name, ty) in flow::split_params(&sig.params) {
+            out.push(LocalDecl {
+                line,
+                fn_block,
+                name,
+                ty,
+            });
+        }
+    }
+    // `let name[: T] = …;` bindings.
+    for (line, code) in f.scan.code.iter().enumerate() {
+        for at in super::find_token(code, "let ") {
+            let rest = &code[at + 4..];
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            let name_end = rest
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .unwrap_or(rest.len());
+            let name = &rest[..name_end];
+            if name.is_empty() || name == "_" {
+                continue;
+            }
+            let after = rest[name_end..].trim_start();
+            let ty = if let Some(t) = after.strip_prefix(':') {
+                let end = t.find('=').unwrap_or(t.len());
+                Some(t[..end].trim().to_string())
+            } else if let Some(rhs) = after.strip_prefix('=') {
+                infer_rhs_type(rhs.trim(), types)
+            } else {
+                None
+            };
+            let Some(ty) = ty else { continue };
+            if ty.is_empty() {
+                continue;
+            }
+            let pos = Pos { line, col: at };
+            let fn_block = flow_tree.block_at(pos).and_then(|mut idx| loop {
+                if matches!(flow_tree.blocks[idx].kind, BlockKind::Fn(_)) {
+                    break Some(idx);
+                }
+                match flow_tree.blocks[idx].parent {
+                    Some(p) => idx = p,
+                    None => break None,
+                }
+            });
+            out.push(LocalDecl {
+                line,
+                fn_block,
+                name: name.to_string(),
+                ty,
+            });
+        }
+    }
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+/// Recover a type from simple initializer shapes.
+fn infer_rhs_type(rhs: &str, types: &TypeMap) -> Option<String> {
+    for (pat, ty) in [
+        ("Mutex::new(", "Mutex<_>"),
+        ("RwLock::new(", "RwLock<_>"),
+        ("Condvar::new(", "Condvar"),
+    ] {
+        if rhs.starts_with(pat) || rhs.contains(pat) {
+            return Some(ty.to_string());
+        }
+    }
+    // `… as T;` pins the binding's type.
+    if let Some(p) = rhs.rfind(" as ") {
+        let t = rhs[p + 4..]
+            .trim()
+            .trim_end_matches(';')
+            .trim_end_matches(',')
+            .trim();
+        if !t.is_empty()
+            && t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && matches!(types.classify(t), Resolved::Int(_))
+        {
+            return Some(t.to_string());
+        }
+    }
+    // `Type::new(…)` / `Type::with_capacity(…)` construction.
+    let name_end = rhs
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(0);
+    if name_end > 0 && rhs[name_end..].starts_with("::") {
+        let head = &rhs[..name_end];
+        if head.chars().next().is_some_and(|c| c.is_ascii_uppercase()) && head != "Vec" {
+            return Some(head.to_string());
+        }
+    }
+    None
+}
+
+/// Detect lock acquisitions and compute guard hold ranges.
+fn collect_holds(f: &SourceFile, fc: &FileCtx, types: &TypeMap) -> Vec<Hold> {
+    let mut out = Vec::new();
+    let n = f.scan.code.len();
+    for line in 0..n {
+        if f.scan.in_test[line] {
+            continue;
+        }
+        let code = f.scan.code[line].clone();
+        let mut sites: Vec<(usize, String)> = Vec::new();
+        // Free `lock(expr)` helper calls (the poison-robust wrapper in
+        // service.rs) — not method calls, not `fn lock(` definitions.
+        for at in super::find_token(&code, "lock(") {
+            if code[..at].ends_with('.') || code[..at].trim_end().ends_with("fn") {
+                continue;
+            }
+            let Some(close) = skip_group(code.as_bytes(), at + 4) else {
+                continue;
+            };
+            let arg = code[at + 5..close - 1].trim().trim_start_matches('&');
+            sites.push((at, arg.to_string()));
+        }
+        // `expr.lock()`, and empty-argument `.read()` / `.write()`
+        // (argument-taking read/write are io traits, not RwLock).
+        for pat in [".lock()", ".read()", ".write()"] {
+            let mut from = 0;
+            while let Some(p) = code[from..].find(pat) {
+                let at = from + p;
+                from = at + pat.len();
+                let recv = flow::receiver_before(&code, at);
+                if recv.is_empty() {
+                    continue;
+                }
+                sites.push((at, recv));
+            }
+        }
+        sites.sort_by_key(|s| s.0);
+        for (col, expr) in sites {
+            let pos = Pos { line, col };
+            let id = fc.lock_identity(f, types, pos, &expr);
+            let fn_block = fc.flow.block_at(pos).and_then(|i| fc.enclosing_fn_idx(i));
+            let (name, end) = hold_range(f, fc, line, col);
+            out.push(Hold {
+                id,
+                name,
+                line,
+                col,
+                end,
+                fn_block,
+            });
+        }
+    }
+    out
+}
+
+/// Binding name and inclusive end line of a guard acquired at
+/// (`line`, `col`).
+fn hold_range(f: &SourceFile, fc: &FileCtx, line: usize, col: usize) -> (Option<String>, usize) {
+    let code = &f.scan.code[line];
+    let pos = Pos { line, col };
+    // A block opening on this line after the acquisition keeps `match`
+    // scrutinee and `if let`/`while let` temporaries alive to its close.
+    let trailing_block = fc
+        .flow
+        .blocks
+        .iter()
+        .find(|b| b.open.line == line && b.open.col > col);
+    let let_at = super::find_token(code, "let ")
+        .into_iter()
+        .find(|&a| a < col && code[a..col].contains('='));
+    if let Some(a) = let_at {
+        let eq = a + code[a..col].find('=').unwrap_or(0);
+        let pat = &code[a + 4..eq];
+        let name = pat
+            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .filter(|t| !t.is_empty())
+            .find(|t| !matches!(*t, "mut" | "Ok" | "Some" | "Err" | "None" | "ref"))
+            .map(str::to_string);
+        let scope_end = match trailing_block {
+            // `if let Ok(g) = m.lock() {` — guard scoped to that block.
+            Some(b) => b.close.line,
+            // Plain `let`: to the enclosing block's close.
+            None => fc
+                .flow
+                .block_at(pos)
+                .map(|i| fc.flow.blocks[i].close.line)
+                .unwrap_or(f.scan.code.len().saturating_sub(1)),
+        };
+        // Early `drop(guard)` truncates the hold.
+        let mut end = scope_end;
+        if let Some(gname) = &name {
+            for l in line..=scope_end.min(f.scan.code.len() - 1) {
+                let c = &f.scan.code[l];
+                if super::find_token(c, "drop(")
+                    .iter()
+                    .any(|&d| c[d + 5..].trim_start().starts_with(gname.as_str()))
+                {
+                    end = l;
+                    break;
+                }
+            }
+        }
+        return (name, end);
+    }
+    // Statement temporary.
+    match trailing_block {
+        Some(b) if matches!(b.kind, BlockKind::Match) => (None, b.close.line),
+        Some(b) if matches!(b.kind, BlockKind::If | BlockKind::While) => {
+            // Condition temporaries die before the block body runs.
+            (None, line)
+        }
+        Some(b) => (None, b.close.line),
+        None => {
+            // To the end of the statement (multi-line chains included).
+            let cap = fc
+                .flow
+                .block_at(pos)
+                .map(|i| fc.flow.blocks[i].close.line)
+                .unwrap_or(f.scan.code.len() - 1);
+            let mut end = line;
+            while end < cap && !f.scan.code[end].trim_end().ends_with(';') {
+                end += 1;
+            }
+            (None, end)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_of(src: &str) -> (crate::walk::FileSet, Ctx) {
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src.to_string());
+        let set = FileSet {
+            root: std::path::PathBuf::from("."),
+            files: vec![f],
+        };
+        let ctx = Ctx::build(&set);
+        (set, ctx)
+    }
+
+    #[test]
+    fn nested_guard_holds_produce_overlap() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let g1 = self.a.lock();\n        let g2 = self.b.lock();\n        drop(g2);\n    }\n}\n";
+        let (_, ctx) = ctx_of(src);
+        let holds = &ctx.files[0].holds;
+        assert_eq!(holds.len(), 2);
+        assert_eq!(holds[0].id, "S.a");
+        assert_eq!(holds[1].id, "S.b");
+        assert_eq!(holds[0].name.as_deref(), Some("g1"));
+        assert_eq!(holds[0].end, 6, "to the fn block close");
+        assert_eq!(holds[1].end, 5, "early drop truncates the hold");
+    }
+
+    #[test]
+    fn match_bound_guard_spans_the_match() {
+        let src = "struct S { a: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        match self.a.lock() {\n            Ok(_) => {}\n            Err(_) => {}\n        }\n        self.a.lock();\n    }\n}\n";
+        let (_, ctx) = ctx_of(src);
+        let holds = &ctx.files[0].holds;
+        assert_eq!(holds.len(), 2);
+        assert_eq!(holds[0].end, 6, "match scrutinee lives to the match close");
+        assert_eq!(holds[1].end, 7, "statement temporary dies on its line");
+    }
+
+    #[test]
+    fn free_lock_helper_and_field_navigation() {
+        let src = "struct Admission { state: Mutex<u32>, freed: Condvar }\nstruct Guard { adm: Admission }\nimpl Guard {\n    fn f(&self) {\n        let st = lock(&self.adm.state);\n        let _ = st;\n    }\n}\n";
+        let (_, ctx) = ctx_of(src);
+        let holds = &ctx.files[0].holds;
+        assert_eq!(holds.len(), 1);
+        assert_eq!(holds[0].id, "Admission.state");
+    }
+
+    #[test]
+    fn local_locks_are_function_qualified() {
+        let src =
+            "fn f() {\n    let m = Mutex::new(0);\n    let g = m.lock();\n    let _ = g;\n}\n";
+        let (_, ctx) = ctx_of(src);
+        assert_eq!(ctx.files[0].holds[0].id, "crates/x/src/lib.rs:f:m");
+    }
+
+    #[test]
+    fn cast_sources_resolve_through_fields_methods_and_indexing() {
+        let src = "pub type AttrValue = u16;\nstruct R { start: u32, vals: Vec<u64> }\nimpl R {\n    fn count(&self) -> usize { 0 }\n    fn f(&self, ks: &[AttrValue]) {\n        let a = self.start;\n        let b = self.vals[0];\n        let c = ks[1];\n        let d = self.count();\n        let _ = (a, b, c, d);\n    }\n}\n";
+        let (set, ctx) = ctx_of(src);
+        let fc = &ctx.files[0];
+        let _ = &set;
+        let at = |l| Pos { line: l, col: 8 };
+        let int = |s, b| Resolved::Int(flow::IntTy { signed: s, bits: b });
+        assert_eq!(
+            fc.resolve_int(&ctx.types, at(5), "self.start"),
+            int(false, 32)
+        );
+        assert_eq!(
+            fc.resolve_int(&ctx.types, at(6), "self.vals[0]"),
+            int(false, 64)
+        );
+        assert_eq!(fc.resolve_int(&ctx.types, at(7), "ks[1]"), int(false, 16));
+        assert_eq!(
+            fc.resolve_int(&ctx.types, at(8), "self.count()"),
+            int(false, 64)
+        );
+        assert_eq!(
+            fc.resolve_int(&ctx.types, at(8), "(self.start + 4)"),
+            int(false, 32)
+        );
+        assert_eq!(
+            fc.resolve_int(&ctx.types, at(8), "u32::MAX"),
+            int(false, 32)
+        );
+        assert_eq!(
+            fc.resolve_int(&ctx.types, at(8), "AttrValue::BITS"),
+            int(false, 32)
+        );
+        assert_eq!(
+            fc.resolve_int(&ctx.types, at(8), "0xFFFF"),
+            Resolved::Literal(65535)
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! `proof-model-linkage`: the ordering proofs scattered through the
+//! tree cite the loom-lite models as their evidence ("see the admission
+//! model", `grm_analyze::model::bound`) — this rule closes the loop so
+//! a citation can never dangle and a model can never silently fall out
+//! of the verification suite.
+//!
+//! Three obligations:
+//! 1. every comment citation of the form `model::<name>` or
+//!    `see <name> model` must resolve to a real module file under
+//!    `crates/analyze/src/model/`;
+//! 2. every model module must be declared in `model/mod.rs` *and*
+//!    wired into `full_suite()` (so `grm-analyze model` runs it) —
+//!    the `sched` explorer itself is infrastructure and only needs the
+//!    declaration;
+//! 3. CI must actually invoke the model suite (a workflow step naming
+//!    `grm-analyze` and `model`), so the proofs are exercised on every
+//!    push, not just on developer machines.
+
+use crate::diag::Diagnostic;
+use crate::walk::FileSet;
+use std::collections::BTreeSet;
+
+/// Stable rule id.
+pub const RULE: &str = "proof-model-linkage";
+
+const MODEL_DIR: &str = "crates/analyze/src/model/";
+
+/// Run the rule over the set.
+pub fn run(set: &FileSet) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Inventory the model modules from the file set itself.
+    let modules: BTreeSet<String> = set
+        .files
+        .iter()
+        .filter_map(|f| {
+            let rest = f.rel.strip_prefix(MODEL_DIR)?;
+            let stem = rest.strip_suffix(".rs")?;
+            if stem == "mod" || rest.contains('/') {
+                None
+            } else {
+                Some(stem.to_string())
+            }
+        })
+        .collect();
+
+    let mod_rs_rel = format!("{MODEL_DIR}mod.rs");
+    let mod_rs = set.get(&mod_rs_rel);
+
+    // Obligation 2: declared and reachable from the suite.
+    if let Some(mod_rs) = mod_rs {
+        let joined = mod_rs.scan.code.join("\n");
+        for m in &modules {
+            let rel = format!("{MODEL_DIR}{m}.rs");
+            if !joined.contains(&format!("mod {m};")) {
+                diags.push(Diagnostic::new(
+                    RULE,
+                    &rel,
+                    0,
+                    format!("model module `{m}` is not declared in model/mod.rs"),
+                ));
+                continue;
+            }
+            if *m == "sched" {
+                continue; // the explorer: infrastructure, not a protocol
+            }
+            if !joined.contains(&format!("{m}::suite")) {
+                diags.push(Diagnostic::new(
+                    RULE,
+                    &rel,
+                    0,
+                    format!(
+                        "model module `{m}` is not wired into full_suite() — `grm-analyze model` \
+                         will never run it"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Obligation 3: CI runs the suite. Only meaningful when the tree
+    // has models at all.
+    if !modules.is_empty() && mod_rs.is_some() && !ci_runs_models(set) {
+        diags.push(Diagnostic::new(
+            RULE,
+            &mod_rs_rel,
+            0,
+            "no CI workflow invokes `grm-analyze model` — the verification suite is not exercised",
+        ));
+    }
+
+    // Obligation 1: citations resolve.
+    for f in &set.files {
+        for (i, comment) in f.scan.comments.iter().enumerate() {
+            if f.allowed(RULE, i) {
+                continue;
+            }
+            // `model::<name>` citations.
+            let mut from = 0;
+            while let Some(p) = comment[from..].find("model::") {
+                let at = from + p;
+                from = at + 7;
+                let before = comment[..at].chars().next_back();
+                if before.is_some_and(|c| c.is_alphanumeric()) {
+                    continue;
+                }
+                let name: String = comment[at + 7..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if name.is_empty() {
+                    continue;
+                }
+                if !modules.contains(&name) {
+                    diags.push(Diagnostic::new(
+                        RULE,
+                        &f.rel,
+                        i + 1,
+                        format!("proof cites `model::{name}`, but no such model module exists"),
+                    ));
+                }
+            }
+            // `see <name> model` citations.
+            let mut from = 0;
+            while let Some(p) = comment[from..].find("see ") {
+                let at = from + p;
+                from = at + 4;
+                let rest = &comment[at + 4..];
+                let word: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if word.is_empty() || !rest[word.len()..].starts_with(" model") {
+                    continue;
+                }
+                if matches!(word.as_str(), "the" | "a" | "an" | "this" | "that" | "its") {
+                    continue;
+                }
+                if !modules.contains(&word) {
+                    diags.push(Diagnostic::new(
+                        RULE,
+                        &f.rel,
+                        i + 1,
+                        format!("proof says `see {word} model`, but no such model module exists"),
+                    ));
+                }
+            }
+        }
+    }
+
+    diags
+}
+
+/// Does any workflow under `.github/workflows/` run the model suite?
+fn ci_runs_models(set: &FileSet) -> bool {
+    let dir = set.root.join(".github").join("workflows");
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    for e in entries.flatten() {
+        let path = e.path();
+        let yamlish = path.extension().is_some_and(|x| x == "yml" || x == "yaml");
+        if !yamlish {
+            continue;
+        }
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if text.contains("grm-analyze") && text.contains("model") {
+                return true;
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,211 @@
+//! `lock-order-cycle`: build each function's lock-acquisition graph
+//! from the guard hold ranges (acquiring B while holding A is an edge
+//! A → B), merge the edges workspace-wide, and report every cycle as a
+//! potential deadlock.
+//!
+//! An intended global order can be declared with a comment of the form
+//! `lock-order: A < B < C` (identities as the rule names them, e.g.
+//! `Admission.state`); observed edges that contradict a declared order
+//! are reported even when no full cycle exists yet, and a declaration
+//! naming a lock the analysis never observes is reported as stale.
+
+use super::ctx::Ctx;
+use crate::diag::Diagnostic;
+use crate::walk::FileSet;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Stable rule id.
+pub const RULE: &str = "lock-order-cycle";
+
+struct Declared {
+    path: String,
+    line: usize, // 1-based
+    order: Vec<String>,
+}
+
+/// Run the rule over the set.
+pub fn run(set: &FileSet, ctx: &Ctx) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Parse `lock-order:` declarations (comment must *start* with the
+    // marker so prose about the grammar is not a declaration).
+    let mut decls: Vec<Declared> = Vec::new();
+    for f in &set.files {
+        for (i, comment) in f.scan.comments.iter().enumerate() {
+            let text = comment
+                .trim()
+                .trim_start_matches('/')
+                .trim_start_matches('!');
+            let Some(rest) = text.trim_start().strip_prefix("lock-order:") else {
+                continue;
+            };
+            if f.allowed(RULE, i) {
+                continue;
+            }
+            let ids: Vec<String> = rest.split('<').map(|s| s.trim().to_string()).collect();
+            let well_formed = ids.len() >= 2
+                && ids.iter().all(|id| {
+                    !id.is_empty()
+                        && id.chars().all(|c| {
+                            c.is_ascii_alphanumeric()
+                                || c == '_'
+                                || c == '.'
+                                || c == ':'
+                                || c == '/'
+                        })
+                });
+            if !well_formed {
+                diags.push(Diagnostic::new(
+                    RULE,
+                    &f.rel,
+                    i + 1,
+                    "malformed `lock-order:` declaration — expected `lock-order: A < B [< C …]`",
+                ));
+                continue;
+            }
+            decls.push(Declared {
+                path: f.rel.clone(),
+                line: i + 1,
+                order: ids,
+            });
+        }
+    }
+
+    // Merge observed edges workspace-wide. An edge exists when lock B is
+    // acquired while a guard of lock A (same function) is still live.
+    let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    let mut observed: BTreeSet<String> = BTreeSet::new();
+    for (f, fc) in set.files.iter().zip(&ctx.files) {
+        for h in &fc.holds {
+            observed.insert(h.id.clone());
+        }
+        for a in &fc.holds {
+            for b in &fc.holds {
+                if a.id == b.id || a.fn_block != b.fn_block {
+                    continue;
+                }
+                let after = b.line > a.line || (b.line == a.line && b.col > a.col);
+                if !after || b.line > a.end {
+                    continue;
+                }
+                if f.allowed(RULE, b.line) {
+                    continue;
+                }
+                edges
+                    .entry((a.id.clone(), b.id.clone()))
+                    .or_insert((f.rel.clone(), b.line + 1));
+            }
+        }
+    }
+
+    // Declarations must talk about locks that exist.
+    let mut declared_pairs: BTreeSet<(String, String)> = BTreeSet::new();
+    for d in &decls {
+        for id in &d.order {
+            if !observed.contains(id) {
+                diags.push(Diagnostic::new(
+                    RULE,
+                    &d.path,
+                    d.line,
+                    format!("`lock-order:` declares `{id}`, but no such lock is ever acquired"),
+                ));
+            }
+        }
+        for w in d.order.windows(2) {
+            declared_pairs.insert((w[0].clone(), w[1].clone()));
+        }
+    }
+
+    // Observed edges that contradict the declared order (B must come
+    // before A per some declaration chain, but A → B was observed).
+    let declared_reach = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from.to_string()];
+        while let Some(cur) = stack.pop() {
+            if cur == to {
+                return true;
+            }
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            for (a, b) in &declared_pairs {
+                if *a == cur {
+                    stack.push(b.clone());
+                }
+            }
+        }
+        false
+    };
+    for ((a, b), (path, line)) in &edges {
+        if declared_reach(b, a) {
+            diags.push(Diagnostic::new(
+                RULE,
+                path,
+                *line,
+                format!("acquiring `{b}` while holding `{a}` contradicts the declared lock order"),
+            ));
+        }
+    }
+
+    // Cycle detection on the observed graph: for each edge A → B, a
+    // path B → … → A closes a cycle. Each cycle (as an id set) is
+    // reported once, at its lexicographically first edge site.
+    let mut reported: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+    for ((a, b), (path, line)) in &edges {
+        let Some(back) = path_between(&edges, b, a) else {
+            continue;
+        };
+        let mut members: BTreeSet<String> = back.iter().cloned().collect();
+        members.insert(a.clone());
+        members.insert(b.clone());
+        if !reported.insert(members) {
+            continue;
+        }
+        let mut cycle = vec![a.clone(), b.clone()];
+        cycle.extend(back.into_iter().skip(1));
+        diags.push(Diagnostic::new(
+            RULE,
+            path,
+            *line,
+            format!(
+                "lock-order cycle: {} — potential deadlock",
+                cycle.join(" → ")
+            ),
+        ));
+    }
+
+    diags
+}
+
+/// BFS path `from → … → to` over the observed edges (inclusive of both
+/// endpoints), if one exists.
+fn path_between(
+    edges: &BTreeMap<(String, String), (String, usize)>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    let mut parents: BTreeMap<String, String> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from.to_string());
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    seen.insert(from.to_string());
+    while let Some(cur) = queue.pop_front() {
+        if cur == to {
+            let mut path = vec![cur.clone()];
+            let mut c = cur;
+            while let Some(p) = parents.get(&c) {
+                path.push(p.clone());
+                c = p.clone();
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for (a, b) in edges.keys() {
+            if *a == cur && seen.insert(b.clone()) {
+                parents.insert(b.clone(), cur.clone());
+                queue.push_back(b.clone());
+            }
+        }
+    }
+    None
+}

@@ -11,7 +11,12 @@ use crate::walk::FileSet;
 
 pub mod allocs;
 pub mod atomics;
+pub mod casts;
+pub mod condvar;
 pub mod counters;
+pub mod ctx;
+pub mod linkage;
+pub mod lockorder;
 pub mod misc;
 pub mod panics;
 pub mod vendor;
@@ -46,10 +51,27 @@ pub const RULES: &[(&str, &str)] = &[
         vendor::RULE,
         "vendor stub public API surface must match what the workspace imports",
     ),
+    (
+        lockorder::RULE,
+        "the workspace-merged lock-acquisition graph must be acyclic and match declared `lock-order:` annotations",
+    ),
+    (
+        condvar::RULE,
+        "Condvar waits must be predicate-looped and notifies must hold the declared paired mutex",
+    ),
+    (
+        casts::RULE,
+        "narrowing `as` casts in hot-path files need `try_into` or a `cast:` bound proof",
+    ),
+    (
+        linkage::RULE,
+        "model citations in proofs must resolve; every model module must be in full_suite() and run by CI",
+    ),
 ];
 
 /// Run every rule over the set and return the sorted findings.
 pub fn run_all(set: &FileSet) -> Vec<Diagnostic> {
+    let ctx = ctx::Ctx::build(set);
     let mut diags = Vec::new();
     for f in &set.files {
         diags.extend(f.annotation_errors.iter().cloned());
@@ -60,6 +82,10 @@ pub fn run_all(set: &FileSet) -> Vec<Diagnostic> {
     diags.extend(allocs::run(set));
     diags.extend(misc::run(set));
     diags.extend(vendor::run(set));
+    diags.extend(lockorder::run(set, &ctx));
+    diags.extend(condvar::run(set, &ctx));
+    diags.extend(casts::run(set, &ctx));
+    diags.extend(linkage::run(set));
     diag::sort(&mut diags);
     diags
 }

@@ -20,10 +20,31 @@ fn fixture_diags(name: &str) -> Vec<(String, String, usize)> {
 fn bad_tree_produces_exactly_the_seeded_diagnostics() {
     let got = fixture_diags("bad_tree");
     let want: Vec<(String, String, usize)> = [
+        (
+            "proof-model-linkage",
+            "crates/analyze/src/model/lonely.rs",
+            0,
+        ),
+        ("proof-model-linkage", "crates/analyze/src/model/mod.rs", 0),
+        (
+            "proof-model-linkage",
+            "crates/analyze/src/model/rogue.rs",
+            0,
+        ),
         ("vendor-api-surface", "crates/core/src/lib.rs", 3),
         ("no-debug-print", "crates/core/src/lib.rs", 6),
         ("unsafe-without-safety", "crates/core/src/lib.rs", 8),
         ("malformed-allow", "crates/core/src/lib.rs", 13),
+        ("proof-model-linkage", "crates/core/src/service.rs", 2),
+        ("proof-model-linkage", "crates/core/src/service.rs", 2),
+        ("lock-order-cycle", "crates/core/src/service.rs", 7),
+        ("lock-order-cycle", "crates/core/src/service.rs", 8),
+        ("condvar-discipline", "crates/core/src/service.rs", 16),
+        ("lock-order-cycle", "crates/core/src/service.rs", 22),
+        ("lock-order-cycle", "crates/core/src/service.rs", 28),
+        ("condvar-discipline", "crates/core/src/service.rs", 35),
+        ("condvar-discipline", "crates/core/src/service.rs", 42),
+        ("condvar-discipline", "crates/core/src/service.rs", 48),
         ("counter-schema-drift", "crates/core/src/stats.rs", 6),
         ("counter-schema-drift", "crates/core/src/stats.rs", 6),
         ("counter-schema-drift", "crates/core/src/stats.rs", 6),
@@ -33,6 +54,8 @@ fn bad_tree_produces_exactly_the_seeded_diagnostics() {
         ("atomic-ordering-audit", "crates/core/src/topk.rs", 7),
         ("panic-in-hot-path", "crates/graph/src/kernel.rs", 4),
         ("panic-in-hot-path", "crates/graph/src/kernel.rs", 5),
+        ("cast-truncation-audit", "crates/graph/src/shard.rs", 4),
+        ("cast-truncation-audit", "crates/graph/src/shard.rs", 5),
         ("alloc-in-arena", "crates/graph/src/sort.rs", 4),
         ("alloc-in-arena", "crates/graph/src/sort.rs", 5),
         ("vendor-api-surface", "vendor/widgets/src/lib.rs", 8),

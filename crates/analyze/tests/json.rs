@@ -1,0 +1,68 @@
+//! The `check --json` machine-readable surface: the schema is pinned
+//! byte-for-byte (CI parses it, dashboards archive it — silent drift is
+//! a breaking change), and the CLI flag is exercised end-to-end against
+//! the seeded fixture tree.
+
+use grm_analyze::diag::{self, Diagnostic};
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn json_schema_is_pinned_exactly() {
+    let diags = vec![
+        Diagnostic::new(
+            "no-debug-print",
+            "crates/core/src/lib.rs",
+            6,
+            "a \"quoted\" message\nwith a newline",
+        ),
+        Diagnostic::new("vendor-api-surface", "vendor/w/src/lib.rs", 0, "tab\there"),
+    ];
+    let got = diag::render_json(80, 11, &diags);
+    assert_eq!(
+        got,
+        "{\"version\":1,\
+         \"summary\":{\"files\":80,\"rules\":11,\"diagnostics\":2},\
+         \"diagnostics\":[\
+         {\"rule\":\"no-debug-print\",\"path\":\"crates/core/src/lib.rs\",\"line\":6,\
+         \"message\":\"a \\\"quoted\\\" message\\nwith a newline\"},\
+         {\"rule\":\"vendor-api-surface\",\"path\":\"vendor/w/src/lib.rs\",\"line\":0,\
+         \"message\":\"tab\\there\"}\
+         ]}"
+    );
+}
+
+#[test]
+fn empty_run_renders_an_empty_diagnostics_array() {
+    assert_eq!(
+        diag::render_json(3, 11, &[]),
+        "{\"version\":1,\"summary\":{\"files\":3,\"rules\":11,\"diagnostics\":0},\"diagnostics\":[]}"
+    );
+}
+
+#[test]
+fn check_json_flag_emits_the_schema_and_the_failure_exit() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/bad_tree");
+    let out = Command::new(env!("CARGO_BIN_EXE_grm-analyze"))
+        .args(["check", "--json", "--root"])
+        .arg(&root)
+        .output()
+        .expect("the grm-analyze binary runs");
+    assert_eq!(out.status.code(), Some(1), "a dirty tree must exit 1");
+    let text = String::from_utf8(out.stdout).expect("JSON output is UTF-8");
+    assert!(
+        text.starts_with("{\"version\":1,\"summary\":{\"files\":"),
+        "output must lead with the pinned version/summary header: {text}"
+    );
+    assert!(
+        text.contains(
+            "{\"rule\":\"proof-model-linkage\",\
+             \"path\":\"crates/analyze/src/model/lonely.rs\",\"line\":0,"
+        ),
+        "diagnostics must carry rule/path/line fields: {text}"
+    );
+    assert!(
+        text.trim_end().ends_with("]}"),
+        "output must close the diagnostics array"
+    );
+}

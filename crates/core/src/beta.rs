@@ -76,6 +76,7 @@ impl BetaSet {
             if bits == 0 {
                 None
             } else {
+                // cast: trailing_zeros of a nonzero u16 mask is < 16
                 let i = bits.trailing_zeros() as u8;
                 bits &= bits - 1;
                 Some(NodeAttrId(i))

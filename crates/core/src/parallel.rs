@@ -229,8 +229,8 @@ fn root_tasks(dims: &Dims, schema: &Schema, split_dominant: bool, threads: usize
                 (0..chunks)
                     .map(|c| RootTask::LeftValues {
                         dim: idx,
-                        lo: (1 + c * values / chunks) as u16,
-                        hi: ((c + 1) * values / chunks) as u16,
+                        lo: (1 + c * values / chunks) as u16, // cast: c < chunks, so ≤ values = domain_size(), a u16
+                        hi: ((c + 1) * values / chunks) as u16, // cast: ≤ values = domain_size(), a u16
                     })
                     .collect()
             } else {

@@ -93,6 +93,10 @@ impl Default for ServiceConfig {
 /// panic-contained; a poisoned admission or cache lock must degrade to
 /// "the panicking request's guards already restored the invariants",
 /// not "every future request panics on `unwrap`".
+//
+// The daemon's intended global acquisition order, checked by
+// grm-analyze's `lock-order-cycle` rule against the observed graph:
+// lock-order: Admission.state < ResultCache.state < Service.agg
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
@@ -129,6 +133,7 @@ struct Admission {
     capacity: usize,
     queue_depth: usize,
     state: Mutex<AdmissionState>,
+    // condvar: Admission.freed pairs Admission.state
     freed: Condvar,
 }
 
@@ -234,6 +239,7 @@ struct CacheState {
 struct ResultCache {
     capacity: usize,
     state: Mutex<CacheState>,
+    // condvar: ResultCache.published pairs ResultCache.state
     published: Condvar,
 }
 

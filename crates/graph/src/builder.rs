@@ -76,7 +76,7 @@ impl GraphBuilder {
     /// Add a node with the given attribute row; returns its id.
     pub fn add_node(&mut self, values: &[AttrValue]) -> Result<NodeId> {
         self.schema.check_node_values(values)?;
-        let id = self.node_count() as NodeId;
+        let id = crate::value::next_node_id(self.node_count())?;
         self.node_values.extend_from_slice(values);
         Ok(id)
     }
@@ -84,9 +84,11 @@ impl GraphBuilder {
     /// Add a directed edge `src -> dst` with the given edge-attribute row;
     /// returns its id.
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, values: &[AttrValue]) -> Result<EdgeId> {
-        let n = self.node_count() as u32;
+        // Compare in usize: narrowing the count instead would wrap to 0
+        // once the graph reaches 2^32 nodes and reject every edge.
+        let n = self.node_count();
         for end in [src, dst] {
-            if end >= n {
+            if end as usize >= n {
                 return Err(GraphError::DanglingEndpoint {
                     node: end,
                     nodes: n,
@@ -97,7 +99,7 @@ impl GraphBuilder {
             return Err(GraphError::SelfLoop { node: src });
         }
         self.schema.check_edge_values(values)?;
-        let id = self.edge_count() as EdgeId;
+        let id = crate::value::next_edge_id(self.edge_count())?;
         self.srcs.push(src);
         self.dsts.push(dst);
         self.edge_values.extend_from_slice(values);

@@ -97,8 +97,8 @@ impl<'g> CompactModel<'g> {
         let mut lrow_of = vec![u32::MAX; n];
         for v in 0..n {
             if out_deg[v] > 0 {
-                lrow_of[v] = lrows.len() as u32;
-                lrows.push(v as NodeId);
+                lrow_of[v] = lrows.len() as u32; // cast: ≤ n, and node ids fit u32 by construction
+                lrows.push(v as NodeId); // cast: v < n = node_count, ids fit u32
             }
         }
         // RArray rows and the inverse map node -> rrow.
@@ -106,8 +106,8 @@ impl<'g> CompactModel<'g> {
         let mut rrow_of = vec![u32::MAX; n];
         for v in 0..n {
             if in_deg[v] > 0 {
-                rrow_of[v] = rrows.len() as u32;
-                rrows.push(v as NodeId);
+                rrow_of[v] = rrows.len() as u32; // cast: ≤ n, and node ids fit u32 by construction
+                rrows.push(v as NodeId); // cast: v < n = node_count, ids fit u32
             }
         }
 
@@ -128,6 +128,7 @@ impl<'g> CompactModel<'g> {
         let mut src_row = vec![0u32; m];
         let mut eid = vec![0 as EdgeId; m];
         let mut ptr = vec![0u32; m];
+        // cast: m = edge_count() ≤ MAX_EDGES, checked above
         for e in 0..m as u32 {
             let s = lrow_of[graph.src(e) as usize];
             let pos = cursor[s as usize] as usize;
@@ -267,6 +268,7 @@ impl<'g> CompactModel<'g> {
 
     /// All EArray positions, the root edge set of the mining recursion.
     pub fn all_positions(&self) -> Vec<u32> {
+        // cast: edge_count ≤ MAX_EDGES = u32::MAX, checked in try_build
         (0..self.edge_count() as u32).collect()
     }
 

@@ -79,8 +79,17 @@ pub enum GraphError {
         value: u16,
         domain: u16,
     },
-    /// An edge endpoint references a node that does not exist.
-    DanglingEndpoint { node: u32, nodes: u32 },
+    /// An edge endpoint references a node that does not exist. `nodes`
+    /// is a `usize` so a graph that has grown past the u32 id space can
+    /// still report its true size.
+    DanglingEndpoint { node: u32, nodes: usize },
+    /// Adding one more node would exhaust the u32 node-id space
+    /// ([`crate::value::NodeId`]); ids are assigned by
+    /// [`crate::value::next_node_id`], never by raw `as` narrowing.
+    TooManyNodes { nodes: usize },
+    /// Adding one more edge would exhaust the u32 edge-id space
+    /// ([`crate::value::EdgeId`]).
+    TooManyEdgeIds { edges: usize },
     /// The graph has more edges than the compact model can index
     /// (EArray positions are `u32`).
     TooManyEdges { edges: usize, max: usize },
@@ -144,6 +153,16 @@ impl fmt::Display for GraphError {
             GraphError::DanglingEndpoint { node, nodes } => {
                 write!(f, "edge endpoint {node} out of range (graph has {nodes} nodes)")
             }
+            GraphError::TooManyNodes { nodes } => write!(
+                f,
+                "graph already has {nodes} nodes; adding another would overflow the u32 \
+                 node-id space"
+            ),
+            GraphError::TooManyEdgeIds { edges } => write!(
+                f,
+                "graph already has {edges} edges; adding another would overflow the u32 \
+                 edge-id space"
+            ),
             GraphError::TooManyEdges { edges, max } => write!(
                 f,
                 "graph has {edges} edges, exceeding the compact model's capacity of {max} \

@@ -168,7 +168,7 @@ impl SocialGraph {
                 if end as usize >= n {
                     return Err(crate::error::GraphError::DanglingEndpoint {
                         node: end,
-                        nodes: n as u32,
+                        nodes: n,
                     });
                 }
             }

@@ -228,6 +228,7 @@ pub fn scatter_with_count(
     fused_keys: &mut [AttrValue],
 ) -> (bool, u64) {
     debug_assert_eq!(data.len(), keys.len());
+    // cast: bucket counts are attribute-domain sized, ≤ u16::MAX + 1
     let clamp = (next_buckets.saturating_sub(1)) as AttrValue;
     let mut bad = false;
     let mut batches = 0u64;

@@ -91,6 +91,7 @@ impl ShardSpec {
         for s in 0..shards {
             let lo = 1 + s * values / shards;
             let hi = (s + 1) * values / shards;
+            // cast: lo, hi ≤ values = bucket_count − 1 < u16 domain
             ranges.push((lo as AttrValue, hi as AttrValue));
         }
         ShardSpec { attr, ranges }
@@ -363,7 +364,7 @@ impl ShardStoreWriter {
     /// Add a node row (all nodes must precede the edges that use them).
     pub fn add_node(&mut self, values: &[AttrValue]) -> Result<NodeId> {
         self.schema.check_node_values(values)?;
-        let id = self.node_count() as NodeId;
+        let id = crate::value::next_node_id(self.node_count())?;
         self.node_values.extend_from_slice(values);
         Ok(id)
     }
@@ -371,9 +372,11 @@ impl ShardStoreWriter {
     /// Route one directed edge to its shard and spill it. Self-loops
     /// are accepted (the writer is a storage layer, not a policy one).
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, values: &[AttrValue]) -> Result<()> {
-        let n = self.node_count() as u32;
+        // Compare in usize: narrowing the count instead would wrap to 0
+        // once the writer reaches 2^32 nodes and reject every edge.
+        let n = self.node_count();
         for end in [src, dst] {
-            if end >= n {
+            if end as usize >= n {
                 return Err(GraphError::DanglingEndpoint {
                     node: end,
                     nodes: n,
@@ -551,6 +554,7 @@ impl ShardStore {
         )
         .allow_self_loops();
         for n in 0..self.node_count() {
+            // cast: n < node_count, and ids were assigned via next_node_id
             b.add_node(self.node_row(n as NodeId))?;
         }
         self.for_each_edge(s, |src, dst, vals| {
@@ -712,6 +716,7 @@ impl<'s> SliceSet<'s> {
         )
         .allow_self_loops();
         for n in 0..store.node_count() {
+            // cast: n < node_count, and ids were assigned via next_node_id
             b.add_node(store.node_row(n as NodeId))?;
         }
         if value != NULL {

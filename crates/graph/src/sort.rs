@@ -310,6 +310,7 @@ impl PartitionArena {
         if self.use_kernel && kernel::batching_pays_off(n) {
             for (bit, &(col, v)) in pairs.iter().enumerate() {
                 self.kernel_batches +=
+                    // cast: bit < pairs.len() ≤ AttrValue::BITS = 16
                     kernel::mask_eq_accumulate(data, col, v, bit as u32, &mut self.keys[..n]);
             }
         } else {
@@ -432,7 +433,7 @@ impl PartitionArena {
                     bad |= nk > clamp;
                     let nk = nk.min(clamp);
                     fused[k * next_buckets + nk] += 1;
-                    fused_keys[dst] = nk as AttrValue;
+                    fused_keys[dst] = nk as AttrValue; // cast: nk ≤ clamp < next_buckets ≤ u16 domain
                 }
             }
         }
@@ -463,8 +464,8 @@ impl PartitionArena {
                 base,
                 keys_base,
                 len: n,
-                parent_buckets: bucket_count as u32,
-                next_buckets: next_buckets as u32,
+                parent_buckets: bucket_count as u32, // cast: bucket counts ≤ u16 domain + 1
+                next_buckets: next_buckets as u32,   // cast: bucket counts ≤ u16 domain + 1
             },
         ))
     }
@@ -521,13 +522,14 @@ impl PartitionArena {
         }
         data.copy_from_slice(&self.scatter[..n]);
         // Emit records from the fused cursors (now partition ends).
+        // cast: ≤ one record per element, and n ≤ the u32 edge cap
         let start = self.records.len() as u32;
         let mut prev = 0u32;
         for v in 0..bucket_count {
             let end = self.fused[hist.offset + v];
             if end > prev {
                 self.records.push(PartRec {
-                    value: v as AttrValue,
+                    value: v as AttrValue, // cast: v < bucket_count ≤ u16 domain + 1
                     start: prev,
                     end,
                 });
@@ -537,6 +539,7 @@ impl PartitionArena {
         self.note_peak();
         Frame {
             start,
+            // cast: ≤ one record per element, and n ≤ the u32 edge cap
             end: self.records.len() as u32,
         }
     }
@@ -743,6 +746,7 @@ impl PartitionArena {
     /// post-scatter cursors (`counts[v]` = end offset of `v`'s partition),
     /// re-zeroing each touched bucket to restore the invariant.
     fn emit_records(&mut self, bucket_count: usize) -> Frame {
+        // cast: ≤ one record per element, and n ≤ the u32 edge cap
         let start = self.records.len() as u32;
         let mut prev = 0u32;
         for v in 0..bucket_count {
@@ -750,7 +754,7 @@ impl PartitionArena {
             self.counts[v] = 0;
             if end > prev {
                 self.records.push(PartRec {
-                    value: v as AttrValue,
+                    value: v as AttrValue, // cast: v < bucket_count ≤ u16 domain + 1
                     start: prev,
                     end,
                 });
@@ -759,6 +763,7 @@ impl PartitionArena {
         }
         Frame {
             start,
+            // cast: ≤ one record per element, and n ≤ the u32 edge cap
             end: self.records.len() as u32,
         }
     }

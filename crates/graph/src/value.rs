@@ -7,6 +7,7 @@
 //! in-memory footprint — the compact data model of §IV-A stores one cell per
 //! (node, attribute) pair, so cell width matters.
 
+use crate::error::GraphError;
 use serde::{Deserialize, Serialize};
 
 /// A single attribute value. `0` is the null value ([`NULL`]); real values
@@ -62,6 +63,25 @@ pub type NodeId = u32;
 /// in insertion order.
 pub type EdgeId = u32;
 
+/// The id the next node would get, or [`GraphError::TooManyNodes`] once
+/// the u32 id space is exhausted. Ids are dense, so the next id is the
+/// current count — but the count lives in `usize` and must not be
+/// narrowed blindly: past 2^32 nodes a raw `as` cast would silently wrap
+/// ids back to 0 and alias every subsequent edge endpoint.
+pub fn next_node_id(count: usize) -> Result<NodeId, GraphError> {
+    count
+        .try_into()
+        .map_err(|_| GraphError::TooManyNodes { nodes: count })
+}
+
+/// The id the next edge would get, or [`GraphError::TooManyEdgeIds`]
+/// once the u32 id space is exhausted.
+pub fn next_edge_id(count: usize) -> Result<EdgeId, GraphError> {
+    count
+        .try_into()
+        .map_err(|_| GraphError::TooManyEdgeIds { edges: count })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,6 +89,27 @@ mod tests {
     #[test]
     fn null_is_zero() {
         assert_eq!(NULL, 0);
+    }
+
+    #[test]
+    fn id_assignment_errors_at_the_u32_boundary() {
+        // Dense ids: the 2^32-th node/edge is the first that cannot be
+        // named by a u32 and must be refused, not wrapped to id 0.
+        assert_eq!(next_node_id(0), Ok(0));
+        assert_eq!(next_node_id(u32::MAX as usize), Ok(u32::MAX));
+        assert_eq!(
+            next_node_id(u32::MAX as usize + 1),
+            Err(GraphError::TooManyNodes {
+                nodes: u32::MAX as usize + 1
+            })
+        );
+        assert_eq!(next_edge_id(7), Ok(7));
+        assert_eq!(
+            next_edge_id(u32::MAX as usize + 1),
+            Err(GraphError::TooManyEdgeIds {
+                edges: u32::MAX as usize + 1
+            })
+        );
     }
 
     #[test]
